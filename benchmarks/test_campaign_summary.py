@@ -1,0 +1,13 @@
+"""The full §IV campaign with claim-by-claim verdicts (§IV-F summary)."""
+
+from conftest import SEED, emit
+
+from repro.measure.campaign import render_campaign, run_campaign
+
+
+def test_campaign_all_claims_hold(benchmark):
+    result = benchmark.pedantic(run_campaign, kwargs={"seed": SEED}, rounds=1, iterations=1)
+    emit("campaign", render_campaign(result))
+    failing = [c.claim_id for c in result.claims if not c.holds]
+    assert result.all_hold(), failing
+    assert len(result.measurements) == 27  # 9 configs x 3 densities

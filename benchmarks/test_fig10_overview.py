@@ -1,0 +1,43 @@
+"""Fig 10 — memory per container across all runtimes, averaged over all
+deployment sizes (`free` channel).
+
+Paper claims (§IV-F): ours lowest overall; ordering ours < shim-wasmtime
+< Python baselines < shim-wasmedge < crun-wasmedge < crun-wasmtime <
+crun-wasmer < shim-wasmer; summary reductions: >= 40% vs crun Wasm
+runtimes, 10.87%-77.53% vs runwasi shims, >= 16.38% vs Python.
+"""
+
+from conftest import SEED, emit
+
+from repro.measure.figures import fig10_overview
+from repro.measure.report import render_series
+from repro.measure.stats import percent_lower
+
+
+def test_fig10_overview(benchmark):
+    series = benchmark.pedantic(
+        fig10_overview, kwargs={"seed": SEED}, rounds=1, iterations=1
+    )
+    emit("fig10", render_series(series))
+    avg = {config: series.averaged(config) for config in series.configs()}
+
+    expected_order = [
+        "crun-wamr",
+        "shim-wasmtime",
+        "crun-python",
+        "runc-python",
+        "shim-wasmedge",
+        "crun-wasmedge",
+        "crun-wasmtime",
+        "crun-wasmer",
+        "shim-wasmer",
+    ]
+    assert sorted(avg, key=avg.get) == expected_order
+
+    ours = avg["crun-wamr"]
+    # §IV-F summary numbers.
+    assert percent_lower(ours, avg["crun-wasmedge"]) >= 40.0
+    assert percent_lower(ours, avg["shim-wasmtime"]) >= 10.8
+    assert 73.0 <= percent_lower(ours, avg["shim-wasmer"]) <= 81.0
+    assert percent_lower(ours, avg["crun-python"]) >= 16.3
+    assert percent_lower(ours, avg["runc-python"]) >= 16.3

@@ -1,0 +1,41 @@
+"""Fig 4 — the same crun deployments measured by the OS (`free`).
+
+Paper claims (§IV-B): `free` reports more than the metrics server in all
+scenarios (up to ~42% more), and our integration uses at least 40.0% less
+memory than any other crun Wasm runtime on this channel.
+"""
+
+from conftest import SEED, emit
+
+from repro.measure.figures import fig3_crun_memory_metrics, fig4_crun_memory_free
+from repro.measure.report import render_series
+from repro.measure.stats import percent_lower
+
+
+def test_fig4_crun_memory_free(benchmark):
+    series = benchmark.pedantic(
+        fig4_crun_memory_free, kwargs={"seed": SEED}, rounds=1, iterations=1
+    )
+    emit("fig4", render_series(series))
+    metrics = fig3_crun_memory_metrics(seed=SEED)
+
+    for density in series.densities:
+        ours = series.value("crun-wamr", density)
+        _, best_value = series.best_other(density)
+        assert percent_lower(ours, best_value) >= 40.0
+
+        for config in series.configs():
+            free_v = series.value(config, density)
+            met_v = metrics.value(config, density)
+            # free always reports more...
+            assert free_v > met_v, (config, density)
+            # ...by a bounded factor (paper: up to 42%; tolerance +10pp
+            # because low densities amortize shared text less).
+            assert free_v / met_v < 1.52, (config, density, free_v / met_v)
+
+    # The gap peaks for the smallest deployments (shared text amortizes).
+    ours_gap = [
+        series.value("crun-wamr", d) / metrics.value("crun-wamr", d)
+        for d in series.densities
+    ]
+    assert ours_gap[0] >= ours_gap[-1]

@@ -1,0 +1,42 @@
+"""Fig 6 — ours vs Python containers, metrics-server channel.
+
+Paper claims (§IV-D): our integration uses at least 17.98% less memory
+than crun+Python and 18.15% less than runC+Python; it is the *only* Wasm
+runtime below the Python baselines on this channel; it is ~21% below the
+second-most efficient Wasm runtime (containerd-shim-wasmtime).
+"""
+
+from conftest import SEED, emit
+
+from repro.measure.figures import fig3_crun_memory_metrics, fig6_python_memory_metrics
+from repro.measure.report import render_series
+from repro.measure.stats import percent_lower
+
+
+def test_fig6_python_memory_metrics(benchmark):
+    series = benchmark.pedantic(
+        fig6_python_memory_metrics, kwargs={"seed": SEED}, rounds=1, iterations=1
+    )
+    emit("fig6", render_series(series))
+
+    for density in series.densities:
+        ours = series.value("crun-wamr", density)
+        crun_py = series.value("crun-python", density)
+        runc_py = series.value("runc-python", density)
+        assert percent_lower(ours, crun_py) >= 17.9, density
+        assert percent_lower(ours, runc_py) >= 18.1, density
+
+        # Only ours beats Python; shim-wasmtime (second best Wasm) doesn't.
+        assert series.value("shim-wasmtime", density) > min(crun_py, runc_py)
+
+        # Roughly the paper's 21.07% below shim-wasmtime (ours is a bit
+        # better in our model; assert the minimum).
+        assert percent_lower(ours, series.value("shim-wasmtime", density)) >= 21.0
+
+    # The crun Wasm baselines (Fig 3) are all above Python too.
+    crun_series = fig3_crun_memory_metrics(seed=SEED)
+    for config in ("crun-wasmtime", "crun-wasmer", "crun-wasmedge"):
+        for density in series.densities:
+            assert crun_series.value(config, density) > series.value(
+                "crun-python", density
+            )

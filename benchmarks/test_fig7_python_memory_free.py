@@ -1,0 +1,47 @@
+"""Fig 7 — ours vs Python containers, `free` channel.
+
+Paper claims (§IV-D): at least 16.38% below crun+Python and 17.87% below
+runC+Python; containerd-shim-wasmtime also beats Python here (by at
+least ~4.66%) — the only other Wasm runtime to do so.
+"""
+
+from conftest import SEED, emit
+
+from repro.measure.figures import (
+    fig4_crun_memory_free,
+    fig5_runwasi_memory_free,
+    fig7_python_memory_free,
+)
+from repro.measure.report import render_series
+from repro.measure.stats import percent_lower
+
+
+def test_fig7_python_memory_free(benchmark):
+    series = benchmark.pedantic(
+        fig7_python_memory_free, kwargs={"seed": SEED}, rounds=1, iterations=1
+    )
+    emit("fig7", render_series(series))
+
+    for density in series.densities:
+        ours = series.value("crun-wamr", density)
+        crun_py = series.value("crun-python", density)
+        runc_py = series.value("runc-python", density)
+        assert percent_lower(ours, crun_py) >= 16.3, density
+        assert percent_lower(ours, runc_py) >= 17.8, density
+
+        # shim-wasmtime beats Python by >= ~4.66% on this channel.
+        shim_wt = series.value("shim-wasmtime", density)
+        assert percent_lower(shim_wt, crun_py) >= 4.6, density
+
+    # ...and is the ONLY other Wasm runtime to do so: every other Wasm
+    # config sits above Python on the free channel.
+    crun_free = fig4_crun_memory_free(seed=SEED)
+    shim_free = fig5_runwasi_memory_free(seed=SEED)
+    for density in series.densities:
+        python_best = min(
+            series.value("crun-python", density), series.value("runc-python", density)
+        )
+        for config in ("crun-wasmtime", "crun-wasmer", "crun-wasmedge"):
+            assert crun_free.value(config, density) > python_best, (config, density)
+        for config in ("shim-wasmedge", "shim-wasmer"):
+            assert shim_free.value(config, density) > python_best, (config, density)

@@ -1,0 +1,37 @@
+"""Fig 9 — time to start 400 concurrent containers' workload executions.
+
+Paper claims (§IV-E): the ranking flips at scale — ours is now ~18.82%
+and ~28.38% faster than containerd-shim-wasmedge and -wasmtime, but
+~6.93% *slower* than crun-wasmtime (the best crun runtime at 400);
+ours still beats both Python baselines.
+"""
+
+from conftest import SEED, emit
+
+from repro.measure.figures import fig9_startup_400
+from repro.measure.report import render_series
+from repro.measure.stats import percent_lower
+
+
+def test_fig9_startup_400(benchmark):
+    series = benchmark.pedantic(
+        fig9_startup_400, kwargs={"seed": SEED}, rounds=1, iterations=1
+    )
+    emit("fig9", render_series(series))
+    t = {config: series.value(config, 400) for config in series.configs()}
+
+    # Crossover 1: ours now beats the runwasi shims decisively.
+    assert percent_lower(t["crun-wamr"], t["shim-wasmedge"]) >= 15.0
+    assert percent_lower(t["crun-wamr"], t["shim-wasmtime"]) >= 25.0
+
+    # Crossover 2: crun-wasmtime overtakes ours (paper: ours 6.93% slower).
+    assert t["crun-wasmtime"] < t["crun-wamr"]
+    slower_by = 100.0 * (t["crun-wamr"] / t["crun-wasmtime"] - 1.0)
+    assert 3.0 <= slower_by <= 12.0, slower_by
+
+    # Ours still beats the other crun engines and both Python baselines.
+    for config in ("crun-wasmer", "crun-wasmedge", "crun-python", "runc-python"):
+        assert t["crun-wamr"] < t[config], config
+
+    # The heavyweight shim (wasmer) is the slowest overall at scale.
+    assert max(t, key=t.get) == "shim-wasmer"

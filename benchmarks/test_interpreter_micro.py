@@ -1,0 +1,90 @@
+"""Microbenchmarks of the Wasm substrate itself.
+
+Unlike the figure benchmarks (which time a simulated campaign), these
+time the *real* work this library does: decoding, validation, and
+interpreting guest code. Useful for tracking toolchain performance over
+time; they assert functional correctness, not latency.
+"""
+
+from conftest import emit
+
+from repro.wasm import assemble_wat, decode_module, encode_module, parse_wat, validate_module
+from repro.wasm.embed import run_wasi
+from repro.wasm.runtime import Interpreter, Store, instantiate
+from repro.workloads.microservice import MICROSERVICE_WAT, build_microservice_wasm
+
+FIB_WAT = """
+(module (func $fib (export "fib") (param i32) (result i32)
+  (if (result i32) (i32.lt_s (local.get 0) (i32.const 2))
+    (then (local.get 0))
+    (else (i32.add
+      (call $fib (i32.sub (local.get 0) (i32.const 1)))
+      (call $fib (i32.sub (local.get 0) (i32.const 2))))))))
+"""
+
+LOOP_WAT = """
+(module (memory 1) (func (export "churn") (param i32) (result i32)
+  (local $i i32) (local $acc i32)
+  (block $out (loop $top
+    (br_if $out (i32.ge_u (local.get $i) (local.get 0)))
+    (i32.store (i32.and (i32.mul (local.get $i) (i32.const 13)) (i32.const 0xfff8))
+               (local.get $i))
+    (local.set $acc (i32.xor (local.get $acc)
+      (i32.load (i32.and (i32.mul (local.get $i) (i32.const 7)) (i32.const 0xfff8)))))
+    (local.set $i (i32.add (local.get $i) (i32.const 1)))
+    (br $top)))
+  (local.get $acc)))
+"""
+
+
+def _instantiate(src: str):
+    module = validate_module(parse_wat(src))
+    store = Store()
+    inst = instantiate(store, module)
+    return Interpreter(store), inst
+
+
+def test_bench_interpreter_fib(benchmark):
+    interp, inst = _instantiate(FIB_WAT)
+    addr = inst.export_addr("fib", "func")
+    result = benchmark(lambda: interp.invoke(addr, [15]))
+    assert result == [610]
+
+
+def test_bench_interpreter_memory_churn(benchmark):
+    interp, inst = _instantiate(LOOP_WAT)
+    addr = inst.export_addr("churn", "func")
+    result = benchmark(lambda: interp.invoke(addr, [2000]))
+    assert isinstance(result[0], int)
+
+
+def test_bench_decode_validate(benchmark):
+    blob = build_microservice_wasm()
+
+    def decode():
+        return validate_module(decode_module(blob))
+
+    module = benchmark(decode)
+    assert module.total_funcs() > 5
+
+
+def test_bench_wat_parse(benchmark):
+    module = benchmark(lambda: parse_wat(MICROSERVICE_WAT))
+    assert module.total_funcs() > 5
+
+
+def test_bench_encode(benchmark):
+    module = parse_wat(MICROSERVICE_WAT)
+    blob = benchmark(lambda: encode_module(module))
+    assert blob[:4] == b"\x00asm"
+
+
+def test_bench_full_wasi_run(benchmark):
+    blob = build_microservice_wasm()
+    result = benchmark(lambda: run_wasi(blob, args=["svc"], env={"REQUESTS": "1"}))
+    assert result.exit_code == 0
+    emit(
+        "micro_summary",
+        f"[micro] microservice: {result.instructions} instructions/run, "
+        f"module {len(blob)} bytes",
+    )

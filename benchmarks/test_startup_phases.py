@@ -1,0 +1,64 @@
+"""Startup phase breakdown — the mechanism behind Figs 8 and 9.
+
+Beyond the paper: decomposes each configuration's startup into the
+traced phases (pipeline, serialized, parallel, exec) at both densities
+and asserts the mechanism that produces the ranking flip:
+
+* at n=10 the *parallel* phase separates configurations (JIT compile,
+  CPython boot) while serialized work is negligible;
+* at n=400 the *serialized* phase dominates for the configurations with
+  per-creation lock-growth (runwasi shims, our loader), which is exactly
+  why crun-wasmtime overtakes ours and ours overtakes the shims.
+"""
+
+from conftest import SEED, emit
+
+from repro.measure.experiment import measure
+from repro.measure.report import render_phase_breakdown
+
+CONFIGS = ("crun-wamr", "crun-wasmtime", "shim-wasmtime", "crun-python")
+
+
+def test_startup_phase_breakdown(benchmark):
+    def run():
+        return {
+            n: {c: measure(c, n, seed=SEED).phase_means for c in CONFIGS}
+            for n in (10, 400)
+        }
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    for n, breakdowns in data.items():
+        emit(
+            f"phases_n{n}",
+            render_phase_breakdown(
+                f"[phases] mean startup phase durations, n={n}", breakdowns
+            ),
+        )
+
+    small, large = data[10], data[400]
+
+    # n=10: parallel work separates configs; ours has the cheapest.
+    for config in ("crun-wasmtime", "crun-python"):
+        assert (
+            small["crun-wamr"]["startup.parallel"]
+            < small[config]["startup.parallel"]
+        )
+    # Serialized phase (incl. queueing) is small next to the pipeline.
+    for config in CONFIGS:
+        assert (
+            small[config]["startup.serialized"] < small[config]["startup.pipeline"]
+        )
+
+    # n=400: the serialized phase (queue wait included) explodes for the
+    # growth-heavy configs — the shims worst, ours in between,
+    # crun-wasmtime barely affected.
+    assert (
+        large["shim-wasmtime"]["startup.serialized"]
+        > large["crun-wamr"]["startup.serialized"]
+        > large["crun-wasmtime"]["startup.serialized"]
+    )
+    # Growth between densities is >10x for the shims' serialized phase.
+    assert (
+        large["shim-wasmtime"]["startup.serialized"]
+        > 10 * small["shim-wasmtime"]["startup.serialized"]
+    )

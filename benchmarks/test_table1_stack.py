@@ -1,0 +1,21 @@
+"""Table I — software stack of the evaluation."""
+
+from conftest import emit
+
+from repro.measure.figures import table1_software_stack
+from repro.measure.report import render_table1
+
+
+def test_table1_software_stack(benchmark):
+    stack = benchmark.pedantic(table1_software_stack, rounds=1, iterations=1)
+    emit("table1", render_table1(stack))
+    assert stack == {
+        "Linux": "5.4.0-187-generic",
+        "Kubernetes": "1.27.0",
+        "containerd": "1.1.1",
+        "runC": "1.6.31",
+        "WAMR": "2.1.0",
+        "WasmEdge": "0.14.0",
+        "Wasmer": "4.3.5",
+        "Wasmtime": "23.0.1",
+    }

@@ -1,0 +1,25 @@
+"""Table II — experiments overview (10-400 containers, 1 per pod)."""
+
+from conftest import emit
+
+from repro.core.integration import RUNTIME_CONFIGS
+from repro.measure.figures import table2_experiments_overview
+from repro.measure.report import render_table2
+
+
+def test_table2_experiments_overview(benchmark):
+    rows = benchmark.pedantic(table2_experiments_overview, rounds=1, iterations=1)
+    emit("table2", render_table2(rows))
+    assert [r["section"] for r in rows] == ["IV-B", "IV-C", "IV-D", "IV-E"]
+    # Every runtime configuration named in Table II exists in the registry.
+    assert set(RUNTIME_CONFIGS) == {
+        "crun-wamr",
+        "crun-wasmtime",
+        "crun-wasmer",
+        "crun-wasmedge",
+        "shim-wasmtime",
+        "shim-wasmer",
+        "shim-wasmedge",
+        "crun-python",
+        "runc-python",
+    }

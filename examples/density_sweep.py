@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Density sweep: per-container memory for every runtime configuration.
+
+Reproduces the shape of the paper's memory figures interactively: sweeps
+deployment densities, prints both measurement channels per configuration,
+and draws ASCII bars for the Fig 10 overview (averaged over densities).
+
+Run:  python examples/density_sweep.py [densities ...]
+"""
+
+import sys
+
+from repro.core.integration import RUNTIME_CONFIGS
+from repro.measure.experiment import ExperimentRunner
+
+
+def bar(value: float, scale: float, width: int = 44) -> str:
+    n = int(round(value / scale * width))
+    return "#" * n
+
+
+def main() -> None:
+    densities = [int(a) for a in sys.argv[1:]] or [10, 50, 200]
+    runner = ExperimentRunner(seed=7)
+
+    print(f"{'config':15s}" + "".join(f"{f'n={n}':>21s}" for n in densities))
+    print(f"{'':15s}" + f"{'met / free (MiB)':>21s}" * len(densities))
+    print("-" * (15 + 21 * len(densities)))
+
+    averages = {}
+    for config in RUNTIME_CONFIGS:
+        cells = []
+        free_values = []
+        for n in densities:
+            m = runner.run(config, n)
+            cells.append(f"{m.metrics_mib:8.2f} /{m.free_mib:8.2f}")
+            free_values.append(m.free_mib)
+        averages[config] = sum(free_values) / len(free_values)
+        marker = "  <== ours" if RUNTIME_CONFIGS[config].is_ours else ""
+        print(f"{config:15s}" + "".join(f"{c:>21s}" for c in cells) + marker)
+
+    print("\nOverview (free channel, averaged over densities — Fig 10 shape):")
+    scale = max(averages.values())
+    for config in sorted(averages, key=averages.get):
+        label = "ours " if RUNTIME_CONFIGS[config].is_ours else "     "
+        print(f"  {config:15s} {label}{averages[config]:7.2f} MiB  {bar(averages[config], scale)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Startup race: the Fig 8 → Fig 9 ranking flip.
+
+Measures time-to-last-workload-start for every runtime configuration at a
+small and a large density and shows the crossover the paper reports: the
+runwasi shims win small deployments, crun-wasmtime wins huge ones, and
+crun-WAMR sits near the front in both regimes.
+
+Run:  python examples/startup_race.py [small] [large]
+"""
+
+import sys
+
+from repro.core.integration import RUNTIME_CONFIGS
+from repro.measure.experiment import ExperimentRunner
+
+
+def main() -> None:
+    small = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    large = int(sys.argv[2]) if len(sys.argv) > 2 else 400
+    runner = ExperimentRunner(seed=3)
+
+    results = {}
+    for config in RUNTIME_CONFIGS:
+        t_small = runner.run(config, small).startup_seconds
+        t_large = runner.run(config, large).startup_seconds
+        results[config] = (t_small, t_large)
+
+    for label, idx, n in (("small", 0, small), ("large", 1, large)):
+        print(f"\n=== {label} deployment: {n} concurrent containers ===")
+        ranked = sorted(results, key=lambda c: results[c][idx])
+        best = results[ranked[0]][idx]
+        for rank, config in enumerate(ranked, 1):
+            t = results[config][idx]
+            ours = " <== ours" if RUNTIME_CONFIGS[config].is_ours else ""
+            print(f"  {rank}. {config:15s} {t:7.2f} s  (+{100 * (t / best - 1):5.1f}%){ours}")
+
+    small_rank = sorted(results, key=lambda c: results[c][0])
+    large_rank = sorted(results, key=lambda c: results[c][1])
+    movers = [
+        c for c in results if abs(small_rank.index(c) - large_rank.index(c)) >= 2
+    ]
+    print("\nconfigurations whose rank shifts by >= 2 places between regimes:")
+    for c in movers:
+        print(f"  {c}: #{small_rank.index(c) + 1} -> #{large_rank.index(c) + 1}")
+
+
+if __name__ == "__main__":
+    main()

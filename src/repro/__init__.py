@@ -1,0 +1,19 @@
+"""Reproduction of *Memory Efficient WebAssembly Containers* (IPPS 2025).
+
+Public API at a glance:
+
+* :func:`repro.k8s.cluster.build_cluster` — the simulated testbed; deploy
+  pods per runtime configuration and read both memory channels.
+* :mod:`repro.wasm` — the from-scratch WebAssembly toolchain
+  (:func:`~repro.wasm.assemble_wat`, :func:`~repro.wasm.decode_module`,
+  :func:`repro.wasm.embed.run_wasi`).
+* :mod:`repro.engines` — WAMR/Wasmtime/Wasmer/WasmEdge models.
+* :mod:`repro.core` — the paper's WAMR-in-crun integration.
+* :mod:`repro.measure` — experiments and per-figure generators.
+
+See README.md for a tour and DESIGN.md for the system inventory.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

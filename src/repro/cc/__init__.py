@@ -1,0 +1,31 @@
+"""minicc — a small C-subset compiler targeting WebAssembly/WASI.
+
+The paper's workload is "a minimal C application" compiled to Wasm; this
+package closes that loop inside the repository: the same kind of source a
+user would hand to ``clang --target=wasm32-wasi`` compiles, through our
+own pipeline, into a module our engines execute.
+
+Supported subset (enough for small microservices):
+
+* types: ``int`` (i32), ``long`` (i64), ``void`` returns;
+* functions with parameters, locals, recursion; global variables with
+  constant initializers;
+* statements: ``if``/``else``, ``while``, ``for``, ``break``,
+  ``continue``, ``return``, blocks, expression statements;
+* expressions: arithmetic (``+ - * / %``), bitwise (``& | ^ << >>``),
+  comparisons, logical ``&& || !`` (short-circuit), assignment
+  (including to globals), calls, parenthesization, ``int``/``long``
+  literals (decimal/hex), char literals;
+* builtins bridging to WASI: ``puts(s)`` / ``putd(n)`` (write a string
+  literal / decimal number + newline to stdout), ``exit(code)``,
+  ``env_int(name, default)`` (read a decimal environment variable),
+  ``clock_ms()``.
+
+``compile_c(source)`` returns a validated :class:`repro.wasm.ast.Module`
+exporting ``_start`` (when ``main`` is defined) plus every declared
+function.
+"""
+
+from repro.cc.compiler import compile_c, compile_c_binary
+
+__all__ = ["compile_c", "compile_c_binary"]

@@ -1,0 +1,159 @@
+"""AST for the mini-C subset (prefix ``C`` to avoid wasm-AST collisions)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+# Types are just the strings "int" | "long" | "void".
+CType = str
+
+
+# -- expressions --------------------------------------------------------------
+
+
+@dataclass
+class CNum:
+    value: int
+    ctype: CType  # "int" or "long"
+    line: int = 0
+
+
+@dataclass
+class CStr:
+    data: bytes
+    line: int = 0
+
+
+@dataclass
+class CVar:
+    name: str
+    line: int = 0
+
+
+@dataclass
+class CUnary:
+    op: str  # "-", "!", "~"
+    operand: "CExpr"
+    line: int = 0
+
+
+@dataclass
+class CBinary:
+    op: str
+    left: "CExpr"
+    right: "CExpr"
+    line: int = 0
+
+
+@dataclass
+class CAssign:
+    name: str
+    value: "CExpr"
+    op: str = "="  # "=", "+=", ...
+    line: int = 0
+
+
+@dataclass
+class CCall:
+    name: str
+    args: List["CExpr"] = field(default_factory=list)
+    line: int = 0
+
+
+CExpr = object  # union of the above
+
+
+# -- statements ------------------------------------------------------------------
+
+
+@dataclass
+class CExprStmt:
+    expr: CExpr
+    line: int = 0
+
+
+@dataclass
+class CDecl:
+    ctype: CType
+    name: str
+    init: Optional[CExpr] = None
+    line: int = 0
+
+
+@dataclass
+class CIf:
+    cond: CExpr
+    then: "CBlock"
+    otherwise: Optional["CBlock"] = None
+    line: int = 0
+
+
+@dataclass
+class CWhile:
+    cond: CExpr
+    body: "CBlock"
+    line: int = 0
+
+
+@dataclass
+class CFor:
+    init: Optional[object]  # CDecl | CExprStmt | None
+    cond: Optional[CExpr]
+    step: Optional[CExpr]
+    body: "CBlock"
+    line: int = 0
+
+
+@dataclass
+class CReturn:
+    value: Optional[CExpr] = None
+    line: int = 0
+
+
+@dataclass
+class CBreak:
+    line: int = 0
+
+
+@dataclass
+class CContinue:
+    line: int = 0
+
+
+@dataclass
+class CBlock:
+    statements: List[object] = field(default_factory=list)
+    line: int = 0
+
+
+# -- top level ---------------------------------------------------------------------
+
+
+@dataclass
+class CParam:
+    ctype: CType
+    name: str
+
+
+@dataclass
+class CFunc:
+    ret: CType
+    name: str
+    params: List[CParam]
+    body: CBlock
+    line: int = 0
+
+
+@dataclass
+class CGlobal:
+    ctype: CType
+    name: str
+    init: int = 0
+    line: int = 0
+
+
+@dataclass
+class CProgram:
+    globals: List[CGlobal] = field(default_factory=list)
+    functions: List[CFunc] = field(default_factory=list)

@@ -1,0 +1,817 @@
+"""Code generation: mini-C AST → WebAssembly module AST.
+
+Conventions:
+
+* ``int`` ↔ ``i32``, ``long`` ↔ ``i64``; mixed arithmetic promotes to
+  ``long`` (sign-extending), assignments convert to the target type
+  (wrapping on narrowing, as C does);
+* every user function becomes an exported wasm function; when ``main``
+  exists, a ``_start`` wrapper calls it and feeds its result (or 0) to
+  ``proc_exit``;
+* linear memory (1 page): scratch iovec at 0, number-render buffer at
+  32, environ pointer table at 4096, environ string buffer at 8192,
+  string literals interned from 1024 upward;
+* builtins are lowered either inline (``puts``, ``exit``, ``clock_ms``)
+  or via synthesized helper functions (``putd``, ``env_int``) emitted
+  once per module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cc import cast as C
+from repro.errors import CompileError
+from repro.wasm.ast import (
+    DataSegment,
+    Export,
+    Function,
+    Global,
+    Import,
+    Instr,
+    Module,
+)
+from repro.wasm.types import FuncType, GlobalType, Limits, MemoryType, ValType
+
+I32, I64 = ValType.I32, ValType.I64
+
+_VT = {"int": I32, "long": I64}
+
+# Memory layout constants.
+SCRATCH_IOVEC = 0
+SCRATCH_NUM = 32  # 32..63: decimal render buffer
+ENV_PTRS = 4096
+ENV_BUF = 8192
+STRINGS_BASE = 1024
+
+_WASI = "wasi_snapshot_preview1"
+
+_BUILTINS = {"puts", "putd", "exit", "env_int", "clock_ms", "grow_pages"}
+
+
+@dataclass
+class _FuncSig:
+    params: List[str]
+    ret: str
+    index: int  # joint function index space
+
+
+@dataclass
+class _LocalVar:
+    index: int
+    ctype: str
+
+
+class CodeGen:
+    def __init__(self, program: C.CProgram) -> None:
+        self.program = program
+        self.module = Module()
+        self.strings: Dict[bytes, int] = {}
+        self.string_cursor = STRINGS_BASE
+        self.globals: Dict[str, Tuple[int, str]] = {}  # name -> (index, ctype)
+        self.funcs: Dict[str, _FuncSig] = {}
+        self.imports_used: Dict[str, int] = {}  # wasi name -> func index
+        self._helper_bodies: List[Function] = []
+        self._label_stack: List[str] = []
+        # Current function state:
+        self._locals: Dict[str, _LocalVar] = {}
+        self._local_types: List[ValType] = []
+        self._current_ret = "void"
+
+    # ==================================================================
+    # Top level
+    # ==================================================================
+
+    def generate(self) -> Module:
+        used = self._scan_builtins()
+        self._declare_imports(used)
+
+        # Globals.
+        for i, g in enumerate(self.program.globals):
+            if g.name in self.globals:
+                raise CompileError(f"duplicate global {g.name!r}", g.line)
+            self.globals[g.name] = (i, g.ctype)
+            const = "i32.const" if g.ctype == "int" else "i64.const"
+            mask = (1 << (32 if g.ctype == "int" else 64)) - 1
+            value = g.init & mask
+            if value > mask // 2:
+                value -= mask + 1
+            self.module.globals.append(
+                Global(GlobalType(_VT[g.ctype], mutable=True), [Instr(const, (value,))])
+            )
+
+        # Function index space: imports first, then helpers, then users.
+        n_imports = len(self.imports_used)
+        helper_names: List[str] = []
+        if "putd" in used:
+            helper_names.append("__putd")
+        if "env_int" in used:
+            helper_names.append("__env_int")
+        for i, name in enumerate(helper_names):
+            self.funcs[name] = _FuncSig(
+                params=["long"] if name == "__putd" else ["int", "int", "long"],
+                ret="void" if name == "__putd" else "long",
+                index=n_imports + i,
+            )
+        for i, func in enumerate(self.program.functions):
+            if func.name in self.funcs or func.name in _BUILTINS:
+                raise CompileError(f"duplicate function {func.name!r}", func.line)
+            self.funcs[func.name] = _FuncSig(
+                params=[p.ctype for p in func.params],
+                ret=func.ret,
+                index=n_imports + len(helper_names) + i,
+            )
+
+        # Helper bodies (need the index space ready).
+        for name in helper_names:
+            self._emit_helper(name)
+
+        for func in self.program.functions:
+            self._emit_function(func)
+
+        # Memory + exports.
+        self.module.mems.append(MemoryType(Limits(1)))
+        self.module.exports.append(Export("memory", "mem", 0))
+        for func in self.program.functions:
+            self.module.exports.append(
+                Export(func.name, "func", self.funcs[func.name].index)
+            )
+        if "main" in self.funcs:
+            self._emit_start()
+
+        # Interned strings as one active data segment per literal.
+        for data, addr in sorted(self.strings.items(), key=lambda kv: kv[1]):
+            self.module.datas.append(
+                DataSegment(0, [Instr("i32.const", (addr,))], data)
+            )
+        return self.module
+
+    def _scan_builtins(self) -> set:
+        used = set()
+
+        def walk_expr(e) -> None:
+            if isinstance(e, C.CCall):
+                if e.name in _BUILTINS:
+                    used.add(e.name)
+                for a in e.args:
+                    walk_expr(a)
+            elif isinstance(e, C.CUnary):
+                walk_expr(e.operand)
+            elif isinstance(e, C.CBinary):
+                walk_expr(e.left)
+                walk_expr(e.right)
+            elif isinstance(e, C.CAssign):
+                walk_expr(e.value)
+
+        def walk_stmt(s) -> None:
+            if isinstance(s, C.CBlock):
+                for inner in s.statements:
+                    walk_stmt(inner)
+            elif isinstance(s, C.CExprStmt):
+                walk_expr(s.expr)
+            elif isinstance(s, C.CDecl) and s.init is not None:
+                walk_expr(s.init)
+            elif isinstance(s, C.CIf):
+                walk_expr(s.cond)
+                walk_stmt(s.then)
+                if s.otherwise:
+                    walk_stmt(s.otherwise)
+            elif isinstance(s, C.CWhile):
+                walk_expr(s.cond)
+                walk_stmt(s.body)
+            elif isinstance(s, C.CFor):
+                if s.init:
+                    walk_stmt(s.init)
+                if s.cond:
+                    walk_expr(s.cond)
+                if s.step:
+                    walk_expr(s.step)
+                walk_stmt(s.body)
+            elif isinstance(s, C.CReturn) and s.value is not None:
+                walk_expr(s.value)
+
+        for func in self.program.functions:
+            walk_stmt(func.body)
+        return used
+
+    def _declare_imports(self, used: set) -> None:
+        needed: List[Tuple[str, FuncType]] = []
+        if used & {"puts", "putd"}:
+            needed.append(
+                ("fd_write", FuncType((I32, I32, I32, I32), (I32,)))
+            )
+        # proc_exit: needed by the _start wrapper (when main exists) and
+        # by exit(); pure function libraries stay import-free.
+        has_main = any(f.name == "main" for f in self.program.functions)
+        if has_main or "exit" in used:
+            needed.append(("proc_exit", FuncType((I32,), ())))
+        if "env_int" in used:
+            needed.append(("environ_sizes_get", FuncType((I32, I32), (I32,))))
+            needed.append(("environ_get", FuncType((I32, I32), (I32,))))
+        if "clock_ms" in used:
+            needed.append(("clock_time_get", FuncType((I32, I64, I32), (I32,))))
+        for name, sig in needed:
+            type_idx = self.module.add_type(sig)
+            self.imports_used[name] = len(self.module.imports)
+            self.module.imports.append(Import(_WASI, name, "func", type_idx))
+
+    # ==================================================================
+    # Functions
+    # ==================================================================
+
+    def _emit_function(self, func: C.CFunc) -> None:
+        self._locals = {}
+        self._local_types = []
+        self._current_ret = func.ret
+        self._n_params = len(func.params)
+        for i, param in enumerate(func.params):
+            if param.name in self._locals:
+                raise CompileError(f"duplicate parameter {param.name!r}", func.line)
+            self._locals[param.name] = _LocalVar(i, param.ctype)
+        self._label_stack = []
+
+        body = self._emit_block(func.body, new_scope=False)
+        # Implicit return: for non-void mains C guarantees `return 0`.
+        if func.ret != "void":
+            body.append(
+                Instr("i32.const", (0,))
+                if func.ret == "int"
+                else Instr("i64.const", (0,))
+            )
+        sig = FuncType(
+            tuple(_VT[p.ctype] for p in func.params),
+            () if func.ret == "void" else (_VT[func.ret],),
+        )
+        type_idx = self.module.add_type(sig)
+        self.module.funcs.append(
+            Function(type_idx, list(self._local_types), body, name=func.name)
+        )
+
+    def _emit_start(self) -> None:
+        main = self.funcs["main"]
+        if main.params:
+            raise CompileError("main() must take no parameters")
+        body: List[Instr] = [Instr("call", (main.index,))]
+        if main.ret == "void":
+            body.append(Instr("i32.const", (0,)))
+        elif main.ret == "long":
+            body.append(Instr("i32.wrap_i64"))
+        body.append(Instr("call", (self.imports_used["proc_exit"],)))
+        type_idx = self.module.add_type(FuncType())
+        self.module.funcs.append(Function(type_idx, [], body, name="_start"))
+        self.module.exports.append(
+            Export("_start", "func", len(self.imports_used) + len(self.module.funcs) - 1)
+        )
+
+    def _new_local(self, name: str, ctype: str, line: int) -> _LocalVar:
+        if name in self._locals:
+            raise CompileError(f"redeclaration of {name!r}", line)
+        index = self._n_params + len(self._local_types)
+        var = _LocalVar(index, ctype)
+        self._locals[name] = var
+        self._local_types.append(_VT[ctype])
+        return var
+
+    # ==================================================================
+    # Statements
+    # ==================================================================
+
+    def _emit_block(self, block: C.CBlock, new_scope: bool = True) -> List[Instr]:
+        # Scoping is flat per function (C89-style hoisting): names must be
+        # unique within a function, which keeps locals as wasm locals.
+        out: List[Instr] = []
+        for stmt in block.statements:
+            out.extend(self._emit_stmt(stmt))
+        return out
+
+    def _emit_stmt(self, stmt) -> List[Instr]:
+        if isinstance(stmt, C.CBlock):
+            return self._emit_block(stmt)
+        if isinstance(stmt, C.CExprStmt):
+            code, ctype = self._emit_expr(stmt.expr)
+            if ctype != "void":
+                code.append(Instr("drop"))
+            return code
+        if isinstance(stmt, C.CDecl):
+            var = self._new_local(stmt.name, stmt.ctype, stmt.line)
+            if stmt.init is None:
+                return []
+            code, ctype = self._emit_expr(stmt.init)
+            code.extend(self._convert(ctype, stmt.ctype, stmt.line))
+            code.append(Instr("local.set", (var.index,)))
+            return code
+        if isinstance(stmt, C.CIf):
+            return self._emit_if(stmt)
+        if isinstance(stmt, C.CWhile):
+            return self._emit_while(stmt)
+        if isinstance(stmt, C.CFor):
+            return self._emit_for(stmt)
+        if isinstance(stmt, C.CReturn):
+            return self._emit_return(stmt)
+        if isinstance(stmt, C.CBreak):
+            depth = self._label_depth("break", stmt.line)
+            return [Instr("br", (depth,))]
+        if isinstance(stmt, C.CContinue):
+            depth = self._label_depth("continue", stmt.line)
+            return [Instr("br", (depth,))]
+        raise CompileError(f"unsupported statement {type(stmt).__name__}")
+
+    def _label_depth(self, role: str, line: int) -> int:
+        for depth, entry in enumerate(reversed(self._label_stack)):
+            if entry == role:
+                return depth
+        raise CompileError(f"{role} outside of a loop", line)
+
+    def _emit_if(self, stmt: C.CIf) -> List[Instr]:
+        code = self._truthy(stmt.cond)
+        self._label_stack.append("if")
+        then = self._emit_block(stmt.then)
+        otherwise = self._emit_block(stmt.otherwise) if stmt.otherwise else []
+        self._label_stack.pop()
+        code.append(Instr("if", body=then, else_body=otherwise))
+        return code
+
+    def _emit_while(self, stmt: C.CWhile) -> List[Instr]:
+        # block $break { loop $continue { !cond br_if $break; body; br $continue } }
+        self._label_stack.append("break")
+        self._label_stack.append("continue")
+        cond = self._falsy(stmt.cond)
+        cond.append(Instr("br_if", (1,)))  # -> $break
+        body = self._emit_block(stmt.body)
+        self._label_stack.pop()
+        self._label_stack.pop()
+        loop = Instr("loop", body=cond + body + [Instr("br", (0,))])
+        return [Instr("block", body=[loop])]
+
+    def _emit_for(self, stmt: C.CFor) -> List[Instr]:
+        # init; block $break { loop $top { !cond br_if $break;
+        #   block $continue { body }; step; br $top } }
+        out: List[Instr] = []
+        if stmt.init is not None:
+            out.extend(self._emit_stmt(stmt.init))
+
+        self._label_stack.append("break")  # the outer block
+        self._label_stack.append("loop")  # the loop itself (no role)
+        header: List[Instr] = []
+        if stmt.cond is not None:
+            header = self._falsy(stmt.cond)
+            header.append(Instr("br_if", (1,)))  # -> $break
+
+        self._label_stack.append("continue")  # inner block wraps the body
+        body = self._emit_block(stmt.body)
+        self._label_stack.pop()
+
+        step: List[Instr] = []
+        if stmt.step is not None:
+            step, step_t = self._emit_expr(stmt.step)
+            if step_t != "void":
+                step.append(Instr("drop"))
+        self._label_stack.pop()  # loop
+        self._label_stack.pop()  # break
+
+        loop_body = header + [Instr("block", body=body)] + step + [Instr("br", (0,))]
+        return out + [Instr("block", body=[Instr("loop", body=loop_body)])]
+
+    def _emit_return(self, stmt: C.CReturn) -> List[Instr]:
+        if self._current_ret == "void":
+            if stmt.value is not None:
+                raise CompileError("void function returns a value", stmt.line)
+            return [Instr("return")]
+        if stmt.value is None:
+            raise CompileError(
+                f"non-void function must return {self._current_ret}", stmt.line
+            )
+        code, ctype = self._emit_expr(stmt.value)
+        code.extend(self._convert(ctype, self._current_ret, stmt.line))
+        code.append(Instr("return"))
+        return code
+
+    # ==================================================================
+    # Expressions — return (instructions, ctype)
+    # ==================================================================
+
+    def _emit_expr(self, expr) -> Tuple[List[Instr], str]:
+        if isinstance(expr, C.CNum):
+            if expr.ctype == "long":
+                return [Instr("i64.const", (self._norm(expr.value, 64),))], "long"
+            return [Instr("i32.const", (self._norm(expr.value, 32),))], "int"
+        if isinstance(expr, C.CStr):
+            raise CompileError(
+                "string literals are only valid as puts()/env_int() arguments",
+                expr.line,
+            )
+        if isinstance(expr, C.CVar):
+            return self._emit_var(expr)
+        if isinstance(expr, C.CUnary):
+            return self._emit_unary(expr)
+        if isinstance(expr, C.CBinary):
+            return self._emit_binary(expr)
+        if isinstance(expr, C.CAssign):
+            return self._emit_assign(expr)
+        if isinstance(expr, C.CCall):
+            return self._emit_call(expr)
+        raise CompileError(f"unsupported expression {type(expr).__name__}")
+
+    @staticmethod
+    def _norm(value: int, bits: int) -> int:
+        mask = (1 << bits) - 1
+        value &= mask
+        if value >= 1 << (bits - 1):
+            value -= 1 << bits
+        return value
+
+    def _emit_var(self, expr: C.CVar) -> Tuple[List[Instr], str]:
+        var = self._locals.get(expr.name)
+        if var is not None:
+            return [Instr("local.get", (var.index,))], var.ctype
+        if expr.name in self.globals:
+            idx, ctype = self.globals[expr.name]
+            return [Instr("global.get", (idx,))], ctype
+        raise CompileError(f"unknown variable {expr.name!r}", expr.line)
+
+    def _emit_unary(self, expr: C.CUnary) -> Tuple[List[Instr], str]:
+        code, ctype = self._emit_expr(expr.operand)
+        prefix = "i32" if ctype == "int" else "i64"
+        if expr.op == "-":
+            const = Instr(f"{prefix}.const", (0,))
+            return [const, *code, Instr(f"{prefix}.sub")], ctype
+        if expr.op == "~":
+            const = Instr(f"{prefix}.const", (-1,))
+            return [*code, const, Instr(f"{prefix}.xor")], ctype
+        if expr.op == "!":
+            code.append(Instr(f"{prefix}.eqz"))
+            return code, "int"
+        raise CompileError(f"unsupported unary {expr.op!r}", expr.line)
+
+    _CMP = {"<": "lt_s", "<=": "le_s", ">": "gt_s", ">=": "ge_s", "==": "eq", "!=": "ne"}
+    _ARITH = {
+        "+": "add", "-": "sub", "*": "mul", "/": "div_s", "%": "rem_s",
+        "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr_s",
+    }
+
+    def _emit_binary(self, expr: C.CBinary) -> Tuple[List[Instr], str]:
+        if expr.op == "&&":
+            cond = self._truthy(expr.left)
+            rhs = self._truthy(expr.right)
+            cond.append(
+                Instr("if", blocktype=I32, body=rhs, else_body=[Instr("i32.const", (0,))])
+            )
+            return cond, "int"
+        if expr.op == "||":
+            cond = self._truthy(expr.left)
+            rhs = self._truthy(expr.right)
+            cond.append(
+                Instr("if", blocktype=I32, body=[Instr("i32.const", (1,))], else_body=rhs)
+            )
+            return cond, "int"
+
+        left, lt = self._emit_expr(expr.left)
+        right, rt = self._emit_expr(expr.right)
+        common = "long" if "long" in (lt, rt) else "int"
+        left.extend(self._convert(lt, common, expr.line))
+        code = left + right + self._convert(rt, common, expr.line)
+        prefix = "i32" if common == "int" else "i64"
+        if expr.op in self._CMP:
+            code.append(Instr(f"{prefix}.{self._CMP[expr.op]}"))
+            return code, "int"
+        if expr.op in self._ARITH:
+            code.append(Instr(f"{prefix}.{self._ARITH[expr.op]}"))
+            return code, common
+        raise CompileError(f"unsupported operator {expr.op!r}", expr.line)
+
+    def _emit_assign(self, expr: C.CAssign) -> Tuple[List[Instr], str]:
+        # Resolve target.
+        var = self._locals.get(expr.name)
+        if var is not None:
+            target_t = var.ctype
+            get = Instr("local.get", (var.index,))
+            set_tee = ("local", var.index)
+        elif expr.name in self.globals:
+            idx, target_t = self.globals[expr.name]
+            get = Instr("global.get", (idx,))
+            set_tee = ("global", idx)
+        else:
+            raise CompileError(f"unknown variable {expr.name!r}", expr.line)
+
+        if expr.op == "=":
+            code, vt = self._emit_expr(expr.value)
+            code.extend(self._convert(vt, target_t, expr.line))
+        else:
+            op = expr.op[:-1]  # "+=" -> "+"
+            synthetic = C.CBinary(
+                op=op, left=C.CVar(expr.name, expr.line), right=expr.value, line=expr.line
+            )
+            code, vt = self._emit_binary(synthetic)
+            code.extend(self._convert(vt, target_t, expr.line))
+
+        # Assignment is an expression: leave the stored value on the stack.
+        kind, index = set_tee
+        if kind == "local":
+            code.append(Instr("local.tee", (index,)))
+        else:
+            code.append(Instr("global.set", (index,)))
+            code.append(Instr("global.get", (index,)))
+        return code, target_t
+
+    # -- conversions / truthiness ------------------------------------------
+
+    def _convert(self, src: str, dst: str, line: int) -> List[Instr]:
+        if src == dst:
+            return []
+        if src == "void" or dst == "void":
+            raise CompileError(f"cannot convert {src} to {dst}", line)
+        if src == "int" and dst == "long":
+            return [Instr("i64.extend_i32_s")]
+        return [Instr("i32.wrap_i64")]  # long -> int
+
+    def _truthy(self, expr) -> List[Instr]:
+        """Emit expr as an i32 boolean (non-zero -> 1)."""
+        code, ctype = self._emit_expr(expr)
+        if ctype == "void":
+            raise CompileError("void value used as condition")
+        prefix = "i32" if ctype == "int" else "i64"
+        code.append(Instr(f"{prefix}.eqz"))
+        code.append(Instr("i32.eqz"))
+        return code
+
+    def _falsy(self, expr) -> List[Instr]:
+        """Emit expr as an i32 'is-zero' flag (for loop-exit br_if)."""
+        code, ctype = self._emit_expr(expr)
+        prefix = "i32" if ctype == "int" else "i64"
+        code.append(Instr(f"{prefix}.eqz"))
+        return code
+
+    # ==================================================================
+    # Calls and builtins
+    # ==================================================================
+
+    def _emit_call(self, expr: C.CCall) -> Tuple[List[Instr], str]:
+        if expr.name in _BUILTINS:
+            return self._emit_builtin(expr)
+        sig = self.funcs.get(expr.name)
+        if sig is None:
+            raise CompileError(f"unknown function {expr.name!r}", expr.line)
+        if len(expr.args) != len(sig.params):
+            raise CompileError(
+                f"{expr.name}() expects {len(sig.params)} args, got {len(expr.args)}",
+                expr.line,
+            )
+        code: List[Instr] = []
+        for arg, want in zip(expr.args, sig.params):
+            arg_code, arg_t = self._emit_expr(arg)
+            code.extend(arg_code)
+            code.extend(self._convert(arg_t, want, expr.line))
+        code.append(Instr("call", (sig.index,)))
+        return code, sig.ret
+
+    def _intern_string(self, data: bytes) -> Tuple[int, int]:
+        addr = self.strings.get(data)
+        if addr is None:
+            addr = self.string_cursor
+            self.strings[data] = addr
+            self.string_cursor += len(data) + 1  # NUL-separated for hygiene
+        return addr, len(data)
+
+    def _emit_builtin(self, expr: C.CCall) -> Tuple[List[Instr], str]:
+        name = expr.name
+        if name == "puts":
+            if len(expr.args) != 1 or not isinstance(expr.args[0], C.CStr):
+                raise CompileError("puts() takes one string literal", expr.line)
+            addr, length = self._intern_string(expr.args[0].data + b"\n")
+            fd_write = self.imports_used["fd_write"]
+            return (
+                [
+                    Instr("i32.const", (SCRATCH_IOVEC,)),
+                    Instr("i32.const", (addr,)),
+                    Instr("i32.store", (2, 0)),
+                    Instr("i32.const", (SCRATCH_IOVEC + 4,)),
+                    Instr("i32.const", (length,)),
+                    Instr("i32.store", (2, 0)),
+                    Instr("i32.const", (1,)),
+                    Instr("i32.const", (SCRATCH_IOVEC,)),
+                    Instr("i32.const", (1,)),
+                    Instr("i32.const", (16,)),
+                    Instr("call", (fd_write,)),
+                    Instr("drop"),
+                ],
+                "void",
+            )
+        if name == "putd":
+            if len(expr.args) != 1:
+                raise CompileError("putd() takes one argument", expr.line)
+            code, ctype = self._emit_expr(expr.args[0])
+            code.extend(self._convert(ctype, "long", expr.line))
+            code.append(Instr("call", (self.funcs["__putd"].index,)))
+            return code, "void"
+        if name == "exit":
+            if len(expr.args) != 1:
+                raise CompileError("exit() takes one argument", expr.line)
+            code, ctype = self._emit_expr(expr.args[0])
+            code.extend(self._convert(ctype, "int", expr.line))
+            code.append(Instr("call", (self.imports_used["proc_exit"],)))
+            return code, "void"
+        if name == "env_int":
+            if (
+                len(expr.args) != 2
+                or not isinstance(expr.args[0], C.CStr)
+            ):
+                raise CompileError(
+                    'env_int() takes ("NAME", default)', expr.line
+                )
+            addr, length = self._intern_string(expr.args[0].data)
+            code, dt = self._emit_expr(expr.args[1])
+            prelude = [Instr("i32.const", (addr,)), Instr("i32.const", (length,))]
+            code = prelude + code + self._convert(dt, "long", expr.line)
+            code.append(Instr("call", (self.funcs["__env_int"].index,)))
+            return code, "long"
+        if name == "grow_pages":
+            if len(expr.args) != 1:
+                raise CompileError("grow_pages() takes one argument", expr.line)
+            code, ctype = self._emit_expr(expr.args[0])
+            code.extend(self._convert(ctype, "int", expr.line))
+            code.append(Instr("memory.grow"))
+            return code, "int"  # previous page count (or -1)
+        if name == "clock_ms":
+            if expr.args:
+                raise CompileError("clock_ms() takes no arguments", expr.line)
+            clock = self.imports_used["clock_time_get"]
+            return (
+                [
+                    Instr("i32.const", (1,)),  # monotonic
+                    Instr("i64.const", (1000,)),
+                    Instr("i32.const", (24,)),  # scratch result slot
+                    Instr("call", (clock,)),
+                    Instr("drop"),
+                    Instr("i32.const", (24,)),
+                    Instr("i64.load", (3, 0)),
+                    Instr("i64.const", (1_000_000,)),
+                    Instr("i64.div_u"),
+                ],
+                "long",
+            )
+        raise CompileError(f"unknown builtin {name!r}", expr.line)
+
+    # ==================================================================
+    # Synthesized helpers
+    # ==================================================================
+
+    def _emit_helper(self, name: str) -> None:
+        if name == "__putd":
+            self._emit_putd_helper()
+        elif name == "__env_int":
+            self._emit_env_int_helper()
+
+    def _emit_putd_helper(self) -> None:
+        """void __putd(i64 v): render signed decimal + '\\n' to stdout."""
+        from repro.wasm.wat.parser import parse_wat
+
+        helper = parse_wat(
+            f"""
+            (module
+              (import "{_WASI}" "fd_write"
+                (func $fd_write (param i32 i32 i32 i32) (result i32)))
+              (memory 1)
+              (func $__putd (param $v i64)
+                (local $p i32) (local $neg i32) (local $u i64)
+                (local.set $p (i32.const {SCRATCH_NUM + 30}))
+                ;; newline at the end
+                (i32.store8 (local.get $p) (i32.const 10))
+                (local.set $p (i32.sub (local.get $p) (i32.const 1)))
+                (local.set $neg (i64.lt_s (local.get $v) (i64.const 0)))
+                (local.set $u (select (i64.sub (i64.const 0) (local.get $v))
+                                      (local.get $v)
+                                      (local.get $neg)))
+                (block $done (loop $digits
+                  (i32.store8 (local.get $p)
+                    (i32.add (i32.const 48)
+                      (i32.wrap_i64 (i64.rem_u (local.get $u) (i64.const 10)))))
+                  (local.set $u (i64.div_u (local.get $u) (i64.const 10)))
+                  (local.set $p (i32.sub (local.get $p) (i32.const 1)))
+                  (br_if $done (i64.eqz (local.get $u)))
+                  (br $digits)))
+                (if (local.get $neg)
+                  (then
+                    (i32.store8 (local.get $p) (i32.const 45))
+                    (local.set $p (i32.sub (local.get $p) (i32.const 1)))))
+                ;; iovec: start = p+1, len = (SCRATCH_NUM+31) - p
+                (i32.store (i32.const {SCRATCH_IOVEC})
+                           (i32.add (local.get $p) (i32.const 1)))
+                (i32.store (i32.const {SCRATCH_IOVEC + 4})
+                           (i32.sub (i32.const {SCRATCH_NUM + 31})
+                                    (i32.add (local.get $p) (i32.const 1))))
+                (drop (call $fd_write (i32.const 1) (i32.const {SCRATCH_IOVEC})
+                                      (i32.const 1) (i32.const 16)))))
+            """
+        )
+        self._adopt_helper(helper, "__putd", {"fd_write": "fd_write"})
+
+    def _emit_env_int_helper(self) -> None:
+        """i64 __env_int(i32 name_ptr, i32 name_len, i64 default)."""
+        from repro.wasm.wat.parser import parse_wat
+
+        helper = parse_wat(
+            f"""
+            (module
+              (import "{_WASI}" "environ_sizes_get"
+                (func $environ_sizes_get (param i32 i32) (result i32)))
+              (import "{_WASI}" "environ_get"
+                (func $environ_get (param i32 i32) (result i32)))
+              (memory 1)
+              (func $__env_int (param $name i32) (param $len i32) (param $default i64)
+                                (result i64)
+                (local $count i32) (local $i i32) (local $p i32) (local $j i32)
+                (local $c i32) (local $acc i64) (local $neg i32)
+                (drop (call $environ_sizes_get (i32.const 16) (i32.const 20)))
+                (local.set $count (i32.load (i32.const 16)))
+                (drop (call $environ_get (i32.const {ENV_PTRS}) (i32.const {ENV_BUF})))
+                (block $out (result i64)
+                  (loop $entries
+                    (if (i32.ge_u (local.get $i) (local.get $count))
+                      (then (br $out (local.get $default))))
+                    (local.set $p (i32.load
+                      (i32.add (i32.const {ENV_PTRS})
+                               (i32.mul (local.get $i) (i32.const 4)))))
+                    ;; compare name bytes then '='
+                    (local.set $j (i32.const 0))
+                    (block $next
+                      (loop $cmp
+                        (if (i32.ge_u (local.get $j) (local.get $len))
+                          (then
+                            (if (i32.ne (i32.load8_u (i32.add (local.get $p) (local.get $j)))
+                                        (i32.const 61))
+                              (then (br $next)))
+                            ;; matched NAME= : parse decimal after it
+                            (local.set $p (i32.add (i32.add (local.get $p) (local.get $j))
+                                                   (i32.const 1)))
+                            (local.set $acc (i64.const 0))
+                            (local.set $neg (i32.const 0))
+                            (if (i32.eq (i32.load8_u (local.get $p)) (i32.const 45))
+                              (then
+                                (local.set $neg (i32.const 1))
+                                (local.set $p (i32.add (local.get $p) (i32.const 1)))))
+                            (block $endnum
+                              (loop $digit
+                                (local.set $c (i32.load8_u (local.get $p)))
+                                (br_if $endnum
+                                  (i32.or (i32.lt_u (local.get $c) (i32.const 48))
+                                          (i32.gt_u (local.get $c) (i32.const 57))))
+                                (local.set $acc
+                                  (i64.add (i64.mul (local.get $acc) (i64.const 10))
+                                           (i64.extend_i32_u
+                                             (i32.sub (local.get $c) (i32.const 48)))))
+                                (local.set $p (i32.add (local.get $p) (i32.const 1)))
+                                (br $digit)))
+                            (br $out (select (i64.sub (i64.const 0) (local.get $acc))
+                                             (local.get $acc)
+                                             (local.get $neg)))))
+                        (if (i32.ne (i32.load8_u (i32.add (local.get $p) (local.get $j)))
+                                    (i32.load8_u (i32.add (local.get $name) (local.get $j))))
+                          (then (br $next)))
+                        (local.set $j (i32.add (local.get $j) (i32.const 1)))
+                        (br $cmp)))
+                    (local.set $i (i32.add (local.get $i) (i32.const 1)))
+                    (br $entries))
+                  (unreachable))))
+            """
+        )
+        self._adopt_helper(
+            helper,
+            "__env_int",
+            {"environ_sizes_get": "environ_sizes_get", "environ_get": "environ_get"},
+        )
+
+    def _adopt_helper(self, helper_module: Module, name: str, import_map: Dict[str, str]) -> None:
+        """Graft a WAT-authored helper function into the output module,
+        remapping its imports onto the module's own import indices."""
+        func = helper_module.funcs[0]
+        # The helper references its own imports by local index; rebuild a
+        # mapping old-index -> our joint index.
+        remap: Dict[int, int] = {}
+        helper_import_idx = 0
+        for imp in helper_module.imports:
+            remap[helper_import_idx] = self.imports_used[import_map[imp.name]]
+            helper_import_idx += 1
+
+        def rewrite(body: List[Instr]) -> None:
+            for ins in body:
+                if ins.op == "call":
+                    old = ins.args[0]
+                    if old in remap:
+                        ins.args = (remap[old],)
+                    else:
+                        raise CompileError(
+                            f"helper {name} calls unexpected function {old}"
+                        )
+                rewrite(ins.body)
+                rewrite(ins.else_body)
+
+        rewrite(func.body)
+        sig = helper_module.types[func.type_idx]
+        func.type_idx = self.module.add_type(sig)
+        func.name = name
+        self.module.funcs.append(func)
+
+
+def generate_module(program: C.CProgram) -> Module:
+    return CodeGen(program).generate()

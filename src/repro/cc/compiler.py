@@ -1,0 +1,23 @@
+"""The compile pipeline: source text → validated wasm module/binary."""
+
+from __future__ import annotations
+
+from repro.cc.codegen import generate_module
+from repro.cc.parser import parse_c
+from repro.wasm.ast import Module
+from repro.wasm.encoder import encode_module
+from repro.wasm.names import attach_name_section
+from repro.wasm.validation import validate_module
+
+
+def compile_c(source: str) -> Module:
+    """Compile mini-C source into a validated wasm :class:`Module`."""
+    program = parse_c(source)
+    module = generate_module(program)
+    attach_name_section(module)
+    return validate_module(module)
+
+
+def compile_c_binary(source: str) -> bytes:
+    """Compile mini-C source straight to binary bytes."""
+    return encode_module(compile_c(source))

@@ -1,0 +1,172 @@
+"""Tokenizer for the mini-C subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import CompileError
+
+KEYWORDS = {
+    "int",
+    "long",
+    "void",
+    "if",
+    "else",
+    "while",
+    "for",
+    "return",
+    "break",
+    "continue",
+}
+
+# Multi-character operators first (maximal munch).
+OPERATORS = [
+    "<<=", ">>=",
+    "&&", "||", "==", "!=", "<=", ">=", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "++", "--",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!",
+    "<", ">", "=", "(", ")", "{", "}", ";", ",",
+]
+
+
+class Kind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OP = "op"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Tok:
+    kind: Kind
+    text: str
+    line: int
+    col: int
+    value: object = None  # int for numbers, bytes for strings
+
+    def is_op(self, *texts: str) -> bool:
+        return self.kind is Kind.OP and self.text in texts
+
+    def is_kw(self, *words: str) -> bool:
+        return self.kind is Kind.KEYWORD and self.text in words
+
+
+_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, '"': 34, "'": 39}
+
+
+def lex(source: str) -> List[Tok]:
+    toks: List[Tok] = []
+    i, line, col = 0, 1, 1
+    n = len(source)
+
+    def err(msg: str) -> CompileError:
+        return CompileError(msg, line, col)
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i, line, col = i + 1, line + 1, 1
+            continue
+        if ch in " \t\r":
+            i, col = i + 1, col + 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise err("unterminated block comment")
+            line += source.count("\n", i, end)
+            i = end + 2
+            col = 1
+            continue
+        if ch.isdigit():
+            start, start_col = i, col
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    i += 1
+                value = int(source[start:i], 16)
+            else:
+                while i < n and source[i].isdigit():
+                    i += 1
+                value = int(source[start:i])
+            is_long = False
+            if i < n and source[i] in "lL":
+                is_long = True
+                i += 1
+            text = source[start:i]
+            col += i - start
+            toks.append(Tok(Kind.NUMBER, text, line, start_col, (value, is_long)))
+            continue
+        if ch.isalpha() or ch == "_":
+            start, start_col = i, col
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            col += i - start
+            kind = Kind.KEYWORD if text in KEYWORDS else Kind.IDENT
+            toks.append(Tok(kind, text, line, start_col))
+            continue
+        if ch == '"':
+            start_col = col
+            i += 1
+            col += 1
+            buf = bytearray()
+            while True:
+                if i >= n:
+                    raise err("unterminated string literal")
+                c = source[i]
+                if c == '"':
+                    i += 1
+                    col += 1
+                    break
+                if c == "\n":
+                    raise err("newline in string literal")
+                if c == "\\":
+                    if i + 1 >= n or source[i + 1] not in _ESCAPES:
+                        raise err(f"bad escape \\{source[i + 1: i + 2]}")
+                    buf.append(_ESCAPES[source[i + 1]])
+                    i += 2
+                    col += 2
+                else:
+                    buf += c.encode("utf-8")
+                    i += 1
+                    col += 1
+            toks.append(Tok(Kind.STRING, "", line, start_col, bytes(buf)))
+            continue
+        if ch == "'":
+            start_col = col
+            if i + 2 < n and source[i + 1] == "\\" and source[i + 3] == "'":
+                esc = source[i + 2]
+                if esc not in _ESCAPES:
+                    raise err(f"bad char escape \\{esc}")
+                value = _ESCAPES[esc]
+                i += 4
+                col += 4
+            elif i + 2 < n and source[i + 2] == "'":
+                value = ord(source[i + 1])
+                i += 3
+                col += 3
+            else:
+                raise err("bad character literal")
+            toks.append(Tok(Kind.NUMBER, "'c'", line, start_col, (value, False)))
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                toks.append(Tok(Kind.OP, op, line, col))
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            raise err(f"unexpected character {ch!r}")
+
+    toks.append(Tok(Kind.EOF, "", line, col))
+    return toks

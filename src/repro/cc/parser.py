@@ -1,0 +1,310 @@
+"""Recursive-descent parser for the mini-C subset."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cc import cast as C
+from repro.cc.lexer import Kind, Tok, lex
+from repro.errors import CompileError
+
+# Binary operator precedence (higher binds tighter). Logical ops are
+# handled structurally for short-circuiting but share this table.
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+
+class Parser:
+    def __init__(self, source: str) -> None:
+        self.toks = lex(source)
+        self.pos = 0
+
+    # -- cursor ------------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Tok:
+        return self.toks[min(self.pos + ahead, len(self.toks) - 1)]
+
+    def next(self) -> Tok:
+        tok = self.peek()
+        self.pos += 1
+        return tok
+
+    def expect_op(self, text: str) -> Tok:
+        tok = self.next()
+        if not tok.is_op(text):
+            raise CompileError(f"expected {text!r}, got {tok.text!r}", tok.line, tok.col)
+        return tok
+
+    def expect_ident(self) -> Tok:
+        tok = self.next()
+        if tok.kind is not Kind.IDENT:
+            raise CompileError(f"expected identifier, got {tok.text!r}", tok.line, tok.col)
+        return tok
+
+    # -- program -------------------------------------------------------------
+
+    def parse_program(self) -> C.CProgram:
+        program = C.CProgram()
+        while self.peek().kind is not Kind.EOF:
+            tok = self.peek()
+            if not tok.is_kw("int", "long", "void"):
+                raise CompileError(
+                    f"expected declaration, got {tok.text!r}", tok.line, tok.col
+                )
+            ctype = self.next().text
+            name = self.expect_ident()
+            if self.peek().is_op("("):
+                program.functions.append(self._function(ctype, name))
+            else:
+                program.globals.append(self._global(ctype, name))
+        return program
+
+    def _global(self, ctype: str, name: Tok) -> C.CGlobal:
+        if ctype == "void":
+            raise CompileError("global cannot be void", name.line, name.col)
+        init = 0
+        if self.peek().is_op("="):
+            self.next()
+            init = self._const_int()
+        self.expect_op(";")
+        return C.CGlobal(ctype=ctype, name=name.text, init=init, line=name.line)
+
+    def _const_int(self) -> int:
+        neg = False
+        if self.peek().is_op("-"):
+            self.next()
+            neg = True
+        tok = self.next()
+        if tok.kind is not Kind.NUMBER:
+            raise CompileError("global initializer must be a constant", tok.line, tok.col)
+        value, _is_long = tok.value  # type: ignore[misc]
+        return -value if neg else value
+
+    def _function(self, ret: str, name: Tok) -> C.CFunc:
+        self.expect_op("(")
+        params: List[C.CParam] = []
+        if self.peek().is_kw("void") and self.peek(1).is_op(")"):
+            self.next()
+        while not self.peek().is_op(")"):
+            ptype = self.next()
+            if not ptype.is_kw("int", "long"):
+                raise CompileError(
+                    f"parameter type must be int/long, got {ptype.text!r}",
+                    ptype.line,
+                    ptype.col,
+                )
+            pname = self.expect_ident()
+            params.append(C.CParam(ctype=ptype.text, name=pname.text))
+            if self.peek().is_op(","):
+                self.next()
+        self.expect_op(")")
+        body = self._block()
+        return C.CFunc(ret=ret, name=name.text, params=params, body=body, line=name.line)
+
+    # -- statements --------------------------------------------------------------
+
+    def _block(self) -> C.CBlock:
+        open_tok = self.expect_op("{")
+        block = C.CBlock(line=open_tok.line)
+        while not self.peek().is_op("}"):
+            if self.peek().kind is Kind.EOF:
+                raise CompileError("unterminated block", open_tok.line, open_tok.col)
+            block.statements.append(self._statement())
+        self.next()  # }
+        return block
+
+    def _statement(self):
+        tok = self.peek()
+        if tok.is_op("{"):
+            return self._block()
+        if tok.is_kw("int", "long"):
+            return self._declaration()
+        if tok.is_kw("if"):
+            return self._if()
+        if tok.is_kw("while"):
+            return self._while()
+        if tok.is_kw("for"):
+            return self._for()
+        if tok.is_kw("return"):
+            self.next()
+            value = None
+            if not self.peek().is_op(";"):
+                value = self._expression()
+            self.expect_op(";")
+            return C.CReturn(value=value, line=tok.line)
+        if tok.is_kw("break"):
+            self.next()
+            self.expect_op(";")
+            return C.CBreak(line=tok.line)
+        if tok.is_kw("continue"):
+            self.next()
+            self.expect_op(";")
+            return C.CContinue(line=tok.line)
+        if tok.is_op(";"):
+            self.next()
+            return C.CBlock(line=tok.line)  # empty statement
+        expr = self._expression()
+        self.expect_op(";")
+        return C.CExprStmt(expr=expr, line=tok.line)
+
+    def _declaration(self) -> C.CDecl:
+        ctype = self.next().text
+        name = self.expect_ident()
+        init = None
+        if self.peek().is_op("="):
+            self.next()
+            init = self._expression()
+        self.expect_op(";")
+        return C.CDecl(ctype=ctype, name=name.text, init=init, line=name.line)
+
+    def _if(self) -> C.CIf:
+        tok = self.next()
+        self.expect_op("(")
+        cond = self._expression()
+        self.expect_op(")")
+        then = self._statement_as_block()
+        otherwise = None
+        if self.peek().is_kw("else"):
+            self.next()
+            otherwise = self._statement_as_block()
+        return C.CIf(cond=cond, then=then, otherwise=otherwise, line=tok.line)
+
+    def _while(self) -> C.CWhile:
+        tok = self.next()
+        self.expect_op("(")
+        cond = self._expression()
+        self.expect_op(")")
+        return C.CWhile(cond=cond, body=self._statement_as_block(), line=tok.line)
+
+    def _for(self) -> C.CFor:
+        tok = self.next()
+        self.expect_op("(")
+        init = None
+        if not self.peek().is_op(";"):
+            if self.peek().is_kw("int", "long"):
+                init = self._declaration()  # consumes its ';'
+            else:
+                expr = self._expression()
+                self.expect_op(";")
+                init = C.CExprStmt(expr=expr, line=tok.line)
+        else:
+            self.next()
+        cond = None
+        if not self.peek().is_op(";"):
+            cond = self._expression()
+        self.expect_op(";")
+        step = None
+        if not self.peek().is_op(")"):
+            step = self._expression()
+        self.expect_op(")")
+        return C.CFor(init=init, cond=cond, step=step,
+                      body=self._statement_as_block(), line=tok.line)
+
+    def _statement_as_block(self) -> C.CBlock:
+        stmt = self._statement()
+        if isinstance(stmt, C.CBlock):
+            return stmt
+        return C.CBlock(statements=[stmt], line=getattr(stmt, "line", 0))
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _expression(self):
+        return self._assignment()
+
+    def _assignment(self):
+        # Lookahead: IDENT assign-op ...
+        tok = self.peek()
+        if tok.kind is Kind.IDENT and self.peek(1).kind is Kind.OP and self.peek(1).text in _ASSIGN_OPS:
+            name = self.next()
+            op = self.next().text
+            value = self._assignment()
+            return C.CAssign(name=name.text, value=value, op=op, line=name.line)
+        return self._binary(1)
+
+    def _binary(self, min_prec: int):
+        left = self._unary()
+        while True:
+            tok = self.peek()
+            if tok.kind is not Kind.OP:
+                return left
+            prec = _PRECEDENCE.get(tok.text)
+            if prec is None or prec < min_prec:
+                return left
+            self.next()
+            right = self._binary(prec + 1)
+            left = C.CBinary(op=tok.text, left=left, right=right, line=tok.line)
+
+    def _unary(self):
+        tok = self.peek()
+        if tok.is_op("-", "!", "~"):
+            self.next()
+            return C.CUnary(op=tok.text, operand=self._unary(), line=tok.line)
+        if tok.is_op("+"):
+            self.next()
+            return self._unary()
+        if tok.is_op("++", "--"):
+            # Prefix inc/dec sugar: ++x -> (x += 1)
+            self.next()
+            name = self.expect_ident()
+            return C.CAssign(
+                name=name.text,
+                value=C.CNum(1, "int", tok.line),
+                op="+=" if tok.text == "++" else "-=",
+                line=tok.line,
+            )
+        return self._postfix()
+
+    def _postfix(self):
+        expr = self._primary()
+        tok = self.peek()
+        if tok.is_op("++", "--") and isinstance(expr, C.CVar):
+            # Statement-position postfix inc/dec (value semantics of the
+            # pre-increment form; fine for the supported subset).
+            self.next()
+            return C.CAssign(
+                name=expr.name,
+                value=C.CNum(1, "int", tok.line),
+                op="+=" if tok.text == "++" else "-=",
+                line=tok.line,
+            )
+        return expr
+
+    def _primary(self):
+        tok = self.next()
+        if tok.kind is Kind.NUMBER:
+            value, is_long = tok.value  # type: ignore[misc]
+            return C.CNum(value=value, ctype="long" if is_long else "int", line=tok.line)
+        if tok.kind is Kind.STRING:
+            return C.CStr(data=tok.value, line=tok.line)  # type: ignore[arg-type]
+        if tok.kind is Kind.IDENT:
+            if self.peek().is_op("("):
+                self.next()
+                args = []
+                while not self.peek().is_op(")"):
+                    args.append(self._expression())
+                    if self.peek().is_op(","):
+                        self.next()
+                self.expect_op(")")
+                return C.CCall(name=tok.text, args=args, line=tok.line)
+            return C.CVar(name=tok.text, line=tok.line)
+        if tok.is_op("("):
+            expr = self._expression()
+            self.expect_op(")")
+            return expr
+        raise CompileError(f"unexpected token {tok.text!r}", tok.line, tok.col)
+
+
+def parse_c(source: str) -> C.CProgram:
+    return Parser(source).parse_program()

@@ -1,0 +1,239 @@
+"""Command-line interface.
+
+Subcommands mirror the tools a user of the real system would reach for:
+
+* ``wat2wasm`` / ``wasm2wat`` / ``validate`` — the Wasm toolchain,
+* ``run`` — execute a module under WASI (the engines' code path),
+* ``deploy`` — a deployment experiment on the simulated testbed,
+* ``figures`` — regenerate the paper's tables/figures.
+
+Usable as ``python -m repro <cmd>`` or the ``repro`` console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+
+
+def _cmd_wat2wasm(args: argparse.Namespace) -> int:
+    from repro.wasm import assemble_wat
+
+    source = pathlib.Path(args.input).read_text()
+    blob = assemble_wat(source, validate=not args.no_validate)
+    out = pathlib.Path(args.output or pathlib.Path(args.input).with_suffix(".wasm"))
+    out.write_bytes(blob)
+    print(f"wrote {len(blob)} bytes to {out}")
+    return 0
+
+
+def _cmd_wasm2wat(args: argparse.Namespace) -> int:
+    from repro.wasm import decode_module
+    from repro.wasm.names import apply_name_section
+    from repro.wasm.wat import print_wat
+
+    module = apply_name_section(decode_module(pathlib.Path(args.input).read_bytes()))
+    text = print_wat(module)
+    if args.output:
+        pathlib.Path(args.output).write_text(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_cc(args: argparse.Namespace) -> int:
+    from repro.cc import compile_c_binary
+
+    source = pathlib.Path(args.input).read_text()
+    blob = compile_c_binary(source)
+    out = pathlib.Path(args.output or pathlib.Path(args.input).with_suffix(".wasm"))
+    out.write_bytes(blob)
+    print(f"compiled {args.input} -> {out} ({len(blob)} bytes)")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.wasm import decode_module, parse_wat, validate_module
+
+    path = pathlib.Path(args.input)
+    if path.suffix == ".wat":
+        module = parse_wat(path.read_text())
+    else:
+        module = decode_module(path.read_bytes())
+    validate_module(module)
+    print(
+        f"{path}: valid — {module.total_funcs()} functions "
+        f"({module.num_imported_funcs()} imported), "
+        f"{len(module.exports)} exports, {module.code_size()} instructions"
+    )
+    return 0
+
+
+def _load_module_bytes(path: pathlib.Path) -> bytes:
+    if path.suffix == ".wat":
+        from repro.wasm import assemble_wat
+
+        return assemble_wat(path.read_text())
+    if path.suffix == ".c":
+        from repro.cc import compile_c_binary
+
+        return compile_c_binary(path.read_text())
+    return path.read_bytes()
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.wasm.embed import run_wasi
+
+    blob = _load_module_bytes(pathlib.Path(args.input))
+    env = {}
+    for item in args.env or []:
+        key, _, value = item.partition("=")
+        env[key] = value
+    result = run_wasi(
+        blob,
+        args=[args.input, *(args.args or [])],
+        env=env,
+        fuel=args.fuel,
+    )
+    sys.stdout.write(result.stdout.decode("utf-8", "replace"))
+    sys.stderr.write(result.stderr.decode("utf-8", "replace"))
+    if args.stats:
+        print(
+            f"[exit={result.exit_code} instructions={result.instructions} "
+            f"linear-memory={result.memory_bytes}B]",
+            file=sys.stderr,
+        )
+    return result.exit_code
+
+
+def _cmd_deploy(args: argparse.Namespace) -> int:
+    from repro.measure.experiment import ExperimentRunner
+
+    m = ExperimentRunner(seed=args.seed).run(args.config, args.count)
+    print(f"config:            {m.config}")
+    print(f"containers:        {m.count} (ready: {m.ready_fraction:.0%})")
+    print(f"memory (metrics):  {m.metrics_mib:.2f} MiB/container")
+    print(f"memory (free):     {m.free_mib:.2f} MiB/container")
+    print(f"startup makespan:  {m.startup_seconds:.2f} s")
+    if args.phases:
+        print("phase means:")
+        for phase, seconds in sorted(m.phase_means.items()):
+            print(f"  {phase:22s} {seconds * 1000:8.1f} ms")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.measure.campaign import render_campaign, run_campaign
+
+    result = run_campaign(seed=args.seed)
+    print(render_campaign(result))
+    return 0 if result.all_hold() else 1
+
+
+_FIGURES = {
+    "table1": ("table1_software_stack", "render_table1"),
+    "table2": ("table2_experiments_overview", "render_table2"),
+    "fig3": ("fig3_crun_memory_metrics", "render_series"),
+    "fig4": ("fig4_crun_memory_free", "render_series"),
+    "fig5": ("fig5_runwasi_memory_free", "render_series"),
+    "fig6": ("fig6_python_memory_metrics", "render_series"),
+    "fig7": ("fig7_python_memory_free", "render_series"),
+    "fig8": ("fig8_startup_10", "render_series"),
+    "fig9": ("fig9_startup_400", "render_series"),
+    "fig10": ("fig10_overview", "render_series"),
+}
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.measure import figures as figmod
+    from repro.measure import report as repmod
+
+    targets = args.ids or list(_FIGURES)
+    for fig_id in targets:
+        if fig_id not in _FIGURES:
+            print(f"unknown figure {fig_id!r}; known: {', '.join(_FIGURES)}",
+                  file=sys.stderr)
+            return 2
+        gen_name, render_name = _FIGURES[fig_id]
+        generator = getattr(figmod, gen_name)
+        renderer = getattr(repmod, render_name)
+        data = generator() if fig_id.startswith("table") else generator(seed=args.seed)
+        print(renderer(data))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Memory Efficient WebAssembly Containers — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("wat2wasm", help="assemble WAT text to a binary module")
+    p.add_argument("input")
+    p.add_argument("-o", "--output")
+    p.add_argument("--no-validate", action="store_true")
+    p.set_defaults(func=_cmd_wat2wasm)
+
+    p = sub.add_parser("wasm2wat", help="disassemble a binary module to WAT")
+    p.add_argument("input")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=_cmd_wasm2wat)
+
+    p = sub.add_parser("cc", help="compile mini-C source to a wasm module")
+    p.add_argument("input")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=_cmd_cc)
+
+    p = sub.add_parser("validate", help="validate a .wasm or .wat module")
+    p.add_argument("input")
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("run", help="run a module under WASI")
+    p.add_argument("input", help=".wasm or .wat file")
+    p.add_argument("args", nargs="*", help="guest argv[1:]")
+    p.add_argument("--env", action="append", metavar="K=V")
+    p.add_argument("--fuel", type=int, default=None)
+    p.add_argument("--stats", action="store_true")
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("deploy", help="run a deployment experiment")
+    p.add_argument("--config", default="crun-wamr")
+    p.add_argument("-n", "--count", type=int, default=10)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--phases", action="store_true", help="show phase breakdown")
+    p.set_defaults(func=_cmd_deploy)
+
+    p = sub.add_parser("campaign", help="run the full §IV campaign and summary")
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser("figures", help="regenerate paper tables/figures")
+    p.add_argument("ids", nargs="*", metavar="FIG", help="e.g. fig3 fig9 (default: all)")
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_figures)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

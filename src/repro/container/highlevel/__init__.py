@@ -1,0 +1,15 @@
+"""High-level container runtime: containerd, shims, runwasi, CRI."""
+
+from repro.container.highlevel.shim import spawn_runc_shim, spawn_pause
+from repro.container.highlevel.runwasi import RunwasiShim
+from repro.container.highlevel.containerd import Containerd, PodHandle
+from repro.container.highlevel.cri import CRIService
+
+__all__ = [
+    "spawn_runc_shim",
+    "spawn_pause",
+    "RunwasiShim",
+    "Containerd",
+    "PodHandle",
+    "CRIService",
+]

@@ -1,0 +1,37 @@
+"""Shim and sandbox helper processes.
+
+``containerd-shim-runc-v2`` decouples container processes from the
+containerd daemon: one shim per pod, living in containerd's cgroup — so
+the metrics server never charges it to the pod, while ``free`` sees it.
+The pause process anchors the pod's namespaces and *is* inside the pod
+cgroup.
+"""
+
+from __future__ import annotations
+
+from repro.container import constants as C
+from repro.container.nodeenv import NodeEnv
+from repro.sim.process import SimProcess
+
+
+def spawn_runc_shim(env: NodeEnv, pod_uid: str, for_runc: bool = False) -> SimProcess:
+    """One containerd-shim-runc-v2 per pod (crun and runC paths)."""
+    proc = env.memory.spawn(
+        f"containerd-shim-runc-v2:{pod_uid[:8]}",
+        cgroup="/system.slice/containerd",
+        start_time=env.kernel.now,
+    )
+    private = C.RUNC_SHIM_PRIVATE_RUNC if for_runc else C.RUNC_SHIM_PRIVATE
+    env.memory.map_private(proc, private, label="shim-heap")
+    env.memory.map_file(proc, C.RUNC_SHIM_TEXT_FILE, C.RUNC_SHIM_TEXT, label="shim-text")
+    return proc
+
+
+def spawn_pause(env: NodeEnv, pod_uid: str, cgroup: str) -> SimProcess:
+    """The pod's pause container process."""
+    proc = env.memory.spawn(
+        f"pause:{pod_uid[:8]}", cgroup=cgroup, start_time=env.kernel.now
+    )
+    env.memory.map_private(proc, C.PAUSE_PRIVATE, label="pause-heap")
+    env.memory.map_file(proc, C.PAUSE_TEXT_FILE, C.PAUSE_TEXT, label="pause-text")
+    return proc

@@ -1,0 +1,64 @@
+"""OCI container lifecycle state machine.
+
+The runtime spec defines the states ``creating → created → running →
+stopped`` with ``create``/``start``/``kill``/``delete`` operations; every
+low-level runtime and runwasi shim here drives its containers through this
+one implementation so lifecycle bugs can't diverge per runtime.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import InvalidTransition
+from repro.sim.process import SimProcess
+
+
+class ContainerState(enum.Enum):
+    CREATING = "creating"
+    CREATED = "created"
+    RUNNING = "running"
+    STOPPED = "stopped"
+    DELETED = "deleted"
+
+
+_ALLOWED = {
+    (ContainerState.CREATING, ContainerState.CREATED),
+    (ContainerState.CREATED, ContainerState.RUNNING),
+    (ContainerState.CREATED, ContainerState.STOPPED),  # kill before start
+    (ContainerState.RUNNING, ContainerState.STOPPED),
+    (ContainerState.STOPPED, ContainerState.DELETED),
+}
+
+
+@dataclass
+class Container:
+    """One container as the runtimes see it."""
+
+    container_id: str
+    pod_uid: str
+    runtime_config: str  # e.g. "crun-wamr"
+    cgroup: str
+    state: ContainerState = ContainerState.CREATING
+    processes: List[SimProcess] = field(default_factory=list)
+    created_at: float = 0.0
+    started_at: Optional[float] = None
+    exec_started_at: Optional[float] = None  # workload's first instruction
+    stopped_at: Optional[float] = None
+    exit_code: Optional[int] = None
+    stdout: bytes = b""
+    stderr: bytes = b""
+    facts: Dict[str, object] = field(default_factory=dict)  # engine metrics etc.
+
+    def transition(self, new_state: ContainerState) -> None:
+        if (self.state, new_state) not in _ALLOWED:
+            raise InvalidTransition(
+                f"container {self.container_id}: {self.state.value} -> {new_state.value}"
+            )
+        self.state = new_state
+
+    @property
+    def is_running(self) -> bool:
+        return self.state is ContainerState.RUNNING

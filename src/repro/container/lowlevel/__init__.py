@@ -1,0 +1,16 @@
+"""Low-level OCI runtimes: runC, crun (with wasm handlers), youki."""
+
+from repro.container.lowlevel.base import OCIRuntimeBase, WasmHandler, RuntimeInfo
+from repro.container.lowlevel.runc import RuncRuntime
+from repro.container.lowlevel.crun import CrunRuntime, EmbeddedEngineHandler
+from repro.container.lowlevel.youki import YoukiRuntime
+
+__all__ = [
+    "OCIRuntimeBase",
+    "WasmHandler",
+    "RuntimeInfo",
+    "RuncRuntime",
+    "CrunRuntime",
+    "EmbeddedEngineHandler",
+    "YoukiRuntime",
+]

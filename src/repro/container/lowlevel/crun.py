@@ -1,0 +1,78 @@
+"""crun: the lightweight C OCI runtime with pluggable wasm handlers.
+
+crun's upstream wasm support links an engine's embedder API into the
+container process; :class:`EmbeddedEngineHandler` models that path for
+Wasmtime, Wasmer, and WasmEdge: the library is loaded *eagerly* at
+container creation and the full engine is built per container. The
+paper's contribution (:mod:`repro.core.wamr_handler`) replaces this with
+a lazily-loaded WAMR.
+"""
+
+from __future__ import annotations
+
+from repro.container import constants as C
+from repro.container.lifecycle import Container
+from repro.container.lowlevel.base import OCIRuntimeBase, RuntimeInfo
+from repro.container.nodeenv import NodeEnv
+from repro.engines.base import WasmEngine
+from repro.engines.cache import run_cached
+from repro.oci.annotations import is_wasm_image
+from repro.oci.bundle import Bundle
+from repro.sim.process import SimProcess
+
+
+class CrunRuntime(OCIRuntimeBase):
+    def __init__(self) -> None:
+        super().__init__(
+            RuntimeInfo(
+                name="crun",
+                text_file=C.CRUN_TEXT_FILE,
+                text_size=C.CRUN_TEXT,
+                child_private=C.CRUN_CHILD_PRIVATE,
+            )
+        )
+
+    def supports_handlers(self) -> bool:
+        return True
+
+
+class EmbeddedEngineHandler:
+    """Upstream-style crun wasm handler: eager engine embedding."""
+
+    def __init__(self, engine: WasmEngine) -> None:
+        self.engine = engine
+        self.name = f"crun-{engine.name}"
+
+    def matches(self, bundle: Bundle) -> bool:
+        return is_wasm_image(bundle.image)
+
+    def execute(
+        self, env: NodeEnv, container: Container, bundle: Bundle, proc: SimProcess
+    ) -> float:
+        blob = bundle.read_file(bundle.spec.process.args[0])
+        compiled, result = run_cached(
+            self.engine,
+            blob,
+            args=bundle.spec.process.args,
+            env=bundle.spec.process.env,
+        )
+
+        # Memory: the crun process stays alive hosting the engine.
+        private = C.CRUN_CHILD_PRIVATE + self.engine.embedded_private_bytes(
+            compiled, result.linear_memory_bytes
+        )
+        private += int(env.jitter(f"wasmmem/{container.container_id}", C.MEMORY_JITTER))
+        env.memory.map_private(proc, private, label=f"{self.name}-rss")
+        env.memory.map_file(proc, C.CRUN_TEXT_FILE, C.CRUN_TEXT, label="crun-text")
+        env.memory.map_file(
+            proc, self.engine.profile.lib_file, self.engine.profile.lib_text,
+            label=f"{self.engine.name}-lib",
+        )
+
+        container.stdout = result.stdout
+        container.stderr = result.stderr
+        container.exit_code = result.exit_code
+        container.facts["engine"] = self.engine.name
+        container.facts["instructions"] = result.instructions
+        container.facts["linear_memory"] = result.linear_memory_bytes
+        return result.exec_seconds

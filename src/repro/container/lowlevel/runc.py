@@ -1,0 +1,23 @@
+"""runC: the default Kubernetes low-level runtime (no wasm handlers)."""
+
+from __future__ import annotations
+
+from repro.container import constants as C
+from repro.container.lowlevel.base import OCIRuntimeBase, RuntimeInfo
+
+
+class RuncRuntime(OCIRuntimeBase):
+    """Go-based reference OCI runtime; native workloads only."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            RuntimeInfo(
+                name="runc",
+                text_file=C.RUNC_TEXT_FILE,
+                text_size=C.RUNC_TEXT,
+                child_private=0,  # runC execs and exits; nothing remains
+            )
+        )
+
+    def supports_handlers(self) -> bool:
+        return False

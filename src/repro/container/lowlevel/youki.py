@@ -1,0 +1,27 @@
+"""youki: Rust OCI runtime; supports wasm handlers like crun.
+
+Included for completeness of Figure 1's runtime matrix (and for the
+multi-runtime ablation benchmarks); it shares crun's handler mechanism
+with a slightly heavier retained process.
+"""
+
+from __future__ import annotations
+
+from repro.container import constants as C
+from repro.container.lowlevel.base import OCIRuntimeBase, RuntimeInfo
+from repro.sim.memory import MIB
+
+
+class YoukiRuntime(OCIRuntimeBase):
+    def __init__(self) -> None:
+        super().__init__(
+            RuntimeInfo(
+                name="youki",
+                text_file="bin/youki",
+                text_size=int(5.0 * MIB),
+                child_private=int(1.1 * MIB),
+            )
+        )
+
+    def supports_handlers(self) -> bool:
+        return True

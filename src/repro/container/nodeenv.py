@@ -1,0 +1,103 @@
+"""Shared per-node environment handed to every runtime component."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.oci.store import ImageStore
+from repro.sim.cpu import CpuModel
+from repro.sim.kernel import Kernel, Resource
+from repro.sim.memory import SystemMemoryModel
+from repro.sim.process import SimProcess
+from repro.sim.rng import RngStreams
+from repro.sim.trace import Tracer
+from repro.container import constants as C
+
+
+@dataclass
+class NodeEnv:
+    """Everything container runtimes need from "the machine".
+
+    One instance per worker node; built by
+    :func:`repro.k8s.cluster.build_cluster`.
+    """
+
+    kernel: Kernel
+    memory: SystemMemoryModel
+    cpu: CpuModel
+    cpu_queue: Resource
+    serial_lock: Resource
+    rng: RngStreams
+    images: ImageStore
+    containers_created: int = 0
+    containerd_proc: Optional[SimProcess] = None
+    tracer: Tracer = None  # type: ignore[assignment]  # set in create()
+    _containerd_heap_key: Optional[str] = None
+
+    @classmethod
+    def create(
+        cls,
+        kernel: Kernel,
+        memory: SystemMemoryModel,
+        cpu: Optional[CpuModel] = None,
+        rng: Optional[RngStreams] = None,
+        images: Optional[ImageStore] = None,
+    ) -> "NodeEnv":
+        cpu = cpu or CpuModel()
+        env = cls(
+            kernel=kernel,
+            memory=memory,
+            cpu=cpu,
+            cpu_queue=cpu.make_run_queue(),
+            serial_lock=Resource(1, name="node-serial"),
+            rng=rng or RngStreams(0),
+            images=images or ImageStore(memory=memory),
+            tracer=Tracer(),
+        )
+        env._boot_daemons()
+        return env
+
+    def _boot_daemons(self) -> None:
+        """Bring up the node's resident daemons (containerd)."""
+        proc = self.memory.spawn("containerd", cgroup="/system.slice/containerd")
+        self.memory.map_private(proc, C.CONTAINERD_BASE, label="containerd-heap")
+        self.memory.map_file(
+            proc, C.CONTAINERD_TEXT_FILE, C.CONTAINERD_TEXT, label="containerd-text"
+        )
+        kubelet = self.memory.spawn("kubelet", cgroup="/system.slice/kubelet")
+        self.memory.map_private(kubelet, C.KUBELET_BASE, label="kubelet-heap")
+        self.containerd_proc = proc
+        self._containerd_heap_key = "containerd-growth"
+        self.memory.map_private(proc, 0, label="containerd-growth")
+        # map_private generated a key; find it for later resizing.
+        for key, seg in proc.segments.items():
+            if seg.label == "containerd-growth":
+                self._containerd_heap_key = key
+                break
+
+    # -- per-pod bookkeeping -------------------------------------------------
+
+    def note_pod_created(self) -> None:
+        """Apply per-pod daemon + kernel growth (the `free`-only costs)."""
+        self.memory.add_kernel_overhead(C.KERNEL_PER_POD)
+        assert self.containerd_proc is not None and self._containerd_heap_key
+        seg = self.containerd_proc.segments[self._containerd_heap_key]
+        seg.size += C.CONTAINERD_GROWTH_PER_POD
+
+    def note_pod_removed(self) -> None:
+        self.memory.remove_kernel_overhead(C.KERNEL_PER_POD)
+        assert self.containerd_proc is not None and self._containerd_heap_key
+        seg = self.containerd_proc.segments[self._containerd_heap_key]
+        seg.size = max(0, seg.size - C.CONTAINERD_GROWTH_PER_POD)
+
+    def pressure(self) -> float:
+        """Current startup-work pressure multiplier."""
+        live = sum(1 for _ in self.memory.processes())
+        return self.cpu.pressure_factor(live, self.memory.node_working_set())
+
+    def clock_ns(self) -> int:
+        return int(self.kernel.now * 1e9)
+
+    def jitter(self, stream: str, scale: float) -> float:
+        return self.rng.jitter(stream, scale)

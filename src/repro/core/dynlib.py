@@ -1,0 +1,41 @@
+"""Dynamic library loading model (``dlopen`` semantics).
+
+Tracks which shared objects are loaded per node. The first load of a
+library pages its text in (a latency cost under the loader lock); later
+loads by other processes reuse the resident text — the node-wide memory
+model already shares ``FILE_TEXT`` segments, this class adds the *laziness*:
+no wasm container ⇒ ``libiwasm`` never mapped, matching §III-C(1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro.sim.memory import SystemMemoryModel
+from repro.sim.process import SimProcess
+
+
+@dataclass
+class DynamicLibraryLoader:
+    """Per-node dlopen bookkeeping."""
+
+    memory: SystemMemoryModel
+    #: seconds to relocate+bind a library on first load, per MiB of text
+    first_load_s_per_mib: float = 0.004
+    #: seconds for a warm dlopen (already resident)
+    warm_load_s: float = 0.0015
+    _loaded: Set[str] = field(default_factory=set)
+    load_count: Dict[str, int] = field(default_factory=dict)
+
+    def is_loaded(self, file_key: str) -> bool:
+        return file_key in self._loaded
+
+    def dlopen(self, proc: SimProcess, file_key: str, text_size: int, label: str = "") -> float:
+        """Map ``file_key`` into ``proc``; returns the load latency."""
+        self.memory.map_file(proc, file_key, text_size, label=label or file_key)
+        self.load_count[file_key] = self.load_count.get(file_key, 0) + 1
+        if file_key in self._loaded:
+            return self.warm_load_s
+        self._loaded.add(file_key)
+        return self.first_load_s_per_mib * (text_size / (1024 * 1024))

@@ -1,0 +1,116 @@
+"""Assembly of the modified crun and the runtime-configuration table.
+
+``build_crun_with_wamr`` produces the artifact the paper ships: a crun
+whose wasm handler is WAMR. The configuration ids used across the
+benchmark campaign (Table II reconstruction) are defined here so every
+layer (kubelet RuntimeClass, containerd dispatch, figure generators)
+shares one vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.container.lowlevel.crun import CrunRuntime, EmbeddedEngineHandler
+from repro.core.dynlib import DynamicLibraryLoader
+from repro.core.wamr_handler import WamrCrunHandler
+from repro.engines.registry import get_engine
+from repro.sim.memory import SystemMemoryModel
+
+#: our configuration's id, used throughout figures and RuntimeClasses
+CRUN_WAMR_CONFIG = "crun-wamr"
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """One row of the evaluation matrix."""
+
+    config_id: str  # e.g. "crun-wamr"
+    family: str  # "crun" | "runc" | "runwasi"
+    engine: Optional[str]  # wasm engine name, None for native
+    workload: str  # "wasm" | "python"
+    is_ours: bool = False
+
+
+#: The nine benchmarked configurations (paper Table II + §IV).
+RUNTIME_CONFIGS: Dict[str, RuntimeConfig] = {
+    c.config_id: c
+    for c in (
+        RuntimeConfig("crun-wamr", "crun", "wamr", "wasm", is_ours=True),
+        RuntimeConfig("crun-wasmtime", "crun", "wasmtime", "wasm"),
+        RuntimeConfig("crun-wasmer", "crun", "wasmer", "wasm"),
+        RuntimeConfig("crun-wasmedge", "crun", "wasmedge", "wasm"),
+        RuntimeConfig("shim-wasmtime", "runwasi", "wasmtime", "wasm"),
+        RuntimeConfig("shim-wasmer", "runwasi", "wasmer", "wasm"),
+        RuntimeConfig("shim-wasmedge", "runwasi", "wasmedge", "wasm"),
+        RuntimeConfig("crun-python", "crun", None, "python"),
+        RuntimeConfig("runc-python", "runc", None, "python"),
+    )
+}
+
+#: Extension configurations for the ablation study (DESIGN.md §7):
+#: WAMR in AOT mode, and our handler with library sharing disabled.
+ABLATION_CONFIGS: Dict[str, RuntimeConfig] = {
+    c.config_id: c
+    for c in (
+        RuntimeConfig("crun-wamr-aot", "crun", "wamr-aot", "wasm"),
+        RuntimeConfig("crun-wamr-static", "crun", "wamr", "wasm"),
+        # Handler portability: the same WAMR handler hosted by youki.
+        RuntimeConfig("youki-wamr", "crun", "wamr", "wasm"),
+    )
+}
+
+WASM_CONFIGS = [c for c in RUNTIME_CONFIGS if RUNTIME_CONFIGS[c].workload == "wasm"]
+CRUN_WASM_CONFIGS = [
+    c
+    for c, cfg in RUNTIME_CONFIGS.items()
+    if cfg.family == "crun" and cfg.workload == "wasm"
+]
+RUNWASI_CONFIGS = [c for c, cfg in RUNTIME_CONFIGS.items() if cfg.family == "runwasi"]
+PYTHON_CONFIGS = [c for c, cfg in RUNTIME_CONFIGS.items() if cfg.workload == "python"]
+
+
+def build_crun_with_wamr(
+    memory: Optional[SystemMemoryModel] = None,
+    include_upstream_handlers: bool = False,
+) -> CrunRuntime:
+    """The modified crun: WAMR handler first, upstream handlers optional.
+
+    Handler order matters — crun picks the first matching handler, so the
+    WAMR handler shadows the upstream ones when both are installed (the
+    deployment the paper evaluates uses one handler per node config).
+    """
+    crun = CrunRuntime()
+    loader = DynamicLibraryLoader(memory) if memory is not None else None
+    crun.register_handler(WamrCrunHandler(loader=loader))
+    if include_upstream_handlers:
+        for engine_name in ("wasmtime", "wasmer", "wasmedge"):
+            crun.register_handler(EmbeddedEngineHandler(get_engine(engine_name)))
+    return crun
+
+
+def build_crun_with_engine(engine_name: str) -> CrunRuntime:
+    """A baseline crun with one upstream engine handler."""
+    crun = CrunRuntime()
+    crun.register_handler(EmbeddedEngineHandler(get_engine(engine_name)))
+    return crun
+
+
+def build_ablation_crun(config_id: str, memory: Optional[SystemMemoryModel] = None):
+    """Low-level runtime variants for the ablation configurations."""
+    from repro.container.lowlevel.youki import YoukiRuntime
+
+    loader = DynamicLibraryLoader(memory) if memory is not None else None
+    if config_id == "crun-wamr-aot":
+        runtime = CrunRuntime()
+        runtime.register_handler(WamrCrunHandler(loader=loader, engine_name="wamr-aot"))
+    elif config_id == "crun-wamr-static":
+        runtime = CrunRuntime()
+        runtime.register_handler(WamrCrunHandler(loader=loader, share_library=False))
+    elif config_id == "youki-wamr":
+        runtime = YoukiRuntime()
+        runtime.register_handler(WamrCrunHandler(loader=loader))
+    else:
+        raise KeyError(f"unknown ablation config {config_id!r}")
+    return runtime

@@ -1,0 +1,26 @@
+"""WebAssembly engine models.
+
+All four engines execute modules through the same interpreter substrate
+(:mod:`repro.wasm`) — semantics are identical, as they are across real
+engines. What differs, and what the paper measures, is the **resource
+profile**: how much private memory the runtime's data structures take, how
+large its shared library text is, how executable artifacts scale with
+module size (interpreter vs JIT), and how long startup/compile phases take.
+Profiles are calibrated against the relative behaviour reported in the
+paper's §IV (see DESIGN.md §5 and profiles.py for the provenance of each
+constant).
+"""
+
+from repro.engines.base import WasmEngine, CompiledModule, EngineRunResult
+from repro.engines.profiles import EngineProfile, STACK_VERSIONS
+from repro.engines.registry import get_engine, available_engines
+
+__all__ = [
+    "WasmEngine",
+    "CompiledModule",
+    "EngineRunResult",
+    "EngineProfile",
+    "STACK_VERSIONS",
+    "get_engine",
+    "available_engines",
+]

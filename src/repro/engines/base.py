@@ -1,0 +1,135 @@
+"""Engine interface: compile/instantiate/run with resource accounting.
+
+The functional half executes modules for real through the interpreter
+substrate; the resource half turns profile constants plus observed run
+facts (module size, linear memory pages, executed instructions) into the
+memory segments and latencies the container/node models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.errors import EngineError, WasmError, WasmTrap
+from repro.engines.profiles import EngineProfile
+from repro.wasm.ast import Module
+from repro.wasm.decoder import decode_module
+from repro.wasm.embed import WasiRunResult, run_wasi
+from repro.wasm.validation import validate_module
+from repro.wasm.wasi.fs import InMemoryFilesystem
+
+
+@dataclass
+class CompiledModule:
+    """A module prepared for execution by a specific engine."""
+
+    engine: str
+    module: Module
+    module_size: int  # binary bytes
+    artifact_bytes: int  # resident executable artifact (JIT code / in-place)
+    compile_seconds: float
+
+
+#: Instruction budget per container run. Real runtimes rely on the pod's
+#: CPU limits; the simulated node needs a hard stop so a runaway guest
+#: (infinite loop in the image) fails the container instead of hanging
+#: the harness. Two orders of magnitude above the microservice's needs.
+DEFAULT_FUEL = 5_000_000
+
+
+@dataclass
+class EngineRunResult:
+    """Functional + resource outcome of one guest execution."""
+
+    exit_code: int
+    stdout: bytes
+    stderr: bytes
+    instructions: int
+    linear_memory_bytes: int
+    exec_seconds: float
+
+
+class WasmEngine:
+    """One engine = interpreter substrate + an :class:`EngineProfile`."""
+
+    def __init__(self, profile: EngineProfile) -> None:
+        self.profile = profile
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    # -- functional path ---------------------------------------------------
+
+    def compile(self, blob: bytes) -> CompiledModule:
+        """Decode + validate (+ model the compile phase)."""
+        try:
+            module = decode_module(blob)
+            validate_module(module)
+        except WasmError as exc:
+            raise EngineError(f"{self.name}: module rejected: {exc}") from exc
+        return CompiledModule(
+            engine=self.name,
+            module=module,
+            module_size=len(blob),
+            artifact_bytes=self.profile.artifact_bytes(len(blob)),
+            compile_seconds=self.profile.compile_seconds(len(blob)),
+        )
+
+    def run(
+        self,
+        compiled: CompiledModule,
+        args: Sequence[str] = ("main.wasm",),
+        env: Optional[Dict[str, str]] = None,
+        preopens: Optional[Dict[str, str]] = None,
+        fs: Optional[InMemoryFilesystem] = None,
+        stdin: bytes = b"",
+        fuel: Optional[int] = DEFAULT_FUEL,
+    ) -> EngineRunResult:
+        """Execute the module under WASI and meter the run.
+
+        ``fuel`` bounds executed instructions (pass ``None`` to disable);
+        exhaustion surfaces as :class:`EngineError`, which the kubelet
+        turns into a Failed pod.
+        """
+        try:
+            result: WasiRunResult = run_wasi(
+                compiled.module,
+                args=args,
+                env=env,
+                preopens=preopens,
+                fs=fs,
+                stdin=stdin,
+                fuel=fuel,
+            )
+        except WasmTrap as trap:
+            raise EngineError(f"{self.name}: trap: {trap}") from trap
+        except WasmError as exc:
+            raise EngineError(f"{self.name}: {exc}") from exc
+        return EngineRunResult(
+            exit_code=result.exit_code,
+            stdout=result.stdout,
+            stderr=result.stderr,
+            instructions=result.instructions,
+            linear_memory_bytes=result.memory_bytes,
+            exec_seconds=self.profile.exec_seconds(result.instructions),
+        )
+
+    # -- resource path -------------------------------------------------------
+
+    def embedded_private_bytes(self, compiled: CompiledModule, linear_memory: int) -> int:
+        """Private RSS contribution when embedded in a container runtime
+        process (the crun handler path): engine structures + instance +
+        executable artifact + the guest's linear memory."""
+        p = self.profile
+        return p.base_rss + p.per_instance + compiled.artifact_bytes + linear_memory
+
+    def shim_child_private_bytes(self, compiled: CompiledModule, linear_memory: int) -> int:
+        """Private RSS of a runwasi shim's worker child for this engine."""
+        return self.profile.shim_child_rss + linear_memory
+
+    def startup_seconds(self, compiled: CompiledModule) -> float:
+        """Engine-side startup critical path: create + compile + instantiate."""
+        p = self.profile
+        return p.create_latency_s + compiled.compile_seconds + p.instantiate_latency_s

@@ -1,0 +1,55 @@
+"""Memoization of deterministic guest runs.
+
+The guest is a pure function of (module, argv, environ, stdin, preopens):
+the interpreter has no ambient inputs — WASI clocks and randomness are
+injected and default to constants. Experiments that deploy the same image
+hundreds of times therefore re-run identical computations; this cache
+collapses them to one real execution per distinct input while every
+container still gets its own memory accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.engines.base import CompiledModule, EngineRunResult, WasmEngine
+from repro.oci.digest import sha256_digest
+
+_COMPILE_CACHE: Dict[Tuple[str, str], CompiledModule] = {}
+_RUN_CACHE: Dict[Tuple, EngineRunResult] = {}
+
+
+def compile_cached(engine: WasmEngine, blob: bytes) -> CompiledModule:
+    key = (engine.name, sha256_digest(blob))
+    compiled = _COMPILE_CACHE.get(key)
+    if compiled is None:
+        compiled = engine.compile(blob)
+        _COMPILE_CACHE[key] = compiled
+    return compiled
+
+
+def run_cached(
+    engine: WasmEngine,
+    blob: bytes,
+    args: Sequence[str],
+    env: Optional[Dict[str, str]] = None,
+    stdin: bytes = b"",
+) -> Tuple[CompiledModule, EngineRunResult]:
+    compiled = compile_cached(engine, blob)
+    key = (
+        engine.name,
+        sha256_digest(blob),
+        tuple(args),
+        tuple(sorted((env or {}).items())),
+        stdin,
+    )
+    result = _RUN_CACHE.get(key)
+    if result is None:
+        result = engine.run(compiled, args=args, env=env, stdin=stdin)
+        _RUN_CACHE[key] = result
+    return compiled, result
+
+
+def clear_caches() -> None:
+    _COMPILE_CACHE.clear()
+    _RUN_CACHE.clear()

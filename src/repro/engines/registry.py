@@ -1,0 +1,37 @@
+"""Engine lookup by name (mirrors the crun handler / runwasi shim tables)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import EngineError
+from repro.engines.base import WasmEngine
+from repro.engines.profiles import ALL_PROFILES, EXTENSION_PROFILES
+
+# Singleton engines; they hold no per-run mutable state.
+_ENGINES: Dict[str, WasmEngine] = {}
+
+
+def get_engine(name: str) -> WasmEngine:
+    """Return the engine model named ``name``.
+
+    Paper engines: wamr/wasmtime/wasmer/wasmedge. Extension engines
+    (e.g. ``wamr-aot``) are available for the ablation benchmarks.
+    """
+    key = name.lower()
+    profile = ALL_PROFILES.get(key) or EXTENSION_PROFILES.get(key)
+    if profile is None:
+        raise EngineError(
+            f"unknown engine {name!r}; available: "
+            f"{sorted(ALL_PROFILES) + sorted(EXTENSION_PROFILES)}"
+        )
+    engine = _ENGINES.get(key)
+    if engine is None:
+        engine = WasmEngine(profile)
+        _ENGINES[key] = engine
+    return engine
+
+
+def available_engines() -> List[str]:
+    """The paper's engine set (extension profiles not included)."""
+    return sorted(ALL_PROFILES)

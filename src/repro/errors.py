@@ -1,0 +1,124 @@
+"""Exception hierarchy shared across the repro library.
+
+Every layer of the stack (wasm, OCI, container runtimes, Kubernetes) raises
+subclasses of :class:`ReproError` so callers can catch at whatever altitude
+they operate: a kubelet failing a pod catches :class:`ContainerError`, a
+container runtime surfacing a guest fault catches :class:`WasmTrap`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+# --------------------------------------------------------------------------
+# Simulation kernel
+# --------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event kernel (e.g. scheduling in the past)."""
+
+
+class OutOfMemory(ReproError):
+    """A node's physical memory is exhausted (the OOM killer would fire)."""
+
+
+# --------------------------------------------------------------------------
+# WebAssembly
+# --------------------------------------------------------------------------
+
+
+class WasmError(ReproError):
+    """Base class for WebAssembly format/validation/runtime errors."""
+
+
+class MalformedModule(WasmError):
+    """The binary does not decode (bad magic, truncated section, ...)."""
+
+
+class InvalidModule(WasmError):
+    """The module decoded but failed validation (type errors, bad indices)."""
+
+
+class WatSyntaxError(WasmError):
+    """The WebAssembly text source failed to parse."""
+
+
+class WasmTrap(WasmError):
+    """A trap raised during execution (unreachable, OOB access, div by 0)."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.message = message
+
+
+class ExhaustionError(WasmTrap):
+    """Call-stack or fuel exhaustion while executing a module."""
+
+
+class LinkError(WasmError):
+    """Instantiation failed to resolve an import or mismatch its type."""
+
+
+class WasiExit(WasmError):
+    """Raised by ``proc_exit`` to unwind the interpreter with an exit code."""
+
+    def __init__(self, code: int) -> None:
+        super().__init__(f"proc_exit({code})")
+        self.code = code
+
+
+# --------------------------------------------------------------------------
+# Mini-C compiler
+# --------------------------------------------------------------------------
+
+
+class CompileError(ReproError):
+    """A mini-C source program failed to lex/parse/type-check/compile."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        location = f" at {line}:{col}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.col = col
+
+
+# --------------------------------------------------------------------------
+# OCI / containers
+# --------------------------------------------------------------------------
+
+
+class OCIError(ReproError):
+    """Malformed OCI artifact (image, bundle, runtime spec)."""
+
+
+class ImageNotFound(OCIError):
+    """The requested image reference is not in the local store."""
+
+
+class ContainerError(ReproError):
+    """Container lifecycle violation or runtime failure."""
+
+
+class InvalidTransition(ContainerError):
+    """An OCI lifecycle operation was applied in the wrong state."""
+
+
+class EngineError(ReproError):
+    """A Wasm engine failed to compile/instantiate/run a module."""
+
+
+# --------------------------------------------------------------------------
+# Kubernetes
+# --------------------------------------------------------------------------
+
+
+class KubernetesError(ReproError):
+    """API-server/scheduler/kubelet level failure."""
+
+
+class SchedulingError(KubernetesError):
+    """No node can host the pod (capacity, runtime class, pressure)."""

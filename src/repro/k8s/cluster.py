@@ -1,0 +1,197 @@
+"""Cluster assembly: one call builds the full simulated testbed.
+
+``build_cluster()`` wires kernel → memory model → NodeEnv → containerd →
+CRI → kubelet → API server/scheduler/metrics-server, registers a
+RuntimeClass per benchmarked configuration, and publishes the workload
+images — the state §IV-A's Continuum deployment would leave behind.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.container.highlevel.containerd import Containerd
+from repro.container.highlevel.cri import CRIService
+from repro.container.nodeenv import NodeEnv
+from repro.container.startup import ablation_configs, known_configs
+from repro.core.integration import ABLATION_CONFIGS, RUNTIME_CONFIGS
+from repro.errors import KubernetesError
+from repro.k8s.apiserver import APIServer
+from repro.k8s.controllers import DeploymentController
+from repro.k8s.kubelet import Kubelet
+from repro.k8s.metrics_server import MetricsServer
+from repro.k8s.objects import ContainerSpec, NodeInfo, Pod, PodPhase, PodSpec, RuntimeClass
+from repro.k8s.scheduler import Scheduler
+from repro.sim.kernel import Kernel
+from repro.sim.memory import GIB, SystemMemoryModel
+from repro.sim.rng import RngStreams
+from repro.workloads.images import (
+    PYTHON_IMAGE_REF,
+    WASM_IMAGE_REF,
+    build_python_image,
+    build_wasm_image,
+)
+
+
+@dataclass
+class WorkerNode:
+    """One node's full stack."""
+
+    name: str
+    env: NodeEnv
+    containerd: Containerd
+    cri: CRIService
+    kubelet: Kubelet
+    metrics: MetricsServer
+    info: NodeInfo
+
+
+@dataclass
+class Cluster:
+    kernel: Kernel
+    api: APIServer
+    scheduler: Scheduler
+    nodes: Dict[str, WorkerNode]
+    deployments: "DeploymentController" = None  # type: ignore[assignment]
+    _pod_counter: itertools.count = field(default_factory=lambda: itertools.count(1))
+
+    @property
+    def node(self) -> WorkerNode:
+        """The single worker node in the paper's testbed topology."""
+        if len(self.nodes) != 1:
+            raise KubernetesError("cluster has multiple nodes; name one explicitly")
+        return next(iter(self.nodes.values()))
+
+    # -- deployment helpers ------------------------------------------------
+
+    def make_pod(
+        self,
+        runtime_config: str,
+        image: Optional[str] = None,
+        env: Optional[Dict[str, str]] = None,
+        name: Optional[str] = None,
+    ) -> Pod:
+        """Create (in the API server) one single-container pod."""
+        if image is None:
+            config = RUNTIME_CONFIGS.get(runtime_config) or ABLATION_CONFIGS.get(
+                runtime_config
+            )
+            if config is None:
+                raise KubernetesError(f"unknown runtime configuration {runtime_config!r}")
+            image = WASM_IMAGE_REF if config.workload == "wasm" else PYTHON_IMAGE_REF
+        n = next(self._pod_counter)
+        spec = PodSpec(
+            containers=[
+                ContainerSpec(name="app", image=image, env=dict(env or {}))
+            ],
+            runtime_class_name=runtime_config,
+        )
+        return self.api.create_pod(name or f"{runtime_config}-{n:05d}", spec)
+
+    def deploy_and_wait(
+        self,
+        runtime_config: str,
+        count: int,
+        env: Optional[Dict[str, str]] = None,
+    ) -> List[Pod]:
+        """Deploy ``count`` identical pods concurrently; run to Running.
+
+        This is the §IV experiment shape: N pods at once, one container
+        per pod, identical workload.
+        """
+        pods = [self.make_pod(runtime_config, env=env) for _ in range(count)]
+        activities = []
+        for pod in pods:
+            if pod.node_name is None:
+                raise KubernetesError(f"pod {pod.name} was not scheduled")
+            node = self.nodes[pod.node_name]
+            activities.append(node.kubelet.sync_pod(pod))
+        self.kernel.run_all(activities)
+        failed = [p for p in pods if p.phase is not PodPhase.RUNNING]
+        if failed:
+            raise KubernetesError(
+                f"{len(failed)} pods failed: {failed[0].status_message}"
+            )
+        return pods
+
+    def teardown(self, pods: List[Pod]) -> None:
+        for pod in pods:
+            if pod.node_name:
+                self.nodes[pod.node_name].kubelet.teardown_pod(pod)
+
+    # -- deployment-controller driving ---------------------------------------
+
+    def reconcile_and_wait(self, deployment_name: str) -> Dict[str, int]:
+        """Run one reconciliation pass and realize its effects on nodes.
+
+        Created pods are synced to Running; removed pods are torn down.
+        Returns the deployment status afterwards.
+        """
+        actions = self.deployments.reconcile(deployment_name)
+        activities = []
+        for pod in actions["created"]:
+            if pod.node_name is None:
+                raise KubernetesError(f"pod {pod.name} was not scheduled")
+            activities.append(self.nodes[pod.node_name].kubelet.sync_pod(pod))
+        if activities:
+            self.kernel.run_all(activities)
+        self.teardown(actions["removed"])
+        return self.deployments.status(deployment_name)
+
+
+def build_cluster(
+    seed: int = 0,
+    node_count: int = 1,
+    max_pods: int = 500,
+    memory_bytes: int = 256 * GIB,
+) -> Cluster:
+    """Build the simulated testbed (defaults = the paper's single node)."""
+    kernel = Kernel()
+    api = APIServer(clock=lambda: kernel.now)
+    scheduler = Scheduler(api)
+
+    for config_id in known_configs() + ablation_configs():
+        api.register_runtime_class(RuntimeClass(name=config_id, handler=config_id))
+
+    nodes: Dict[str, WorkerNode] = {}
+    for i in range(node_count):
+        name = f"node-{i}"
+        memory = SystemMemoryModel(total_bytes=memory_bytes)
+        env = NodeEnv.create(
+            kernel=kernel, memory=memory, rng=RngStreams(seed * 1000 + i)
+        )
+        env.images.push(build_wasm_image())
+        env.images.push(build_python_image())
+        # Pre-pull, as the paper's repeated campaigns do: image layers sit
+        # in the page cache before any measurement baseline is taken.
+        env.images.pull(WASM_IMAGE_REF)
+        env.images.pull(PYTHON_IMAGE_REF)
+        containerd = Containerd(env)
+        cri = CRIService(containerd)
+        kubelet = Kubelet(node_name=name, api=api, cri=cri, env=env)
+        info = NodeInfo(
+            name=name,
+            max_pods=max_pods,
+            allocatable_memory=memory_bytes,
+            runtime_handlers=known_configs() + ablation_configs(),
+        )
+        api.register_node(info)
+        nodes[name] = WorkerNode(
+            name=name,
+            env=env,
+            containerd=containerd,
+            cri=cri,
+            kubelet=kubelet,
+            metrics=MetricsServer(memory, containerd),
+            info=info,
+        )
+
+    return Cluster(
+        kernel=kernel,
+        api=api,
+        scheduler=scheduler,
+        nodes=nodes,
+        deployments=DeploymentController(api),
+    )

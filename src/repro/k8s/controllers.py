@@ -1,0 +1,120 @@
+"""Deployment controller: declarative replica management.
+
+The paper's experiments "deploy 10 to 400 containers concurrently, with
+1 container per pod" — operationally that is a Deployment scaled to N.
+This controller reconciles a :class:`DeploymentObject`'s desired replica
+count against the pods it owns: creating pods through the API server
+(which triggers scheduling) and tearing down surplus ones. Reconciliation
+is level-triggered and idempotent, like the real controller manager.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import KubernetesError
+from repro.k8s.apiserver import APIServer
+from repro.k8s.objects import Pod, PodPhase, PodSpec
+
+
+@dataclass
+class DeploymentObject:
+    """Desired state: a pod template and a replica count."""
+
+    name: str
+    template: PodSpec
+    replicas: int = 1
+    #: pods owned by this deployment (uid order = creation order)
+    pod_uids: List[str] = field(default_factory=list)
+    generation: int = 0
+
+
+class DeploymentController:
+    """Reconciles deployments against the API server's pod store."""
+
+    def __init__(self, api: APIServer) -> None:
+        self.api = api
+        self.deployments: Dict[str, DeploymentObject] = {}
+        self._suffix = itertools.count(1)
+
+    # -- desired-state edits -------------------------------------------------
+
+    def create(self, name: str, template: PodSpec, replicas: int = 1) -> DeploymentObject:
+        if name in self.deployments:
+            raise KubernetesError(f"deployment {name} already exists")
+        deployment = DeploymentObject(name=name, template=template, replicas=replicas)
+        self.deployments[name] = deployment
+        return deployment
+
+    def scale(self, name: str, replicas: int) -> DeploymentObject:
+        deployment = self._get(name)
+        if replicas < 0:
+            raise KubernetesError("replicas must be >= 0")
+        deployment.replicas = replicas
+        deployment.generation += 1
+        return deployment
+
+    def delete(self, name: str) -> List[Pod]:
+        """Remove the deployment; returns its pods for node-side teardown."""
+        deployment = self.deployments.pop(name, None)
+        if deployment is None:
+            return []
+        pods = self._live_pods(deployment)
+        deployment.pod_uids.clear()
+        return pods
+
+    # -- reconciliation --------------------------------------------------------
+
+    def reconcile(self, name: str) -> Dict[str, List[Pod]]:
+        """One reconciliation pass; returns {'created': [...], 'removed': [...]}.
+
+        Created pods are Pending+scheduled (the API server's watch path
+        runs the scheduler); the caller must run their kubelet sync
+        activities. Removed pods are returned for node-side teardown.
+        """
+        deployment = self._get(name)
+        live = self._live_pods(deployment)
+        deployment.pod_uids = [p.uid for p in live]
+
+        created: List[Pod] = []
+        while len(deployment.pod_uids) < deployment.replicas:
+            pod = self.api.create_pod(
+                f"{deployment.name}-{next(self._suffix):05d}",
+                deployment.template,
+            )
+            deployment.pod_uids.append(pod.uid)
+            created.append(pod)
+
+        removed: List[Pod] = []
+        while len(deployment.pod_uids) > deployment.replicas:
+            uid = deployment.pod_uids.pop()  # newest-first scale-down
+            pod = self.api.pods.get(uid)
+            if pod is not None:
+                removed.append(pod)
+        return {"created": created, "removed": removed}
+
+    def status(self, name: str) -> Dict[str, int]:
+        deployment = self._get(name)
+        live = self._live_pods(deployment)
+        return {
+            "desired": deployment.replicas,
+            "current": len(live),
+            "ready": sum(1 for p in live if p.phase is PodPhase.RUNNING),
+        }
+
+    # -- internals -----------------------------------------------------------------
+
+    def _get(self, name: str) -> DeploymentObject:
+        deployment = self.deployments.get(name)
+        if deployment is None:
+            raise KubernetesError(f"no deployment named {name}")
+        return deployment
+
+    def _live_pods(self, deployment: DeploymentObject) -> List[Pod]:
+        return [
+            self.api.pods[uid]
+            for uid in deployment.pod_uids
+            if uid in self.api.pods
+        ]

@@ -1,0 +1,93 @@
+"""Kubelet: realizes scheduled pods on its node through the CRI.
+
+The pod sync activity models the control-plane pipeline ahead of container
+creation (watch delivery, sync-loop pickup, sandbox + CNI setup) as the
+runtime config's ``pipeline_s`` latency with small jitter, then drives the
+CRI: RunPodSandbox → CreateContainer/StartContainer per container.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.container.highlevel.cri import (
+    ContainerConfig,
+    CRIService,
+    PodSandboxConfig,
+)
+from repro.container.lifecycle import Container
+from repro.container.nodeenv import NodeEnv
+from repro.container.startup import startup_profile
+from repro.errors import ContainerError, EngineError, KubernetesError, OutOfMemory
+from repro.k8s.apiserver import APIServer
+from repro.k8s.objects import Pod, PodPhase
+from repro.sim.kernel import Timeout
+
+
+@dataclass
+class Kubelet:
+    """One kubelet per worker node."""
+
+    node_name: str
+    api: APIServer
+    cri: CRIService
+    env: NodeEnv
+    #: pod uid → realized containers
+    pod_containers: Dict[str, List[Container]] = field(default_factory=dict)
+
+    def sync_pod(self, pod: Pod):
+        """Activity: bring one bound pod to Running. Returns the pod."""
+        if pod.node_name != self.node_name:
+            raise KubernetesError(
+                f"pod {pod.name} bound to {pod.node_name}, not {self.node_name}"
+            )
+        handler = self.api.resolve_handler(pod)
+        if handler is None:
+            raise KubernetesError(
+                f"pod {pod.name}: no RuntimeClass; this reproduction requires "
+                "an explicit runtime configuration per pod"
+            )
+        profile = startup_profile(handler)
+
+        # Control-plane pipeline: watch delivery → sync loop → sandbox/CNI.
+        t0 = self.env.kernel.now
+        delay = profile.pipeline_s + self.env.jitter(
+            f"pipeline/{pod.uid}", profile.jitter_s
+        )
+        yield Timeout(delay)
+        self.env.tracer.record(
+            "startup.pipeline", pod.uid, t0, self.env.kernel.now, config=handler
+        )
+
+        sandbox = PodSandboxConfig(
+            pod_uid=pod.uid, name=pod.name, runtime_handler=handler
+        )
+        self.cri.run_pod_sandbox(sandbox)
+
+        containers: List[Container] = []
+        try:
+            for cspec in pod.spec.containers:
+                container = yield self.cri.create_and_start_container(
+                    sandbox,
+                    ContainerConfig(
+                        image_ref=cspec.image, command=cspec.command, env=cspec.env
+                    ),
+                )
+                containers.append(container)
+        except (ContainerError, EngineError, OutOfMemory) as exc:
+            self.api.set_phase(pod, PodPhase.FAILED, message=str(exc))
+            self.cri.remove_pod_sandbox(pod.uid)
+            return pod
+
+        self.pod_containers[pod.uid] = containers
+        pod.exec_started_at = max(
+            c.exec_started_at for c in containers if c.exec_started_at is not None
+        )
+        self.api.set_phase(pod, PodPhase.RUNNING)
+        return pod
+
+    def teardown_pod(self, pod: Pod) -> None:
+        self.cri.remove_pod_sandbox(pod.uid)
+        self.pod_containers.pop(pod.uid, None)
+        self.api.delete_pod(pod)

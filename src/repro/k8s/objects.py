@@ -1,0 +1,83 @@
+"""Kubernetes API objects (the subset the experiments exercise)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class PodPhase(enum.Enum):
+    PENDING = "Pending"
+    RUNNING = "Running"
+    SUCCEEDED = "Succeeded"
+    FAILED = "Failed"
+
+
+@dataclass
+class ContainerSpec:
+    """One container within a pod spec."""
+
+    name: str
+    image: str
+    command: Optional[List[str]] = None
+    env: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class PodSpec:
+    containers: List[ContainerSpec]
+    runtime_class_name: Optional[str] = None  # selects the runtime config
+    node_selector: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class Pod:
+    """A pod object as stored in the API server."""
+
+    name: str
+    uid: str
+    spec: PodSpec
+    phase: PodPhase = PodPhase.PENDING
+    node_name: Optional[str] = None
+    created_at: float = 0.0
+    scheduled_at: Optional[float] = None
+    running_at: Optional[float] = None
+    #: when the last container's workload began executing (Figs 8–9 probe)
+    exec_started_at: Optional[float] = None
+    status_message: str = ""
+
+
+@dataclass
+class RuntimeClass:
+    """Maps a manifest's runtimeClassName to a CRI runtime handler."""
+
+    name: str
+    handler: str  # containerd runtime config id, e.g. "crun-wamr"
+
+
+@dataclass
+class NodeInfo:
+    """Scheduler-visible node state."""
+
+    name: str
+    #: §III-C: "We extend the Kubernetes cluster configuration ...
+    #: now supporting up to 500 pods per node."
+    max_pods: int = 500
+    allocatable_memory: int = 256 * 1024**3
+    labels: Dict[str, str] = field(default_factory=dict)
+    runtime_handlers: List[str] = field(default_factory=list)
+    pod_uids: List[str] = field(default_factory=list)
+
+    @property
+    def pod_count(self) -> int:
+        return len(self.pod_uids)
+
+    def has_capacity(self) -> bool:
+        return self.pod_count < self.max_pods
+
+    def supports_handler(self, handler: Optional[str]) -> bool:
+        return handler is None or handler in self.runtime_handlers
+
+    def matches_selector(self, selector: Dict[str, str]) -> bool:
+        return all(self.labels.get(k) == v for k, v in selector.items())

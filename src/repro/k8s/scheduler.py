@@ -1,0 +1,63 @@
+"""Scheduler: binds pending pods to feasible nodes.
+
+Filter-then-score, like kube-scheduler: feasibility = capacity (max-pods,
+the 500/node extension), node selector, and RuntimeClass handler support;
+scoring = least-pods spreading. Deterministic tie-break on node name.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import SchedulingError
+from repro.k8s.apiserver import APIServer
+from repro.k8s.objects import NodeInfo, Pod
+
+
+class Scheduler:
+    def __init__(self, api: APIServer) -> None:
+        self.api = api
+        api.watch_pods(self._on_pod_event)
+        self.scheduled_count = 0
+
+    def _on_pod_event(self, pod: Pod) -> None:
+        # Event-driven scheduling: try to place newly pending pods.
+        if pod.node_name is None and pod.phase.value == "Pending":
+            try:
+                self.schedule(pod)
+            except SchedulingError:
+                # Remains pending; a capacity change may retry via sweep().
+                pass
+
+    def feasible_nodes(self, pod: Pod) -> List[NodeInfo]:
+        handler = self.api.resolve_handler(pod)
+        return [
+            node
+            for node in self.api.nodes.values()
+            if node.has_capacity()
+            and node.supports_handler(handler)
+            and node.matches_selector(pod.spec.node_selector)
+        ]
+
+    def schedule(self, pod: Pod) -> NodeInfo:
+        candidates = self.feasible_nodes(pod)
+        if not candidates:
+            raise SchedulingError(
+                f"0/{len(self.api.nodes)} nodes available for pod {pod.name} "
+                f"(handler={self.api.resolve_handler(pod)!r})"
+            )
+        best = min(candidates, key=lambda n: (n.pod_count, n.name))
+        self.api.bind_pod(pod, best.name)
+        self.scheduled_count += 1
+        return best
+
+    def sweep(self) -> int:
+        """Retry all pending pods; returns how many got placed."""
+        placed = 0
+        for pod in list(self.api.pending_pods()):
+            try:
+                self.schedule(pod)
+                placed += 1
+            except SchedulingError:
+                continue
+        return placed

@@ -1,0 +1,148 @@
+"""The §IV experiment shape: deploy N identical pods, measure, tear down.
+
+One :class:`ExperimentRunner` call = one bar of a memory figure or one
+row of a startup figure: a fresh cluster, N single-container pods of one
+runtime configuration, both memory channels sampled at steady state, and
+the startup makespan (pod creation → last container's first guest
+instruction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from repro.k8s.cluster import Cluster, build_cluster
+from repro.measure.free import FreeSampler
+from repro.measure.stats import summarize, Summary
+from repro.sim.memory import MIB
+
+
+@dataclass(frozen=True)
+class MemorySample:
+    """Per-container memory through both channels, in bytes."""
+
+    metrics_server_mean: float  # mean pod working set (metrics-server view)
+    metrics_server_std: float
+    free_per_container: float  # (Δused + Δbuff/cache) / N (free view)
+
+
+@dataclass(frozen=True)
+class DeploymentMeasurement:
+    """Everything one deployment experiment yields."""
+
+    config: str
+    count: int
+    memory: MemorySample
+    startup_seconds: float  # deploy → last workload execution start
+    per_pod_start: Summary  # distribution of per-pod start times
+    exit_codes: Tuple[int, ...]
+    ready_fraction: float  # containers whose stdout shows readiness
+    #: mean simulated seconds per startup phase ("startup.pipeline",
+    #: "startup.serialized", "startup.parallel", "startup.exec", ...)
+    phase_means: Dict[str, float] = None  # type: ignore[assignment]
+
+    @property
+    def metrics_mib(self) -> float:
+        return self.memory.metrics_server_mean / MIB
+
+    @property
+    def free_mib(self) -> float:
+        return self.memory.free_per_container / MIB
+
+
+class ExperimentRunner:
+    """Runs deployment experiments on fresh clusters.
+
+    Args:
+        seed: determinism seed for the whole cluster.
+        extra_images: additional OCI images to publish (and pre-pull) on
+            every node — for experiments with non-default workloads.
+    """
+
+    def __init__(self, seed: int = 1, extra_images: Tuple = ()) -> None:
+        self.seed = seed
+        self.extra_images = tuple(extra_images)
+
+    def run(
+        self,
+        config: str,
+        count: int,
+        env: Optional[Dict[str, str]] = None,
+        image: Optional[str] = None,
+    ) -> DeploymentMeasurement:
+        cluster = build_cluster(seed=self.seed)
+        node = cluster.node
+        for extra in self.extra_images:
+            node.env.images.push(extra)
+            node.env.images.pull(extra.reference)
+        sampler = FreeSampler(node.env.memory)
+        sampler.mark_baseline()
+        t0 = cluster.kernel.now
+
+        pods = [
+            cluster.make_pod(config, env=env, image=image) for _ in range(count)
+        ]
+        cluster.kernel.run_all(
+            [cluster.nodes[p.node_name].kubelet.sync_pod(p) for p in pods]
+        )
+        from repro.k8s.objects import PodPhase
+
+        failed = [p for p in pods if p.phase is not PodPhase.RUNNING]
+        if failed:
+            from repro.errors import KubernetesError
+
+            raise KubernetesError(
+                f"{len(failed)} pods failed: {failed[0].status_message}"
+            )
+
+        # Startup probe (paper §IV-E): measurement starts at deployment and
+        # ends when the sample application starts executing in the last pod.
+        starts = [p.exec_started_at - t0 for p in pods if p.exec_started_at is not None]
+        makespan = max(starts)
+
+        # Memory channels at steady state.
+        working_sets = list(node.metrics.pod_working_sets().values())
+        ws_summary = summarize([float(w) for w in working_sets])
+        free_delta = sampler.delta()
+
+        containers = [
+            c for p in pods for c in node.kubelet.pod_containers[p.uid]
+        ]
+        ready = sum(1 for c in containers if b"ready" in c.stdout)
+        measurement = DeploymentMeasurement(
+            config=config,
+            count=count,
+            memory=MemorySample(
+                metrics_server_mean=ws_summary.mean,
+                metrics_server_std=ws_summary.std,
+                free_per_container=free_delta.per_container(count),
+            ),
+            startup_seconds=makespan,
+            per_pod_start=summarize(starts),
+            exit_codes=tuple(c.exit_code or 0 for c in containers),
+            ready_fraction=ready / len(containers),
+            phase_means=node.env.tracer.phase_means(config=config),
+        )
+        cluster.teardown(pods)
+        return measurement
+
+
+#: densities used across the paper's memory figures
+DENSITIES = (10, 100, 400)
+
+
+@lru_cache(maxsize=None)
+def _cached_measurement(seed: int, config: str, count: int) -> DeploymentMeasurement:
+    return ExperimentRunner(seed=seed).run(config, count)
+
+
+def measure(config: str, count: int, seed: int = 1) -> DeploymentMeasurement:
+    """Module-level cached experiment (figures share bars; e.g. crun-wamr
+    appears in Figs 3–7 and 10 at the same densities)."""
+    return _cached_measurement(seed, config, count)
+
+
+def density_sweep(config: str, seed: int = 1) -> Dict[int, DeploymentMeasurement]:
+    return {n: measure(config, n, seed=seed) for n in DENSITIES}

@@ -1,0 +1,78 @@
+"""The OS-level measurement channel: sampling ``free``.
+
+Renders and diffs :class:`~repro.sim.memory.FreeReport` snapshots the way
+the paper's §IV-B methodology does: sample before a deployment, sample
+after, attribute the delta (including buffers/caches and every process on
+the node) evenly across the deployed containers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.memory import FreeReport, MIB, SystemMemoryModel
+
+
+@dataclass(frozen=True)
+class FreeDelta:
+    """Difference between two free(1) snapshots."""
+
+    used_bytes: int
+    buff_cache_bytes: int
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.used_bytes + self.buff_cache_bytes
+
+    def per_container(self, count: int) -> float:
+        return self.footprint_bytes / count
+
+
+class FreeSampler:
+    """Before/after sampling over one node's memory model."""
+
+    def __init__(self, memory: SystemMemoryModel) -> None:
+        self._memory = memory
+        self._baseline: FreeReport | None = None
+
+    def snapshot(self) -> FreeReport:
+        return self._memory.free_report()
+
+    def mark_baseline(self) -> FreeReport:
+        self._baseline = self.snapshot()
+        return self._baseline
+
+    def delta(self) -> FreeDelta:
+        if self._baseline is None:
+            raise RuntimeError("mark_baseline() before delta()")
+        now = self.snapshot()
+        return FreeDelta(
+            used_bytes=now.used - self._baseline.used,
+            buff_cache_bytes=now.buff_cache - self._baseline.buff_cache,
+        )
+
+    @staticmethod
+    def render(report: FreeReport) -> str:
+        """``free -m``-shaped output."""
+        m = MIB
+
+        def row(label: str, *vals: int) -> str:
+            return label.ljust(7) + "".join(f"{v // m:>12d}" for v in vals)
+
+        header = " ".ljust(7) + "".join(
+            f"{h:>12s}" for h in ("total", "used", "free", "shared", "buff/cache", "available")
+        )
+        return "\n".join(
+            [
+                header,
+                row(
+                    "Mem:",
+                    report.total,
+                    report.used,
+                    report.free,
+                    report.shared,
+                    report.buff_cache,
+                    report.available,
+                ),
+            ]
+        )

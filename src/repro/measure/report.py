@@ -1,0 +1,60 @@
+"""Plain-text rendering of figure data (the benches print these)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.measure.figures import FigureSeries
+
+
+def render_series(series: FigureSeries) -> str:
+    """ASCII table: one row per config, one column per density."""
+    lines = [f"[{series.figure_id}] {series.title} ({series.unit})"]
+    header = "config".ljust(18) + "".join(f"{f'n={n}':>12s}" for n in series.densities)
+    if len(series.densities) > 1:
+        header += f"{'avg':>12s}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for config, per in series.values.items():
+        marker = " <== ours" if config == series.ours else ""
+        row = config.ljust(18) + "".join(
+            f"{per[n]:>12.2f}" for n in series.densities
+        )
+        if len(series.densities) > 1:
+            row += f"{series.averaged(config):>12.2f}"
+        lines.append(row + marker)
+    return "\n".join(lines)
+
+
+def render_phase_breakdown(
+    title: str, breakdowns: Dict[str, Dict[str, float]]
+) -> str:
+    """Table of per-phase mean seconds, one row per configuration."""
+    phases = sorted({p for per in breakdowns.values() for p in per})
+    header = "config".ljust(18) + "".join(
+        f"{p.split('.', 1)[-1]:>12s}" for p in phases
+    )
+    lines = [title, header, "-" * len(header)]
+    for config, per in breakdowns.items():
+        lines.append(
+            config.ljust(18)
+            + "".join(f"{per.get(p, 0.0) * 1000:>10.1f}ms" for p in phases)
+        )
+    return "\n".join(lines)
+
+
+def render_table1(stack: Dict[str, str]) -> str:
+    lines = ["[table1] Software stack for the evaluation"]
+    for software, version in stack.items():
+        lines.append(f"  {software:<12s} {version}")
+    return "\n".join(lines)
+
+
+def render_table2(rows: List[Dict[str, str]]) -> str:
+    lines = ["[table2] Experiments overview (10-400 containers, 1 per pod)"]
+    for row in rows:
+        lines.append(
+            f"  §{row['section']:<6s} {row['metric']:<8s} "
+            f"{row['container_runtime']:<26s} {row['language_runtime']}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Small, dependency-light summary statistics for experiment outputs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def mean(xs: Sequence[float]) -> float:
+    if not xs:
+        raise ValueError("mean of empty sequence")
+    return sum(xs) / len(xs)
+
+
+def stddev(xs: Sequence[float]) -> float:
+    """Population standard deviation (the paper reports spread across the
+    identical containers of one deployment)."""
+    if not xs:
+        raise ValueError("stddev of empty sequence")
+    mu = mean(xs)
+    return math.sqrt(sum((x - mu) ** 2 for x in xs) / len(xs))
+
+
+@dataclass(frozen=True)
+class Summary:
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+
+def summarize(xs: Sequence[float]) -> Summary:
+    return Summary(
+        n=len(xs),
+        mean=mean(xs),
+        std=stddev(xs),
+        minimum=min(xs),
+        maximum=max(xs),
+    )
+
+
+def percent_lower(ours: float, baseline: float) -> float:
+    """``100 * (1 - ours/baseline)`` — the paper's reduction metric."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return 100.0 * (1.0 - ours / baseline)

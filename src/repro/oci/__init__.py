@@ -1,0 +1,30 @@
+"""OCI substrate: images, an image store, bundles, and the runtime spec.
+
+Models the artifacts that flow between Kubernetes, containerd, and the
+low-level runtimes: content-addressed images (manifest + config + layers),
+a node-local image store with pull semantics and page-cache effects, and
+the extracted *bundle* (rootfs + ``config.json``) a low-level OCI runtime
+consumes.
+"""
+
+from repro.oci.digest import sha256_digest
+from repro.oci.image import Image, ImageConfig, Layer
+from repro.oci.store import ImageStore
+from repro.oci.spec import RuntimeSpec, ProcessSpec, MountSpec
+from repro.oci.bundle import Bundle, build_bundle
+from repro.oci.annotations import WASM_VARIANT_ANNOTATION, is_wasm_image
+
+__all__ = [
+    "sha256_digest",
+    "Image",
+    "ImageConfig",
+    "Layer",
+    "ImageStore",
+    "RuntimeSpec",
+    "ProcessSpec",
+    "MountSpec",
+    "Bundle",
+    "build_bundle",
+    "WASM_VARIANT_ANNOTATION",
+    "is_wasm_image",
+]

@@ -1,0 +1,23 @@
+"""OCI annotations used to route Wasm workloads.
+
+The CNCF guidance (and crun's wasm handler) keys off the
+``module.wasm.image/variant`` annotation — ``compat`` marks an image whose
+entrypoint is a Wasm module rather than a native ELF binary. runwasi shims
+are selected by RuntimeClass instead, but mark images the same way here so
+both paths share one detection rule.
+"""
+
+from __future__ import annotations
+
+from repro.oci.image import Image
+
+WASM_VARIANT_ANNOTATION = "module.wasm.image/variant"
+WASM_VARIANT_COMPAT = "compat"
+
+
+def is_wasm_image(image: Image) -> bool:
+    """True when the image's entrypoint is a WebAssembly module."""
+    if image.config.annotations.get(WASM_VARIANT_ANNOTATION) == WASM_VARIANT_COMPAT:
+        return True
+    cmd = image.config.full_command()
+    return bool(cmd) and cmd[0].endswith(".wasm")

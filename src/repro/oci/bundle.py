@@ -1,0 +1,66 @@
+"""OCI bundles: the rootfs + ``config.json`` handed to a low-level runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.oci.image import Image
+from repro.oci.spec import MountSpec, ProcessSpec, RuntimeSpec
+
+
+@dataclass
+class Bundle:
+    """An extracted container bundle."""
+
+    container_id: str
+    rootfs: Dict[str, bytes]
+    spec: RuntimeSpec
+    image: Image
+
+    def read_file(self, path: str) -> bytes:
+        key = path.lstrip("/")
+        try:
+            return self.rootfs[key]
+        except KeyError:
+            # Also accept absolute-style keys stored by image builders.
+            if path in self.rootfs:
+                return self.rootfs[path]
+            raise
+
+
+def build_bundle(
+    container_id: str,
+    image: Image,
+    args_override: Optional[List[str]] = None,
+    env_override: Optional[Dict[str, str]] = None,
+    mounts: Optional[List[MountSpec]] = None,
+    cgroups_path: str = "",
+    annotations: Optional[Dict[str, str]] = None,
+) -> Bundle:
+    """Assemble a bundle the way a high-level runtime does.
+
+    Pod spec overrides (args/env) win over image config, matching the
+    CRI merge rules.
+    """
+    env = dict(image.config.env)
+    if env_override:
+        env.update(env_override)
+    args = list(args_override) if args_override else image.config.full_command()
+    merged_annotations = dict(image.config.annotations)
+    if annotations:
+        merged_annotations.update(annotations)
+
+    spec = RuntimeSpec(
+        process=ProcessSpec(args=args, env=env, cwd=image.config.working_dir),
+        mounts=list(mounts or []),
+        hostname=container_id[:12],
+        annotations=merged_annotations,
+    )
+    spec.linux.cgroups_path = cgroups_path
+    return Bundle(
+        container_id=container_id,
+        rootfs=image.flatten(),
+        spec=spec,
+        image=image,
+    )

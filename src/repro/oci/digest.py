@@ -1,0 +1,14 @@
+"""Content digests in OCI notation (``sha256:<hex>``)."""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def sha256_digest(data: bytes) -> str:
+    return "sha256:" + hashlib.sha256(data).hexdigest()
+
+
+def short_digest(digest: str, n: int = 12) -> str:
+    """Shortened form used in log lines and container IDs."""
+    return digest.split(":", 1)[1][:n]

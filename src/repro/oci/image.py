@@ -1,0 +1,81 @@
+"""OCI images: layers, config, manifest.
+
+Layers carry real file content (tar-like ``{path: bytes}`` maps) so that
+bundles extract a working rootfs — a Wasm image's layer actually contains
+the ``.wasm`` binary our interpreter later executes, and a Python image's
+layer carries the app source the CPython model "runs".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import OCIError
+from repro.oci.digest import sha256_digest
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One image layer: a content-addressed file map."""
+
+    files: Dict[str, bytes]
+    digest: str
+    size: int
+
+    @classmethod
+    def from_files(cls, files: Dict[str, bytes]) -> "Layer":
+        blob = b"".join(
+            path.encode() + b"\x00" + data for path, data in sorted(files.items())
+        )
+        return cls(files=dict(files), digest=sha256_digest(blob), size=len(blob))
+
+
+@dataclass
+class ImageConfig:
+    """Subset of the OCI image config consumed by runtimes."""
+
+    entrypoint: List[str] = field(default_factory=list)
+    cmd: List[str] = field(default_factory=list)
+    env: Dict[str, str] = field(default_factory=dict)
+    working_dir: str = "/"
+    annotations: Dict[str, str] = field(default_factory=dict)
+
+    def full_command(self) -> List[str]:
+        return list(self.entrypoint) + list(self.cmd)
+
+
+@dataclass
+class Image:
+    """Manifest + config + layers."""
+
+    reference: str  # e.g. "registry.local/microservice:wasm"
+    config: ImageConfig
+    layers: List[Layer]
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise OCIError(f"image {self.reference}: at least one layer required")
+
+    @property
+    def digest(self) -> str:
+        return sha256_digest(
+            ",".join(layer.digest for layer in self.layers).encode()
+        )
+
+    @property
+    def size(self) -> int:
+        return sum(layer.size for layer in self.layers)
+
+    def flatten(self) -> Dict[str, bytes]:
+        """Apply layers in order (later layers shadow earlier paths)."""
+        rootfs: Dict[str, bytes] = {}
+        for layer in self.layers:
+            rootfs.update(layer.files)
+        return rootfs
+
+    def read_file(self, path: str) -> bytes:
+        rootfs = self.flatten()
+        if path not in rootfs:
+            raise OCIError(f"image {self.reference}: no file {path!r}")
+        return rootfs[path]

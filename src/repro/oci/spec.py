@@ -1,0 +1,61 @@
+"""OCI runtime specification (``config.json``) structures.
+
+The subset exercised by the Kubernetes path: process (args/env/cwd),
+mounts, hostname, annotations, and Linux namespaces/cgroup path. The
+WAMR-in-crun handler reads args, env, and mounts to build the WASI world
+(argv, environ, preopened directories) — see
+:mod:`repro.core.wamr_handler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class ProcessSpec:
+    args: List[str] = field(default_factory=list)
+    env: Dict[str, str] = field(default_factory=dict)
+    cwd: str = "/"
+    terminal: bool = False
+
+
+@dataclass
+class MountSpec:
+    destination: str
+    source: str
+    mount_type: str = "bind"
+    options: List[str] = field(default_factory=list)
+
+
+@dataclass
+class LinuxSpec:
+    namespaces: List[str] = field(
+        default_factory=lambda: ["pid", "mount", "network", "uts", "ipc"]
+    )
+    cgroups_path: str = ""
+
+
+@dataclass
+class RuntimeSpec:
+    """The ``config.json`` of one bundle."""
+
+    oci_version: str = "1.0.2"
+    process: ProcessSpec = field(default_factory=ProcessSpec)
+    mounts: List[MountSpec] = field(default_factory=list)
+    hostname: str = "container"
+    annotations: Dict[str, str] = field(default_factory=dict)
+    linux: LinuxSpec = field(default_factory=LinuxSpec)
+
+    def preopen_dirs(self) -> Dict[str, str]:
+        """Guest-visible directories derived from bind mounts + rootfs.
+
+        Maps guest path → host source. The container root is always
+        preopened as ``/`` for WASI workloads.
+        """
+        dirs = {"/": "rootfs"}
+        for mount in self.mounts:
+            if mount.mount_type == "bind":
+                dirs[mount.destination] = mount.source
+        return dirs

@@ -1,0 +1,40 @@
+"""Virtual clock for the discrete-event kernel."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class SimClock:
+    """Monotonic simulated clock measured in seconds (float).
+
+    The clock only moves forward, and only the kernel advances it. Models
+    read it through :meth:`now`; direct writes guard against time travel so
+    an event processed out of order fails loudly instead of silently
+    corrupting latency measurements.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to ``t`` seconds.
+
+        Raises:
+            SimulationError: if ``t`` lies in the past.
+        """
+        if t < self._now:
+            raise SimulationError(
+                f"clock cannot move backwards: now={self._now!r}, target={t!r}"
+            )
+        self._now = t
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.6f})"

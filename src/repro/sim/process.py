@@ -1,0 +1,90 @@
+"""Simulated OS processes built from typed memory segments.
+
+A process is a bag of :class:`MemorySegment`\\ s. The segment *kind* decides
+how the node-level accountant (:mod:`repro.sim.memory`) attributes it:
+
+* ``PRIVATE`` — anonymous private memory (heap, stacks, JIT code buffers,
+  engine stores). Charged fully to the owning process and its cgroup.
+* ``FILE_TEXT`` — file-backed shared mappings (executable text, shared
+  libraries, AOT artifacts). Resident once per node per file; each mapping
+  process shows the full size in its RSS (as Linux does) but the node pays
+  for it once, and a cgroup is charged only if it faulted the file first.
+* ``PAGE_CACHE`` contributions are not segments; they live on the node
+  model directly (image layer reads populate them).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+
+class SegmentKind(enum.Enum):
+    PRIVATE = "private"
+    FILE_TEXT = "file_text"
+
+
+@dataclass
+class MemorySegment:
+    """One mapping in a process address space.
+
+    Attributes:
+        kind: accounting class of the segment.
+        size: resident bytes.
+        file_key: identity of the backing file for ``FILE_TEXT`` segments;
+            mappings with equal keys share physical pages node-wide.
+        label: human-readable origin ("heap", "libiwasm.so", "jit-code").
+    """
+
+    kind: SegmentKind
+    size: int
+    file_key: Optional[str] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"segment size must be >= 0, got {self.size}")
+        if self.kind is SegmentKind.FILE_TEXT and not self.file_key:
+            raise ValueError("FILE_TEXT segment requires a file_key")
+
+
+@dataclass
+class SimProcess:
+    """A simulated process: identity, cgroup membership, and its segments."""
+
+    pid: int
+    name: str
+    cgroup: str = "/"
+    alive: bool = True
+    start_time: float = 0.0
+    segments: Dict[str, MemorySegment] = field(default_factory=dict)
+    _seq: int = 0
+
+    def add_segment(self, seg: MemorySegment, key: Optional[str] = None) -> str:
+        """Attach a segment; returns the key it is stored under."""
+        if key is None:
+            key = f"{seg.label or seg.kind.value}#{self._seq}"
+            self._seq += 1
+        if key in self.segments:
+            raise KeyError(f"duplicate segment key {key!r} in pid {self.pid}")
+        self.segments[key] = seg
+        return key
+
+    def drop_segment(self, key: str) -> MemorySegment:
+        return self.segments.pop(key)
+
+    def resize_segment(self, key: str, new_size: int) -> None:
+        if new_size < 0:
+            raise ValueError(f"segment size must be >= 0, got {new_size}")
+        self.segments[key].size = new_size
+
+    def private_bytes(self) -> int:
+        return sum(s.size for s in self.segments.values() if s.kind is SegmentKind.PRIVATE)
+
+    def file_segments(self) -> Iterator[MemorySegment]:
+        return (s for s in self.segments.values() if s.kind is SegmentKind.FILE_TEXT)
+
+    def rss(self) -> int:
+        """Linux-style RSS: private + full size of every mapped file."""
+        return self.private_bytes() + sum(s.size for s in self.file_segments())

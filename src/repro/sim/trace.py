@@ -1,0 +1,78 @@
+"""Span tracing for simulated activities.
+
+Components record named spans (``category``, ``name``, start/end in
+simulated seconds, free-form attributes); the measurement layer
+aggregates them into per-phase startup breakdowns — the observability
+needed to *explain* Figs 8/9 rather than just reproduce them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Span:
+    category: str  # e.g. "startup.serialized"
+    name: str  # e.g. the container id
+    start: float
+    end: float
+    attrs: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def attr(self, key: str) -> Optional[str]:
+        for k, v in self.attrs:
+            if k == key:
+                return v
+        return None
+
+
+@dataclass
+class Tracer:
+    """Append-only span log."""
+
+    spans: List[Span] = field(default_factory=list)
+    enabled: bool = True
+
+    def record(
+        self, category: str, name: str, start: float, end: float, **attrs: str
+    ) -> None:
+        if not self.enabled:
+            return
+        if end < start:
+            raise ValueError(f"span {category}/{name} ends before it starts")
+        self.spans.append(
+            Span(category, name, start, end, tuple(sorted(attrs.items())))
+        )
+
+    def by_category(self, category: str) -> List[Span]:
+        return [s for s in self.spans if s.category == category]
+
+    def filtered(self, **attrs: str) -> List[Span]:
+        return [
+            s for s in self.spans if all(s.attr(k) == v for k, v in attrs.items())
+        ]
+
+    def phase_totals(self, **attrs: str) -> Dict[str, float]:
+        """Total simulated seconds per category, optionally filtered."""
+        totals: Dict[str, float] = defaultdict(float)
+        for span in self.filtered(**attrs) if attrs else self.spans:
+            totals[span.category] += span.duration
+        return dict(totals)
+
+    def phase_means(self, **attrs: str) -> Dict[str, float]:
+        """Mean span duration per category, optionally filtered."""
+        sums: Dict[str, float] = defaultdict(float)
+        counts: Dict[str, int] = defaultdict(int)
+        for span in self.filtered(**attrs) if attrs else self.spans:
+            sums[span.category] += span.duration
+            counts[span.category] += 1
+        return {c: sums[c] / counts[c] for c in sums}
+
+    def clear(self) -> None:
+        self.spans.clear()

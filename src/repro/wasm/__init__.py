@@ -1,0 +1,35 @@
+"""A from-scratch WebAssembly (MVP core) toolchain.
+
+This package implements the substrate every engine model executes on:
+
+* :mod:`repro.wasm.leb128` — LEB128 varint codec,
+* :mod:`repro.wasm.types` / :mod:`repro.wasm.ast` — type and module ASTs,
+* :mod:`repro.wasm.encoder` / :mod:`repro.wasm.decoder` — binary format
+  (full roundtrip),
+* :mod:`repro.wasm.wat` — text-format assembler (s-expressions → module),
+* :mod:`repro.wasm.validation` — spec-style type-checking validator,
+* :mod:`repro.wasm.runtime` — stack-machine interpreter with linear
+  memory, tables, globals, host functions, and traps,
+* :mod:`repro.wasm.wasi` — WASI ``snapshot_preview1`` subset over an
+  in-memory filesystem.
+
+Coverage: the full MVP numeric/parametric/variable/memory/control
+instruction set plus the sign-extension and saturating-truncation
+extensions; no SIMD, threads, or reference types (the paper's workloads
+need none of them).
+"""
+
+from repro.wasm.ast import Module
+from repro.wasm.decoder import decode_module
+from repro.wasm.encoder import encode_module
+from repro.wasm.validation import validate_module
+from repro.wasm.wat import parse_wat, assemble_wat
+
+__all__ = [
+    "Module",
+    "decode_module",
+    "encode_module",
+    "validate_module",
+    "parse_wat",
+    "assemble_wat",
+]

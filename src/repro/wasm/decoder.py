@@ -1,0 +1,367 @@
+"""WebAssembly binary format → module AST."""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from repro.errors import MalformedModule
+from repro.wasm import leb128
+from repro.wasm.ast import (
+    CustomSection,
+    DataSegment,
+    ElemSegment,
+    Export,
+    Expr,
+    Function,
+    Global,
+    Import,
+    Instr,
+    Module,
+)
+from repro.wasm.encoder import MAGIC, VERSION
+from repro.wasm.opcodes import Imm, OP_TO_NAME, OPCODES
+from repro.wasm.types import (
+    FuncType,
+    GlobalType,
+    Limits,
+    MemoryType,
+    TableType,
+    ValType,
+)
+
+_VALTYPE_BYTES = {t.value for t in ValType}
+_IMPORT_KINDS = {0: "func", 1: "table", 2: "mem", 3: "global"}
+
+
+class _Reader:
+    """Cursor over the binary with spec-shaped primitive readers."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes, pos: int = 0) -> None:
+        self.data = data
+        self.pos = pos
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.data)
+
+    def byte(self) -> int:
+        if self.pos >= len(self.data):
+            raise MalformedModule("unexpected end of module")
+        b = self.data[self.pos]
+        self.pos += 1
+        return b
+
+    def take(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise MalformedModule("unexpected end of module")
+        chunk = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def u32(self) -> int:
+        value, self.pos = leb128.decode_u(self.data, self.pos, 32)
+        return value
+
+    def s32(self) -> int:
+        value, self.pos = leb128.decode_s(self.data, self.pos, 32)
+        return value
+
+    def s33(self) -> int:
+        value, self.pos = leb128.decode_s(self.data, self.pos, 33)
+        return value
+
+    def s64(self) -> int:
+        value, self.pos = leb128.decode_s(self.data, self.pos, 64)
+        return value
+
+    def f32(self) -> float:
+        return struct.unpack("<f", self.take(4))[0]
+
+    def f64(self) -> float:
+        return struct.unpack("<d", self.take(8))[0]
+
+    def name(self) -> str:
+        raw = self.take(self.u32())
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise MalformedModule(f"invalid UTF-8 name: {exc}") from None
+
+    def valtype(self) -> ValType:
+        return ValType.from_byte(self.byte())
+
+    def limits(self) -> Limits:
+        flag = self.byte()
+        if flag == 0x00:
+            return Limits(self.u32())
+        if flag == 0x01:
+            return Limits(self.u32(), self.u32())
+        raise MalformedModule(f"bad limits flag 0x{flag:02x}")
+
+    def functype(self) -> FuncType:
+        if self.byte() != 0x60:
+            raise MalformedModule("function type must start with 0x60")
+        params = tuple(self.valtype() for _ in range(self.u32()))
+        results = tuple(self.valtype() for _ in range(self.u32()))
+        return FuncType(params, results)
+
+    def tabletype(self) -> TableType:
+        kind = self.byte()
+        if kind != 0x70:
+            raise MalformedModule(f"unsupported table element kind 0x{kind:02x}")
+        return TableType(self.limits(), elem_kind=kind)
+
+    def globaltype(self) -> GlobalType:
+        vt = self.valtype()
+        mut = self.byte()
+        if mut not in (0, 1):
+            raise MalformedModule(f"bad global mutability byte 0x{mut:02x}")
+        return GlobalType(vt, bool(mut))
+
+    def blocktype(self):
+        b = self.data[self.pos] if self.pos < len(self.data) else None
+        if b is None:
+            raise MalformedModule("unexpected end in block type")
+        if b == 0x40:
+            self.pos += 1
+            return None
+        if b in _VALTYPE_BYTES:
+            self.pos += 1
+            return ValType(b)
+        idx = self.s33()
+        if idx < 0:
+            raise MalformedModule(f"negative block type index {idx}")
+        return idx
+
+
+def _decode_instr(r: _Reader, code: int) -> Instr:
+    """Decode one non-structured instruction given its opcode byte."""
+    if code == 0xFC:
+        sub = r.u32()
+        full = 0xFC00 | sub
+        name = OP_TO_NAME.get(full)
+        if name is None:
+            raise MalformedModule(f"unknown 0xFC sub-opcode {sub}")
+    else:
+        name = OP_TO_NAME.get(code)
+        if name is None:
+            raise MalformedModule(f"unknown opcode 0x{code:02x}")
+        full = code
+
+    kind = OPCODES[name][1]
+    if kind is Imm.NONE:
+        return Instr(name)
+    if kind is Imm.IDX:
+        return Instr(name, (r.u32(),))
+    if kind is Imm.MEMARG:
+        return Instr(name, (r.u32(), r.u32()))
+    if kind is Imm.BR_TABLE:
+        labels = tuple(r.u32() for _ in range(r.u32()))
+        return Instr(name, (labels, r.u32()))
+    if kind is Imm.CALL_INDIRECT:
+        type_idx = r.u32()
+        table = r.byte()
+        if table != 0x00:
+            raise MalformedModule("call_indirect reserved byte must be 0")
+        return Instr(name, (type_idx,))
+    if kind is Imm.I32:
+        return Instr(name, (r.s32(),))
+    if kind is Imm.I64:
+        return Instr(name, (r.s64(),))
+    if kind is Imm.F32:
+        return Instr(name, (r.f32(),))
+    if kind is Imm.F64:
+        return Instr(name, (r.f64(),))
+    if kind is Imm.MEM:
+        if r.byte() != 0x00:
+            raise MalformedModule("memory instruction reserved byte must be 0")
+        return Instr(name)
+    if kind is Imm.MEM2:
+        b1, b2 = r.byte(), r.byte()
+        if b1 != 0x00 or b2 != 0x00:
+            raise MalformedModule("memory.copy reserved bytes must be 0")
+        return Instr(name)
+    if kind is Imm.DATA_IDX:
+        return Instr(name, (r.u32(),))
+    if kind is Imm.DATA_MEM:
+        idx = r.u32()
+        if r.byte() != 0x00:
+            raise MalformedModule("memory.init reserved byte must be 0")
+        return Instr(name, (idx,))
+    raise MalformedModule(f"unhandled immediate kind {kind}")  # pragma: no cover
+
+
+def _decode_body(r: _Reader) -> Tuple[Expr, int]:
+    """Decode a sequence of instructions until ``end`` (0x0B) or ``else``.
+
+    Returns (instructions, terminator_opcode).
+    """
+    out: Expr = []
+    while True:
+        code = r.byte()
+        if code in (0x0B, 0x05):
+            return out, code
+        if code == 0x02 or code == 0x03:  # block / loop
+            bt = r.blocktype()
+            body, term = _decode_body(r)
+            if term != 0x0B:
+                raise MalformedModule("block/loop terminated by else")
+            out.append(Instr("block" if code == 0x02 else "loop", blocktype=bt, body=body))
+        elif code == 0x04:  # if
+            bt = r.blocktype()
+            then, term = _decode_body(r)
+            else_body: Expr = []
+            if term == 0x05:
+                else_body, term = _decode_body(r)
+                if term != 0x0B:
+                    raise MalformedModule("else terminated by else")
+            out.append(Instr("if", blocktype=bt, body=then, else_body=else_body))
+        else:
+            out.append(_decode_instr(r, code))
+
+
+def _decode_expr(r: _Reader) -> Expr:
+    body, term = _decode_body(r)
+    if term != 0x0B:
+        raise MalformedModule("expression terminated by else")
+    return body
+
+
+def _decode_code_entry(payload: bytes) -> Tuple[List[ValType], Expr]:
+    r = _Reader(payload)
+    locals_: List[ValType] = []
+    for _ in range(r.u32()):
+        count = r.u32()
+        vt = r.valtype()
+        if count > 1_000_000:
+            raise MalformedModule(f"too many locals: {count}")
+        locals_.extend([vt] * count)
+    body = _decode_expr(r)
+    if not r.eof():
+        raise MalformedModule("trailing bytes after function body")
+    return locals_, body
+
+
+def decode_module(data: bytes) -> Module:
+    """Parse a WebAssembly binary into a :class:`Module`.
+
+    Enforces the spec's section ordering and the function/code section
+    count agreement. Custom sections are preserved verbatim.
+    """
+    r = _Reader(data)
+    if r.take(4) != MAGIC:
+        raise MalformedModule("bad magic number")
+    if r.take(4) != VERSION:
+        raise MalformedModule("unsupported binary version")
+
+    module = Module()
+    func_type_indices: List[int] = []
+    data_count: Optional[int] = None
+    last_section = 0
+
+    while not r.eof():
+        section_id = r.byte()
+        size = r.u32()
+        payload = r.take(size)
+        sr = _Reader(payload)
+
+        if section_id == 0:
+            name = sr.name()
+            module.customs.append(CustomSection(name, payload[sr.pos :]))
+            continue
+        if section_id > 12:
+            raise MalformedModule(f"unknown section id {section_id}")
+        # DataCount (12) sits between Element (9) and Code (10).
+        order_key = 9.5 if section_id == 12 else float(section_id)
+        last_key = 9.5 if last_section == 12 else float(last_section)
+        if order_key <= last_key:
+            raise MalformedModule(
+                f"section {section_id} out of order (after {last_section})"
+            )
+        last_section = section_id
+
+        if section_id == 1:
+            module.types = [sr.functype() for _ in range(sr.u32())]
+        elif section_id == 2:
+            for _ in range(sr.u32()):
+                mod_name, item_name = sr.name(), sr.name()
+                kind_byte = sr.byte()
+                kind = _IMPORT_KINDS.get(kind_byte)
+                if kind is None:
+                    raise MalformedModule(f"bad import kind 0x{kind_byte:02x}")
+                desc = {
+                    "func": sr.u32,
+                    "table": sr.tabletype,
+                    "mem": lambda: MemoryType(sr.limits()),
+                    "global": sr.globaltype,
+                }[kind]()
+                module.imports.append(Import(mod_name, item_name, kind, desc))
+        elif section_id == 3:
+            func_type_indices = [sr.u32() for _ in range(sr.u32())]
+        elif section_id == 4:
+            module.tables = [sr.tabletype() for _ in range(sr.u32())]
+        elif section_id == 5:
+            module.mems = [MemoryType(sr.limits()) for _ in range(sr.u32())]
+        elif section_id == 6:
+            for _ in range(sr.u32()):
+                gt = sr.globaltype()
+                module.globals.append(Global(gt, _decode_expr(sr)))
+        elif section_id == 7:
+            kinds = {0: "func", 1: "table", 2: "mem", 3: "global"}
+            for _ in range(sr.u32()):
+                name = sr.name()
+                kb = sr.byte()
+                if kb not in kinds:
+                    raise MalformedModule(f"bad export kind 0x{kb:02x}")
+                module.exports.append(Export(name, kinds[kb], sr.u32()))
+        elif section_id == 8:
+            module.start = sr.u32()
+        elif section_id == 9:
+            for _ in range(sr.u32()):
+                table_idx = sr.u32()
+                offset = _decode_expr(sr)
+                funcs = [sr.u32() for _ in range(sr.u32())]
+                module.elems.append(ElemSegment(table_idx, offset, funcs))
+        elif section_id == 10:
+            count = sr.u32()
+            if count != len(func_type_indices):
+                raise MalformedModule(
+                    f"code count {count} != function count {len(func_type_indices)}"
+                )
+            for type_idx in func_type_indices:
+                body_size = sr.u32()
+                locals_, body = _decode_code_entry(sr.take(body_size))
+                module.funcs.append(Function(type_idx, locals_, body))
+        elif section_id == 11:
+            for _ in range(sr.u32()):
+                flag = sr.u32()
+                if flag == 0:
+                    offset = _decode_expr(sr)
+                    blob = sr.take(sr.u32())
+                    module.datas.append(DataSegment(0, offset, blob))
+                elif flag == 1:
+                    blob = sr.take(sr.u32())
+                    module.datas.append(DataSegment(0, [], blob, passive=True))
+                elif flag == 2:
+                    mem_idx = sr.u32()
+                    offset = _decode_expr(sr)
+                    blob = sr.take(sr.u32())
+                    module.datas.append(DataSegment(mem_idx, offset, blob))
+                else:
+                    raise MalformedModule(f"bad data segment flag {flag}")
+            if data_count is not None and len(module.datas) != data_count:
+                raise MalformedModule(
+                    f"data count section says {data_count}, "
+                    f"data section has {len(module.datas)}"
+                )
+        elif section_id == 12:
+            data_count = sr.u32()
+
+        if not sr.eof():
+            raise MalformedModule(f"trailing bytes in section {section_id}")
+
+    if func_type_indices and len(module.funcs) != len(func_type_indices):
+        raise MalformedModule("function section without matching code section")
+    return module

@@ -1,0 +1,104 @@
+"""Embedder convenience API: run a WASI command module in one call.
+
+This is the code path every engine model exercises: decode → validate →
+link WASI imports → instantiate → attach exported memory → call
+``_start`` → collect exit code and captured output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Union
+
+from repro.errors import WasiExit, WasmError
+from repro.wasm.ast import Module
+from repro.wasm.decoder import decode_module
+from repro.wasm.runtime import Interpreter, ModuleInstance, Store, instantiate
+from repro.wasm.validation import validate_module
+from repro.wasm.wasi import InMemoryFilesystem, WasiEnv
+
+
+@dataclass
+class WasiRunResult:
+    """Outcome of one guest run."""
+
+    exit_code: int
+    stdout: bytes
+    stderr: bytes
+    instructions: int
+    memory_bytes: int  # linear memory resident at exit
+    instance: ModuleInstance
+    store: Store
+
+
+def run_wasi(
+    module: Union[bytes, Module],
+    args: Sequence[str] = ("main.wasm",),
+    env: Optional[Dict[str, str]] = None,
+    preopens: Optional[Dict[str, str]] = None,
+    fs: Optional[InMemoryFilesystem] = None,
+    stdin: bytes = b"",
+    fuel: Optional[int] = None,
+    clock_ns: Optional[Callable[[], int]] = None,
+    entrypoint: str = "_start",
+) -> WasiRunResult:
+    """Execute a WASI command module to completion.
+
+    Args:
+        module: binary bytes or an already-decoded :class:`Module`.
+        args: argv (``args[0]`` is the program name).
+        env: environment variables.
+        preopens: guest path → host-fs path preopened directories.
+        fs: filesystem to mount (fresh empty one if omitted).
+        stdin: bytes readable on fd 0.
+        fuel: optional instruction budget (``ExhaustionError`` beyond it).
+        clock_ns: deterministic nanosecond clock for ``clock_time_get``.
+        entrypoint: exported function to call (``_start`` for commands).
+
+    Returns:
+        :class:`WasiRunResult`. ``exit_code`` is 0 when the entrypoint
+        returns normally, otherwise the ``proc_exit`` code.
+    """
+    if isinstance(module, (bytes, bytearray)):
+        module = decode_module(bytes(module))
+    validate_module(module)
+
+    store = Store()
+    wasi = WasiEnv(
+        args=args,
+        env=env,
+        preopens=preopens,
+        fs=fs,
+        stdin=stdin,
+        clock_ns=clock_ns,
+    )
+    host = wasi.register(store)
+    interp = Interpreter(store, fuel=fuel)
+
+    instance = instantiate(
+        store, module, imports=host.import_map(), run_start=False
+    )
+    if instance.mem_addrs:
+        wasi.attach_memory(store.mems[instance.mem_addrs[0]])
+
+    exit_code = 0
+    try:
+        if module.start is not None:
+            interp.invoke(instance.func_addrs[module.start])
+        entry = instance.exports.get(entrypoint)
+        if entry is not None and entry[0] == "func":
+            interp.invoke(entry[1])
+        elif module.start is None:
+            raise WasmError(f"module has no {entrypoint!r} export and no start section")
+    except WasiExit as stop:
+        exit_code = stop.code
+
+    return WasiRunResult(
+        exit_code=exit_code,
+        stdout=bytes(wasi.stdout),
+        stderr=bytes(wasi.stderr),
+        instructions=interp.instructions_executed,
+        memory_bytes=store.total_memory_bytes(),
+        instance=instance,
+        store=store,
+    )

@@ -1,0 +1,262 @@
+"""Module AST → WebAssembly binary format."""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from repro.errors import WasmError
+from repro.wasm import leb128
+from repro.wasm.ast import (
+    DataSegment,
+    ElemSegment,
+    Expr,
+    Function,
+    Global,
+    Import,
+    Module,
+)
+from repro.wasm.opcodes import Imm, OPCODES
+from repro.wasm.types import (
+    FuncType,
+    GlobalType,
+    Limits,
+    MemoryType,
+    TableType,
+    ValType,
+)
+
+MAGIC = b"\x00asm"
+VERSION = b"\x01\x00\x00\x00"
+
+_SECTION_IDS = {
+    "custom": 0,
+    "type": 1,
+    "import": 2,
+    "function": 3,
+    "table": 4,
+    "memory": 5,
+    "global": 6,
+    "export": 7,
+    "start": 8,
+    "elem": 9,
+    "code": 10,
+    "data": 11,
+}
+
+_EXPORT_KIND = {"func": 0, "table": 1, "mem": 2, "global": 3}
+
+
+def _vec(items: List[bytes]) -> bytes:
+    return leb128.encode_u(len(items)) + b"".join(items)
+
+
+def _name(s: str) -> bytes:
+    raw = s.encode("utf-8")
+    return leb128.encode_u(len(raw)) + raw
+
+
+def _limits(lim: Limits) -> bytes:
+    if lim.maximum is None:
+        return b"\x00" + leb128.encode_u(lim.minimum)
+    return b"\x01" + leb128.encode_u(lim.minimum) + leb128.encode_u(lim.maximum)
+
+
+def _functype(ft: FuncType) -> bytes:
+    return (
+        b"\x60"
+        + _vec([bytes([t.value]) for t in ft.params])
+        + _vec([bytes([t.value]) for t in ft.results])
+    )
+
+
+def _globaltype(gt: GlobalType) -> bytes:
+    return bytes([gt.valtype.value, 1 if gt.mutable else 0])
+
+
+def _tabletype(tt: TableType) -> bytes:
+    return bytes([tt.elem_kind]) + _limits(tt.limits)
+
+
+def _blocktype(bt) -> bytes:
+    if bt is None:
+        return b"\x40"
+    if isinstance(bt, ValType):
+        return bytes([bt.value])
+    if isinstance(bt, int):
+        return leb128.encode_s(bt)
+    raise WasmError(f"bad block type {bt!r}")
+
+
+def encode_instr(ins, out: bytearray) -> None:
+    """Append the flat encoding of one (possibly structured) instruction."""
+    try:
+        code, kind = OPCODES[ins.op]
+    except KeyError:
+        raise WasmError(f"unknown instruction {ins.op!r}") from None
+    if code > 0xFF:
+        out.append(0xFC)
+        out += leb128.encode_u(code & 0xFF)
+    else:
+        out.append(code)
+
+    if kind is Imm.NONE:
+        pass
+    elif kind is Imm.BLOCK:
+        out += _blocktype(ins.blocktype)
+        for child in ins.body:
+            encode_instr(child, out)
+        if ins.op == "if" and ins.else_body:
+            out.append(0x05)
+            for child in ins.else_body:
+                encode_instr(child, out)
+        out.append(0x0B)
+    elif kind is Imm.IDX:
+        out += leb128.encode_u(ins.args[0])
+    elif kind is Imm.MEMARG:
+        align, offset = ins.args
+        out += leb128.encode_u(align) + leb128.encode_u(offset)
+    elif kind is Imm.BR_TABLE:
+        labels, default = ins.args
+        out += _vec([leb128.encode_u(l) for l in labels])
+        out += leb128.encode_u(default)
+    elif kind is Imm.CALL_INDIRECT:
+        out += leb128.encode_u(ins.args[0]) + b"\x00"
+    elif kind is Imm.I32:
+        out += leb128.encode_s(ins.args[0])
+    elif kind is Imm.I64:
+        out += leb128.encode_s(ins.args[0])
+    elif kind is Imm.F32:
+        out += struct.pack("<f", ins.args[0])
+    elif kind is Imm.F64:
+        out += struct.pack("<d", ins.args[0])
+    elif kind is Imm.MEM:
+        out.append(0x00)
+    elif kind is Imm.MEM2:
+        out += b"\x00\x00"
+    elif kind is Imm.DATA_IDX:
+        out += leb128.encode_u(ins.args[0])
+    elif kind is Imm.DATA_MEM:
+        out += leb128.encode_u(ins.args[0]) + b"\x00"
+    else:  # pragma: no cover - table is exhaustive
+        raise WasmError(f"unhandled immediate kind {kind}")
+
+
+def _expr(body: Expr) -> bytes:
+    out = bytearray()
+    for ins in body:
+        encode_instr(ins, out)
+    out.append(0x0B)
+    return bytes(out)
+
+
+def _import(imp: Import) -> bytes:
+    head = _name(imp.module) + _name(imp.name)
+    if imp.kind == "func":
+        return head + b"\x00" + leb128.encode_u(imp.desc)  # type: ignore[arg-type]
+    if imp.kind == "table":
+        return head + b"\x01" + _tabletype(imp.desc)  # type: ignore[arg-type]
+    if imp.kind == "mem":
+        return head + b"\x02" + _limits(imp.desc.limits)  # type: ignore[union-attr]
+    if imp.kind == "global":
+        return head + b"\x03" + _globaltype(imp.desc)  # type: ignore[arg-type]
+    raise WasmError(f"bad import kind {imp.kind!r}")
+
+
+def _code_entry(func: Function) -> bytes:
+    # Group consecutive identical local types (the compressed form).
+    groups: List[bytes] = []
+    i = 0
+    locs = func.locals
+    while i < len(locs):
+        j = i
+        while j < len(locs) and locs[j] == locs[i]:
+            j += 1
+        groups.append(leb128.encode_u(j - i) + bytes([locs[i].value]))
+        i = j
+    body = _vec(groups) + _expr(func.body)
+    return leb128.encode_u(len(body)) + body
+
+
+def _section(section_id: int, payload: bytes) -> bytes:
+    return bytes([section_id]) + leb128.encode_u(len(payload)) + payload
+
+
+def _elem(seg: ElemSegment) -> bytes:
+    return (
+        leb128.encode_u(seg.table_idx)
+        + _expr(seg.offset)
+        + _vec([leb128.encode_u(f) for f in seg.func_indices])
+    )
+
+
+def _data(seg: DataSegment) -> bytes:
+    """Data segment with its mode flag: 0 = active (memory 0),
+    1 = passive, 2 = active with explicit memory index."""
+    payload = leb128.encode_u(len(seg.data)) + seg.data
+    if seg.passive:
+        return b"\x01" + payload
+    if seg.mem_idx == 0:
+        return b"\x00" + _expr(seg.offset) + payload
+    return b"\x02" + leb128.encode_u(seg.mem_idx) + _expr(seg.offset) + payload
+
+
+def _uses_bulk_data_ops(module: Module) -> bool:
+    """True when any body contains memory.init / data.drop — the binary
+    then requires a DataCount section (id 12) before the code section."""
+
+    def scan(body) -> bool:
+        for ins in body:
+            if ins.op in ("memory.init", "data.drop"):
+                return True
+            if scan(ins.body) or scan(ins.else_body):
+                return True
+        return False
+
+    return any(scan(f.body) for f in module.funcs)
+
+
+def _global(g: Global) -> bytes:
+    return _globaltype(g.type) + _expr(g.init)
+
+
+def encode_module(module: Module) -> bytes:
+    """Serialize ``module`` to the binary format."""
+    out = bytearray(MAGIC + VERSION)
+
+    if module.types:
+        out += _section(1, _vec([_functype(t) for t in module.types]))
+    if module.imports:
+        out += _section(2, _vec([_import(i) for i in module.imports]))
+    if module.funcs:
+        out += _section(3, _vec([leb128.encode_u(f.type_idx) for f in module.funcs]))
+    if module.tables:
+        out += _section(4, _vec([_tabletype(t) for t in module.tables]))
+    if module.mems:
+        out += _section(5, _vec([_limits(m.limits) for m in module.mems]))
+    if module.globals:
+        out += _section(6, _vec([_global(g) for g in module.globals]))
+    if module.exports:
+        out += _section(
+            7,
+            _vec(
+                [
+                    _name(e.name) + bytes([_EXPORT_KIND[e.kind]]) + leb128.encode_u(e.index)
+                    for e in module.exports
+                ]
+            ),
+        )
+    if module.start is not None:
+        out += _section(8, leb128.encode_u(module.start))
+    if module.elems:
+        out += _section(9, _vec([_elem(s) for s in module.elems]))
+    if module.datas and (_uses_bulk_data_ops(module) or any(s.passive for s in module.datas)):
+        out += _section(12, leb128.encode_u(len(module.datas)))
+    if module.funcs:
+        out += _section(10, _vec([_code_entry(f) for f in module.funcs]))
+    if module.datas:
+        out += _section(11, _vec([_data(s) for s in module.datas]))
+    for custom in module.customs:
+        out += _section(0, _name(custom.name) + custom.payload)
+
+    return bytes(out)

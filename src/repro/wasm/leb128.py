@@ -1,0 +1,91 @@
+"""LEB128 variable-length integer codec (unsigned and signed).
+
+Follows the WebAssembly binary format rules: encodings are minimal-length
+by construction when produced by :func:`encode_u` / :func:`encode_s`, and
+the decoders enforce the spec's bound of ``ceil(bits/7)`` bytes and reject
+non-zero unused bits in the final byte.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import MalformedModule
+
+
+def encode_u(value: int) -> bytes:
+    """Encode a non-negative integer as unsigned LEB128."""
+    if value < 0:
+        raise ValueError(f"unsigned LEB128 requires value >= 0, got {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def encode_s(value: int) -> bytes:
+    """Encode a signed integer as signed LEB128."""
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7  # arithmetic shift: Python ints keep the sign
+        sign_bit = byte & 0x40
+        if (value == 0 and not sign_bit) or (value == -1 and sign_bit):
+            out.append(byte)
+            return bytes(out)
+        out.append(byte | 0x80)
+
+
+def decode_u(data: bytes, pos: int, bits: int = 32) -> Tuple[int, int]:
+    """Decode unsigned LEB128 at ``pos``; returns (value, new_pos).
+
+    Raises:
+        MalformedModule: on truncation, overlong encoding, or overflow.
+    """
+    result = 0
+    shift = 0
+    max_bytes = (bits + 6) // 7
+    for i in range(max_bytes):
+        if pos >= len(data):
+            raise MalformedModule("unexpected end of LEB128")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not (byte & 0x80):
+            # Unused bits in the final byte must be zero.
+            used = bits - shift
+            if used < 7 and (byte & 0x7F) >> used:
+                raise MalformedModule(f"integer too large for u{bits}")
+            return result, pos
+        shift += 7
+    raise MalformedModule(f"LEB128 longer than {max_bytes} bytes for u{bits}")
+
+
+def decode_s(data: bytes, pos: int, bits: int = 32) -> Tuple[int, int]:
+    """Decode signed LEB128 at ``pos``; returns (value, new_pos)."""
+    result = 0
+    shift = 0
+    max_bytes = (bits + 6) // 7
+    for i in range(max_bytes):
+        if pos >= len(data):
+            raise MalformedModule("unexpected end of LEB128")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        shift += 7
+        if not (byte & 0x80):
+            if byte & 0x40:
+                # Sign-extend from the bits read so far; the range check
+                # below rejects encodings whose padding bits are wrong.
+                result |= -(1 << shift)
+            # Check the value fits in `bits` as a signed integer.
+            lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+            if not (lo <= result <= hi):
+                raise MalformedModule(f"integer too large for s{bits}")
+            return result, pos
+    raise MalformedModule(f"LEB128 longer than {max_bytes} bytes for s{bits}")

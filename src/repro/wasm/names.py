@@ -1,0 +1,105 @@
+"""The ``name`` custom section (module + function debug names).
+
+Engines and debuggers read this section to label stack traces; our
+toolchain preserves symbolic names across a binary roundtrip with it:
+``attach_name_section`` serializes ``Module.name`` and ``Function.name``
+into the custom section, and ``apply_name_section`` restores them after
+:func:`~repro.wasm.decoder.decode_module` (which keeps custom sections
+verbatim but does not interpret them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import MalformedModule
+from repro.wasm import leb128
+from repro.wasm.ast import CustomSection, Module
+
+SECTION_NAME = "name"
+
+_SUB_MODULE = 0
+_SUB_FUNCTIONS = 1
+
+
+def _name_bytes(s: str) -> bytes:
+    raw = s.encode("utf-8")
+    return leb128.encode_u(len(raw)) + raw
+
+
+def build_name_section(module: Module) -> Optional[CustomSection]:
+    """Serialize the module's symbolic names; None if there are none."""
+    payload = bytearray()
+
+    if module.name:
+        body = _name_bytes(module.name)
+        payload += bytes([_SUB_MODULE]) + leb128.encode_u(len(body)) + body
+
+    n_imported = module.num_imported_funcs()
+    named = {
+        n_imported + i: f.name for i, f in enumerate(module.funcs) if f.name
+    }
+    if named:
+        body = bytearray(leb128.encode_u(len(named)))
+        for idx in sorted(named):
+            body += leb128.encode_u(idx) + _name_bytes(named[idx])
+        payload += bytes([_SUB_FUNCTIONS]) + leb128.encode_u(len(body)) + bytes(body)
+
+    if not payload:
+        return None
+    return CustomSection(SECTION_NAME, bytes(payload))
+
+
+def attach_name_section(module: Module) -> Module:
+    """Add (or replace) the name section among the custom sections."""
+    module.customs = [c for c in module.customs if c.name != SECTION_NAME]
+    section = build_name_section(module)
+    if section is not None:
+        module.customs.append(section)
+    return module
+
+
+def parse_name_section(section: CustomSection) -> Dict[str, object]:
+    """Decode a name section payload → {'module': str|None, 'functions': {idx: name}}."""
+    data = section.payload
+    pos = 0
+    result: Dict[str, object] = {"module": None, "functions": {}}
+    while pos < len(data):
+        sub_id = data[pos]
+        pos += 1
+        size, pos = leb128.decode_u(data, pos, 32)
+        body = data[pos : pos + size]
+        if len(body) != size:
+            raise MalformedModule("truncated name subsection")
+        pos += size
+        bpos = 0
+        if sub_id == _SUB_MODULE:
+            length, bpos = leb128.decode_u(body, bpos, 32)
+            result["module"] = body[bpos : bpos + length].decode("utf-8")
+        elif sub_id == _SUB_FUNCTIONS:
+            count, bpos = leb128.decode_u(body, bpos, 32)
+            functions: Dict[int, str] = {}
+            for _ in range(count):
+                idx, bpos = leb128.decode_u(body, bpos, 32)
+                length, bpos = leb128.decode_u(body, bpos, 32)
+                functions[idx] = body[bpos : bpos + length].decode("utf-8")
+                bpos += length
+            result["functions"] = functions
+        # Unknown subsections (locals, labels, ...) are skipped, per spec.
+    return result
+
+
+def apply_name_section(module: Module) -> Module:
+    """Restore Module.name / Function.name from a decoded name section."""
+    for section in module.customs:
+        if section.name != SECTION_NAME:
+            continue
+        names = parse_name_section(section)
+        if names["module"]:
+            module.name = names["module"]  # type: ignore[assignment]
+        n_imported = module.num_imported_funcs()
+        for idx, fname in names["functions"].items():  # type: ignore[union-attr]
+            local_idx = idx - n_imported
+            if 0 <= local_idx < len(module.funcs):
+                module.funcs[local_idx].name = fname
+    return module

@@ -1,0 +1,23 @@
+"""Execution engine: store, instances, interpreter, instantiation."""
+
+from repro.wasm.runtime.store import (
+    FuncInstance,
+    GlobalInstance,
+    MemoryInstance,
+    ModuleInstance,
+    Store,
+    TableInstance,
+)
+from repro.wasm.runtime.interpreter import Interpreter
+from repro.wasm.runtime.instantiate import instantiate
+
+__all__ = [
+    "Store",
+    "ModuleInstance",
+    "FuncInstance",
+    "TableInstance",
+    "MemoryInstance",
+    "GlobalInstance",
+    "Interpreter",
+    "instantiate",
+]

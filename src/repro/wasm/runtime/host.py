@@ -1,0 +1,38 @@
+"""Helpers for registering host functions (the import side of WASI)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.wasm.runtime.instantiate import Extern
+from repro.wasm.runtime.store import Store
+from repro.wasm.types import FuncType, ValType
+
+_ABBREV = {"i": ValType.I32, "I": ValType.I64, "f": ValType.F32, "F": ValType.F64}
+
+
+def sig(params: str, results: str = "") -> FuncType:
+    """Shorthand signature builder: ``sig("iiii", "i")`` = 4×i32 → i32."""
+    return FuncType(
+        tuple(_ABBREV[c] for c in params),
+        tuple(_ABBREV[c] for c in results),
+    )
+
+
+class HostModule:
+    """A named bag of host functions, exposable as an import map entry."""
+
+    def __init__(self, store: Store, name: str) -> None:
+        self.store = store
+        self.name = name
+        self._items: Dict[str, Extern] = {}
+
+    def func(self, item_name: str, func_type: FuncType, fn: Callable[..., Sequence[object]]) -> None:
+        addr = self.store.alloc_host_func(func_type, fn, name=f"{self.name}.{item_name}")
+        self._items[item_name] = ("func", addr)
+
+    def externs(self) -> Dict[str, Extern]:
+        return dict(self._items)
+
+    def import_map(self) -> Dict[str, Dict[str, Extern]]:
+        return {self.name: self.externs()}

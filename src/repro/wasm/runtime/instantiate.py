@@ -1,0 +1,158 @@
+"""Two-phase module instantiation (allocate, then initialize).
+
+Follows the spec: resolve imports against a name→extern map, allocate
+instances in the store, evaluate global initializers, copy element and
+data segments (with bounds traps), then run the start function.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from repro.errors import LinkError, WasmTrap
+from repro.wasm.ast import Expr, Module
+from repro.wasm.runtime.interpreter import Interpreter
+from repro.wasm.runtime.store import (
+    FuncInstance,
+    GlobalInstance,
+    MemoryInstance,
+    ModuleInstance,
+    Store,
+    TableInstance,
+)
+from repro.wasm.types import GlobalType, MemoryType, TableType
+
+# An importable item: ("func"|"table"|"mem"|"global", store address)
+Extern = Tuple[str, int]
+ImportMap = Mapping[str, Mapping[str, Extern]]
+
+
+def _eval_const(expr: Expr, instance: ModuleInstance, store: Store) -> object:
+    ins = expr[0]
+    if ins.op in ("i32.const", "i64.const"):
+        bits = 32 if ins.op.startswith("i32") else 64
+        return ins.args[0] & ((1 << bits) - 1)
+    if ins.op in ("f32.const", "f64.const"):
+        return ins.args[0]
+    if ins.op == "global.get":
+        return store.globals[instance.global_addrs[ins.args[0]]].value
+    raise LinkError(f"unsupported constant instruction {ins.op}")
+
+
+def instantiate(
+    store: Store,
+    module: Module,
+    imports: Optional[ImportMap] = None,
+    run_start: bool = True,
+    interpreter: Optional[Interpreter] = None,
+) -> ModuleInstance:
+    """Instantiate ``module`` in ``store`` resolving ``imports``.
+
+    Args:
+        imports: two-level map ``{module_name: {item_name: (kind, addr)}}``.
+        run_start: execute the start function (disable to defer).
+        interpreter: used for the start function; a fresh one is created
+            if omitted.
+
+    Raises:
+        LinkError: unresolved or mismatched imports.
+        WasmTrap: active segment out of bounds, or start function trap.
+    """
+    imports = imports or {}
+    instance = ModuleInstance(module=module)
+
+    # -- resolve imports ----------------------------------------------------
+    for imp in module.imports:
+        try:
+            kind, addr = imports[imp.module][imp.name]
+        except KeyError:
+            raise LinkError(f"unresolved import {imp.module}.{imp.name}") from None
+        if kind != imp.kind:
+            raise LinkError(
+                f"import {imp.module}.{imp.name}: expected {imp.kind}, got {kind}"
+            )
+        if imp.kind == "func":
+            expected = module.types[imp.desc]  # type: ignore[index]
+            actual = store.funcs[addr].type
+            if actual != expected:
+                raise LinkError(
+                    f"import {imp.module}.{imp.name}: signature mismatch "
+                    f"{actual} != {expected}"
+                )
+            instance.func_addrs.append(addr)
+        elif imp.kind == "table":
+            declared: TableType = imp.desc  # type: ignore[assignment]
+            if not declared.limits.contains(store.tables[addr].type.limits):
+                raise LinkError(f"import {imp.module}.{imp.name}: table limits mismatch")
+            instance.table_addrs.append(addr)
+        elif imp.kind == "mem":
+            declared_mem: MemoryType = imp.desc  # type: ignore[assignment]
+            actual_limits = store.mems[addr].type.limits
+            if not declared_mem.limits.contains(actual_limits):
+                raise LinkError(f"import {imp.module}.{imp.name}: memory limits mismatch")
+            instance.mem_addrs.append(addr)
+        elif imp.kind == "global":
+            declared_g: GlobalType = imp.desc  # type: ignore[assignment]
+            actual_g = store.globals[addr].type
+            if declared_g != actual_g:
+                raise LinkError(f"import {imp.module}.{imp.name}: global type mismatch")
+            instance.global_addrs.append(addr)
+
+    # -- allocate definitions ------------------------------------------------
+    for func in module.funcs:
+        addr = store.alloc_func(
+            FuncInstance(
+                type=module.types[func.type_idx],
+                module=instance,
+                code=func,
+                name=func.name or "",
+            )
+        )
+        instance.func_addrs.append(addr)
+    for table_type in module.tables:
+        instance.table_addrs.append(store.alloc_table(TableInstance(table_type)))
+    for mem_type in module.mems:
+        instance.mem_addrs.append(store.alloc_mem(MemoryInstance(mem_type)))
+    for g in module.globals:
+        value = _eval_const(g.init, instance, store)
+        instance.global_addrs.append(store.alloc_global(GlobalInstance(g.type, value)))
+
+    # -- exports ----------------------------------------------------------------
+    addr_spaces = {
+        "func": instance.func_addrs,
+        "table": instance.table_addrs,
+        "mem": instance.mem_addrs,
+        "global": instance.global_addrs,
+    }
+    for ex in module.exports:
+        instance.exports[ex.name] = (ex.kind, addr_spaces[ex.kind][ex.index])
+
+    # -- element segments ----------------------------------------------------------
+    for seg in module.elems:
+        offset = int(_eval_const(seg.offset, instance, store))  # type: ignore[arg-type]
+        table = store.tables[instance.table_addrs[seg.table_idx]]
+        if offset + len(seg.func_indices) > len(table.elements):
+            raise WasmTrap("element segment out of bounds")
+        for i, func_idx in enumerate(seg.func_indices):
+            table.elements[offset + i] = instance.func_addrs[func_idx]
+
+    # -- data segments ----------------------------------------------------------------
+    for seg in module.datas:
+        if seg.passive:
+            # Passive: payload sits in the store for memory.init.
+            instance.data_addrs.append(store.alloc_data(seg.data))
+            continue
+        offset = int(_eval_const(seg.offset, instance, store))  # type: ignore[arg-type]
+        mem = store.mems[instance.mem_addrs[seg.mem_idx]]
+        if offset + len(seg.data) > len(mem.data):
+            raise WasmTrap("data segment out of bounds")
+        mem.data[offset : offset + len(seg.data)] = seg.data
+        # Active segments are dropped after initialization (spec).
+        instance.data_addrs.append(store.alloc_data(None))
+
+    # -- start function ------------------------------------------------------------------
+    if run_start and module.start is not None:
+        interp = interpreter or Interpreter(store)
+        interp.invoke(instance.func_addrs[module.start])
+
+    return instance

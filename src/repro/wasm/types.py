@@ -1,0 +1,93 @@
+"""WebAssembly type system objects (value, function, limit, extern types)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import MalformedModule
+
+
+class ValType(enum.Enum):
+    """Core numeric value types (MVP)."""
+
+    I32 = 0x7F
+    I64 = 0x7E
+    F32 = 0x7D
+    F64 = 0x7C
+
+    @property
+    def is_int(self) -> bool:
+        return self in (ValType.I32, ValType.I64)
+
+    @property
+    def bits(self) -> int:
+        return {ValType.I32: 32, ValType.I64: 64, ValType.F32: 32, ValType.F64: 64}[self]
+
+    @classmethod
+    def from_byte(cls, b: int) -> "ValType":
+        try:
+            return cls(b)
+        except ValueError:
+            raise MalformedModule(f"unknown value type byte 0x{b:02x}") from None
+
+    def __repr__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class FuncType:
+    """Function signature: ``params -> results``."""
+
+    params: Tuple[ValType, ...] = ()
+    results: Tuple[ValType, ...] = ()
+
+    def __str__(self) -> str:
+        p = " ".join(t.name.lower() for t in self.params)
+        r = " ".join(t.name.lower() for t in self.results)
+        return f"[{p}] -> [{r}]"
+
+
+@dataclass(frozen=True)
+class Limits:
+    """Memory/table limits in units of pages or elements."""
+
+    minimum: int
+    maximum: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.minimum < 0:
+            raise MalformedModule("limits minimum must be >= 0")
+        if self.maximum is not None and self.maximum < self.minimum:
+            raise MalformedModule("limits maximum below minimum")
+
+    def contains(self, other: "Limits") -> bool:
+        """Import-matching rule: ``other`` at least as restrictive."""
+        if other.minimum < self.minimum:
+            return False
+        if self.maximum is not None:
+            if other.maximum is None or other.maximum > self.maximum:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class MemoryType:
+    limits: Limits
+
+
+@dataclass(frozen=True)
+class TableType:
+    limits: Limits
+    elem_kind: int = 0x70  # funcref — the only MVP element type
+
+
+@dataclass(frozen=True)
+class GlobalType:
+    valtype: ValType
+    mutable: bool = False
+
+
+PAGE_SIZE = 65536
+MAX_PAGES = 65536  # 4 GiB of 64 KiB pages

@@ -1,0 +1,6 @@
+"""WASI ``snapshot_preview1`` subset over an in-memory filesystem."""
+
+from repro.wasm.wasi.fs import InMemoryFilesystem, FsNode
+from repro.wasm.wasi.preview1 import WasiEnv
+
+__all__ = ["WasiEnv", "InMemoryFilesystem", "FsNode"]

@@ -1,0 +1,129 @@
+"""In-memory filesystem backing the WASI layer.
+
+A tree of :class:`FsNode` (directories hold children; files hold bytes).
+Paths are POSIX-style, resolved relative to a node with ``.``/``..``
+handling and no symlinks (WASI preopens disallow escaping upward past the
+preopen root, which :meth:`InMemoryFilesystem.resolve` enforces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class FsNode:
+    name: str
+    is_dir: bool
+    data: bytearray = field(default_factory=bytearray)
+    children: Dict[str, "FsNode"] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    def child(self, name: str) -> Optional["FsNode"]:
+        return self.children.get(name)
+
+
+class InMemoryFilesystem:
+    """A rooted in-memory tree with mkdir/write/read helpers."""
+
+    def __init__(self) -> None:
+        self.root = FsNode(name="/", is_dir=True)
+
+    # -- host-side population --------------------------------------------
+
+    def mkdir(self, path: str) -> FsNode:
+        node = self.root
+        for part in self._parts(path):
+            nxt = node.child(part)
+            if nxt is None:
+                nxt = FsNode(name=part, is_dir=True)
+                node.children[part] = nxt
+            elif not nxt.is_dir:
+                raise NotADirectoryError(path)
+            node = nxt
+        return node
+
+    def write_file(self, path: str, data: bytes) -> FsNode:
+        parts = self._parts(path)
+        if not parts:
+            raise IsADirectoryError(path)
+        parent = self.mkdir("/".join(parts[:-1])) if len(parts) > 1 else self.root
+        node = parent.child(parts[-1])
+        if node is None:
+            node = FsNode(name=parts[-1], is_dir=False)
+            parent.children[parts[-1]] = node
+        elif node.is_dir:
+            raise IsADirectoryError(path)
+        node.data = bytearray(data)
+        return node
+
+    def read_file(self, path: str) -> bytes:
+        node = self.lookup(path)
+        if node is None:
+            raise FileNotFoundError(path)
+        if node.is_dir:
+            raise IsADirectoryError(path)
+        return bytes(node.data)
+
+    def lookup(self, path: str) -> Optional[FsNode]:
+        node = self.root
+        for part in self._parts(path):
+            if not node.is_dir:
+                return None
+            nxt = node.child(part)
+            if nxt is None:
+                return None
+            node = nxt
+        return node
+
+    # -- guest-side resolution -----------------------------------------------
+
+    def resolve(
+        self, base: FsNode, rel_path: str, create_file: bool = False
+    ) -> Tuple[Optional[FsNode], str]:
+        """Resolve ``rel_path`` against ``base`` without escaping it.
+
+        Returns (node, error): node is None with a non-empty error string
+        ("noent", "notdir", "escape") on failure. With ``create_file`` the
+        final component is created as an empty file if missing.
+        """
+        parts = self._parts(rel_path)
+        stack: List[FsNode] = [base]
+        for i, part in enumerate(parts):
+            node = stack[-1]
+            if part == ".":
+                continue
+            if part == "..":
+                if len(stack) == 1:
+                    return None, "escape"
+                stack.pop()
+                continue
+            if not node.is_dir:
+                return None, "notdir"
+            nxt = node.child(part)
+            if nxt is None:
+                if create_file and i == len(parts) - 1:
+                    nxt = FsNode(name=part, is_dir=False)
+                    node.children[part] = nxt
+                else:
+                    return None, "noent"
+            stack.append(nxt)
+        return stack[-1], ""
+
+    def total_bytes(self) -> int:
+        """Total file payload (used in container image size accounting)."""
+
+        def walk(node: FsNode) -> int:
+            if not node.is_dir:
+                return node.size
+            return sum(walk(c) for c in node.children.values())
+
+        return walk(self.root)
+
+    @staticmethod
+    def _parts(path: str) -> List[str]:
+        return [p for p in path.split("/") if p]

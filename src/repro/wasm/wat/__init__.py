@@ -1,0 +1,25 @@
+"""WebAssembly text format (WAT) assembler.
+
+:func:`parse_wat` turns WAT source into a :class:`repro.wasm.ast.Module`;
+:func:`assemble_wat` goes all the way to validated binary bytes. Both the
+flat and the folded (s-expression) instruction forms are accepted, as are
+symbolic ``$identifiers`` for types, functions, locals, globals, tables,
+memories, and labels.
+"""
+
+from repro.wasm.wat.parser import parse_wat
+from repro.wasm.wat.printer import print_wat
+
+
+def assemble_wat(source: str, validate: bool = True) -> bytes:
+    """Assemble WAT source text into WebAssembly binary bytes."""
+    from repro.wasm.encoder import encode_module
+    from repro.wasm.validation import validate_module
+
+    module = parse_wat(source)
+    if validate:
+        validate_module(module)
+    return encode_module(module)
+
+
+__all__ = ["parse_wat", "print_wat", "assemble_wat"]

@@ -1,0 +1,165 @@
+"""Tokenizer for the WebAssembly text format.
+
+Produces parens, atoms (keywords, numbers, ``$identifiers``) and decoded
+string literals. Handles ``;;`` line comments and nestable ``(; ;)`` block
+comments.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Union
+
+from repro.errors import WatSyntaxError
+
+
+class TokKind(enum.Enum):
+    LPAREN = "("
+    RPAREN = ")"
+    ATOM = "atom"
+    STRING = "string"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokKind
+    text: str  # atom text; for STRING the *decoded* value is in `data`
+    line: int
+    col: int
+    data: bytes = b""
+
+    def __repr__(self) -> str:
+        if self.kind is TokKind.STRING:
+            return f"Token(str {self.data!r} @{self.line}:{self.col})"
+        return f"Token({self.text!r} @{self.line}:{self.col})"
+
+
+_IDCHARS = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+    "!#$%&'*+-./:<=>?@\\^_`|~"
+)
+
+_ESCAPES = {
+    "n": b"\n",
+    "t": b"\t",
+    "r": b"\r",
+    '"': b'"',
+    "'": b"'",
+    "\\": b"\\",
+}
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def err(msg: str) -> WatSyntaxError:
+        return WatSyntaxError(f"{msg} at {line}:{col}")
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if source.startswith(";;", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("(;", i):
+            depth = 1
+            j = i + 2
+            while j < n and depth:
+                if source.startswith("(;", j):
+                    depth += 1
+                    j += 2
+                elif source.startswith(";)", j):
+                    depth -= 1
+                    j += 2
+                else:
+                    if source[j] == "\n":
+                        line += 1
+                        col = 1
+                    j += 1
+            if depth:
+                raise err("unterminated block comment")
+            i = j
+            continue
+        if ch == "(":
+            tokens.append(Token(TokKind.LPAREN, "(", line, col))
+            i += 1
+            col += 1
+            continue
+        if ch == ")":
+            tokens.append(Token(TokKind.RPAREN, ")", line, col))
+            i += 1
+            col += 1
+            continue
+        if ch == '"':
+            start_line, start_col = line, col
+            i += 1
+            col += 1
+            buf = bytearray()
+            while True:
+                if i >= n:
+                    raise err("unterminated string")
+                c = source[i]
+                if c == '"':
+                    i += 1
+                    col += 1
+                    break
+                if c == "\n":
+                    raise err("newline in string")
+                if c == "\\":
+                    if i + 1 >= n:
+                        raise err("dangling escape")
+                    esc = source[i + 1]
+                    if esc in _ESCAPES:
+                        buf += _ESCAPES[esc]
+                        i += 2
+                        col += 2
+                    elif esc == "u":
+                        if i + 2 >= n or source[i + 2] != "{":
+                            raise err("bad \\u escape")
+                        j = source.index("}", i + 3)
+                        cp = int(source[i + 3 : j], 16)
+                        buf += chr(cp).encode("utf-8")
+                        col += j + 1 - i
+                        i = j + 1
+                    else:
+                        # Two-hex-digit byte escape.
+                        pair = source[i + 1 : i + 3]
+                        try:
+                            buf.append(int(pair, 16))
+                        except ValueError:
+                            raise err(f"bad escape \\{pair}") from None
+                        i += 3
+                        col += 3
+                else:
+                    buf += c.encode("utf-8")
+                    i += 1
+                    col += 1
+            tokens.append(
+                Token(TokKind.STRING, "", start_line, start_col, data=bytes(buf))
+            )
+            continue
+        if ch in _IDCHARS:
+            start = i
+            start_col = col
+            while i < n and source[i] in _IDCHARS:
+                i += 1
+                col += 1
+            tokens.append(Token(TokKind.ATOM, source[start:i], line, start_col))
+            continue
+        raise err(f"unexpected character {ch!r}")
+
+    return tokens

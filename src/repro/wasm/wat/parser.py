@@ -1,0 +1,878 @@
+"""Parser from WAT s-expressions to the module AST.
+
+Supports the common authoring subset used throughout this repository and
+its tests:
+
+* module fields: ``type``, ``import``, ``func``, ``table``, ``memory``,
+  ``global``, ``export``, ``start``, ``elem``, ``data``;
+* inline abbreviations: ``(func (export "f") ...)``,
+  ``(memory (export "memory") 1)``, ``(import ...)`` inside definitions,
+  anonymous type uses interned into the type section;
+* both flat and folded instruction syntax, symbolic labels, and the full
+  immediate grammar (``offset=``/``align=`` memargs, typed constants,
+  ``br_table`` label lists).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import WatSyntaxError
+from repro.wasm.ast import (
+    DataSegment,
+    ElemSegment,
+    Export,
+    Expr,
+    Function,
+    Global,
+    Import,
+    Instr,
+    Module,
+)
+from repro.wasm.opcodes import OPCODES, Imm
+from repro.wasm.types import (
+    FuncType,
+    GlobalType,
+    Limits,
+    MemoryType,
+    TableType,
+    ValType,
+)
+from repro.wasm.wat.lexer import TokKind, Token, tokenize
+
+SExpr = Union[Token, List["SExpr"]]
+
+_VALTYPES = {
+    "i32": ValType.I32,
+    "i64": ValType.I64,
+    "f32": ValType.F32,
+    "f64": ValType.F64,
+}
+
+# log2 of the natural alignment per memory instruction.
+_NATURAL_ALIGN = {
+    "i32.load": 2, "i64.load": 3, "f32.load": 2, "f64.load": 3,
+    "i32.load8_s": 0, "i32.load8_u": 0, "i32.load16_s": 1, "i32.load16_u": 1,
+    "i64.load8_s": 0, "i64.load8_u": 0, "i64.load16_s": 1, "i64.load16_u": 1,
+    "i64.load32_s": 2, "i64.load32_u": 2,
+    "i32.store": 2, "i64.store": 3, "f32.store": 2, "f64.store": 3,
+    "i32.store8": 0, "i32.store16": 1,
+    "i64.store8": 0, "i64.store16": 1, "i64.store32": 2,
+}
+
+
+def _parse_sexprs(tokens: Sequence[Token]) -> List[SExpr]:
+    """Group the token stream into nested lists."""
+    stack: List[List[SExpr]] = [[]]
+    for tok in tokens:
+        if tok.kind is TokKind.LPAREN:
+            stack.append([])
+        elif tok.kind is TokKind.RPAREN:
+            if len(stack) == 1:
+                raise WatSyntaxError(f"unbalanced ')' at {tok.line}:{tok.col}")
+            done = stack.pop()
+            stack[-1].append(done)
+        else:
+            stack[-1].append(tok)
+    if len(stack) != 1:
+        raise WatSyntaxError("unbalanced '(' at end of input")
+    return stack[0]
+
+
+def _is_atom(e: SExpr, text: Optional[str] = None) -> bool:
+    return isinstance(e, Token) and e.kind is TokKind.ATOM and (
+        text is None or e.text == text
+    )
+
+
+def _head(e: SExpr) -> Optional[str]:
+    if isinstance(e, list) and e and _is_atom(e[0]):
+        return e[0].text  # type: ignore[union-attr]
+    return None
+
+
+# --------------------------------------------------------------------------
+# Literals
+# --------------------------------------------------------------------------
+
+
+def parse_int(text: str, bits: int, signed_ok: bool = True) -> int:
+    """Parse a WAT integer literal; result is the *signed* value stored in
+    const instructions (the binary format uses signed LEB for consts)."""
+    raw = text.replace("_", "")
+    neg = raw.startswith("-")
+    if raw.startswith(("+", "-")):
+        raw = raw[1:]
+    try:
+        if raw.lower().startswith("0x"):
+            value = int(raw, 16)
+        else:
+            value = int(raw, 10)
+    except ValueError:
+        raise WatSyntaxError(f"bad integer literal {text!r}") from None
+    if neg:
+        value = -value
+    lo, hi_u = -(1 << (bits - 1)), (1 << bits) - 1
+    if not (lo <= value <= hi_u):
+        raise WatSyntaxError(f"integer {text} out of range for i{bits}")
+    # Normalize unsigned-range literals to the signed representative.
+    if value > (1 << (bits - 1)) - 1:
+        value -= 1 << bits
+    return value
+
+
+def parse_float(text: str, bits: int) -> float:
+    raw = text.replace("_", "")
+    sign = -1.0 if raw.startswith("-") else 1.0
+    body = raw[1:] if raw[:1] in "+-" else raw
+    if body == "inf":
+        return sign * math.inf
+    if body == "nan" or body.startswith("nan:"):
+        return math.copysign(math.nan, sign)
+    try:
+        if body.lower().startswith("0x"):
+            # float.fromhex needs a p-exponent; default to p0.
+            hex_body = body if "p" in body.lower() else body + "p0"
+            value = float.fromhex(hex_body)
+        else:
+            value = float(body)
+    except ValueError:
+        raise WatSyntaxError(f"bad float literal {text!r}") from None
+    value *= sign
+    if bits == 32:
+        value = struct.unpack("<f", struct.pack("<f", value))[0]
+    return value
+
+
+# --------------------------------------------------------------------------
+# Index spaces
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _Space:
+    """One index space with optional $names."""
+
+    names: Dict[str, int] = field(default_factory=dict)
+    count: int = 0
+
+    def define(self, name: Optional[str]) -> int:
+        idx = self.count
+        self.count += 1
+        if name is not None:
+            if name in self.names:
+                raise WatSyntaxError(f"duplicate identifier {name}")
+            self.names[name] = idx
+        return idx
+
+    def resolve(self, tok: Token, what: str) -> int:
+        if tok.text.startswith("$"):
+            try:
+                return self.names[tok.text]
+            except KeyError:
+                raise WatSyntaxError(
+                    f"unknown {what} {tok.text} at {tok.line}:{tok.col}"
+                ) from None
+        return parse_int(tok.text, 32) & 0xFFFFFFFF
+
+
+# --------------------------------------------------------------------------
+# The parser
+# --------------------------------------------------------------------------
+
+
+class _ModuleParser:
+    def __init__(self) -> None:
+        self.module = Module()
+        self.types = _Space()
+        self.funcs = _Space()
+        self.tables = _Space()
+        self.mems = _Space()
+        self.globals = _Space()
+        self.datas = _Space()
+        # Resolution of bodies / elem function lists / start is deferred
+        # until all index spaces are populated (forward references are
+        # legal in WAT).
+        self._pending_bodies: List[Tuple[Function, List[SExpr], Dict[str, int]]] = []
+        self._pending_elems: List[Tuple[ElemSegment, List[SExpr]]] = []
+        self._pending_start: Optional[Token] = None
+        self._seen_definition = {"func": False, "table": False, "mem": False, "global": False}
+
+    # -- entry ---------------------------------------------------------------
+
+    def parse(self, fields: List[SExpr]) -> Module:
+        for f in fields:
+            head = _head(f)
+            if head is None:
+                raise WatSyntaxError(f"expected module field, got {f!r}")
+            handler = getattr(self, f"_field_{head.replace('.', '_')}", None)
+            if handler is None:
+                raise WatSyntaxError(f"unsupported module field ({head} ...)")
+            handler(f)  # type: ignore[arg-type]
+        for seg, items in self._pending_elems:
+            for e in items:
+                if not _is_atom(e):
+                    raise WatSyntaxError(f"bad elem function ref {e!r}")
+                seg.func_indices.append(self.funcs.resolve(e, "function"))  # type: ignore[arg-type]
+        if self._pending_start is not None:
+            self.module.start = self.funcs.resolve(self._pending_start, "function")
+        for func, body_exprs, local_names in self._pending_bodies:
+            func.body = _BodyParser(self, func, local_names).parse(body_exprs)
+        return self.module
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _take_name(self, items: List[SExpr], pos: int) -> Tuple[Optional[str], int]:
+        if pos < len(items) and _is_atom(items[pos]) and items[pos].text.startswith("$"):  # type: ignore[union-attr]
+            return items[pos].text, pos + 1  # type: ignore[union-attr]
+        return None, pos
+
+    def _check_imports_precede(self, kind: str) -> None:
+        if self._seen_definition.get(kind):
+            raise WatSyntaxError("imports must precede definitions")
+
+    def _parse_valtype(self, e: SExpr) -> ValType:
+        if _is_atom(e) and e.text in _VALTYPES:  # type: ignore[union-attr]
+            return _VALTYPES[e.text]  # type: ignore[union-attr]
+        raise WatSyntaxError(f"expected value type, got {e!r}")
+
+    def _parse_limits(self, items: List[SExpr], pos: int) -> Tuple[Limits, int]:
+        if pos >= len(items) or not _is_atom(items[pos]):
+            raise WatSyntaxError("expected limits")
+        minimum = parse_int(items[pos].text, 32) & 0xFFFFFFFF  # type: ignore[union-attr]
+        pos += 1
+        maximum = None
+        if pos < len(items) and _is_atom(items[pos]) and items[pos].text[0].isdigit():  # type: ignore[union-attr]
+            maximum = parse_int(items[pos].text, 32) & 0xFFFFFFFF  # type: ignore[union-attr]
+            pos += 1
+        return Limits(minimum, maximum), pos
+
+    def _parse_typeuse(
+        self, items: List[SExpr], pos: int
+    ) -> Tuple[int, List[Optional[str]], int]:
+        """Parse ``(type $t)? (param ...)* (result ...)*``.
+
+        Returns (type index, parameter names, next position).
+        """
+        explicit: Optional[int] = None
+        params: List[ValType] = []
+        param_names: List[Optional[str]] = []
+        results: List[ValType] = []
+
+        if pos < len(items) and _head(items[pos]) == "type":
+            type_field = items[pos]  # type: ignore[assignment]
+            if len(type_field) != 2 or not _is_atom(type_field[1]):
+                raise WatSyntaxError("bad (type ...) use")
+            explicit = self.types.resolve(type_field[1], "type")  # type: ignore[arg-type]
+            pos += 1
+
+        while pos < len(items) and _head(items[pos]) == "param":
+            body = items[pos][1:]  # type: ignore[index]
+            if body and _is_atom(body[0]) and body[0].text.startswith("$"):  # type: ignore[union-attr]
+                params.append(self._parse_valtype(body[1]))
+                param_names.append(body[0].text)  # type: ignore[union-attr]
+            else:
+                for e in body:
+                    params.append(self._parse_valtype(e))
+                    param_names.append(None)
+            pos += 1
+        while pos < len(items) and _head(items[pos]) == "result":
+            for e in items[pos][1:]:  # type: ignore[index]
+                results.append(self._parse_valtype(e))
+            pos += 1
+
+        sig = FuncType(tuple(params), tuple(results))
+        if explicit is not None:
+            if explicit >= len(self.module.types):
+                raise WatSyntaxError(f"type index {explicit} out of range")
+            if (params or results) and self.module.types[explicit] != sig:
+                raise WatSyntaxError(
+                    f"inline signature {sig} does not match (type {explicit}) "
+                    f"{self.module.types[explicit]}"
+                )
+            declared = self.module.types[explicit]
+            if not param_names:
+                param_names = [None] * len(declared.params)
+            return explicit, param_names, pos
+
+        idx = self.module.add_type(sig)
+        # add_type may intern; _Space count tracks the types list length.
+        self.types.count = len(self.module.types)
+        return idx, param_names, pos
+
+    # -- module fields -----------------------------------------------------------
+
+    def _field_type(self, f: List[SExpr]) -> None:
+        items = f[1:]
+        name, pos = self._take_name(items, 0)
+        if pos >= len(items) or _head(items[pos]) != "func":
+            raise WatSyntaxError("(type ...) requires (func ...)")
+        func_form = items[pos]
+        params: List[ValType] = []
+        results: List[ValType] = []
+        for e in func_form[1:]:  # type: ignore[index]
+            h = _head(e)
+            if h == "param":
+                body = e[1:]  # type: ignore[index]
+                if body and _is_atom(body[0]) and body[0].text.startswith("$"):  # type: ignore[union-attr]
+                    params.append(self._parse_valtype(body[1]))
+                else:
+                    params.extend(self._parse_valtype(x) for x in body)
+            elif h == "result":
+                results.extend(self._parse_valtype(x) for x in e[1:])  # type: ignore[index]
+            else:
+                raise WatSyntaxError(f"bad type member {e!r}")
+        self.module.types.append(FuncType(tuple(params), tuple(results)))
+        self.types.define(name)
+
+    def _field_import(self, f: List[SExpr]) -> None:
+        if len(f) != 4 or not (
+            isinstance(f[1], Token) and isinstance(f[2], Token)
+        ):
+            raise WatSyntaxError("(import \"mod\" \"name\" <desc>)")
+        mod = f[1].data.decode("utf-8")  # type: ignore[union-attr]
+        item = f[2].data.decode("utf-8")  # type: ignore[union-attr]
+        desc = f[3]
+        head = _head(desc)
+        items = desc[1:]  # type: ignore[index]
+        name, pos = self._take_name(items, 0)
+        if head == "func":
+            self._check_imports_precede("func")
+            type_idx, _names, pos = self._parse_typeuse(items, pos)
+            self.module.imports.append(Import(mod, item, "func", type_idx))
+            self.funcs.define(name)
+        elif head == "memory":
+            self._check_imports_precede("mem")
+            limits, pos = self._parse_limits(items, pos)
+            self.module.imports.append(Import(mod, item, "mem", MemoryType(limits)))
+            self.mems.define(name)
+        elif head == "table":
+            self._check_imports_precede("table")
+            limits, pos = self._parse_limits(items, pos)
+            self.module.imports.append(Import(mod, item, "table", TableType(limits)))
+            self.tables.define(name)
+        elif head == "global":
+            self._check_imports_precede("global")
+            gt, pos = self._parse_globaltype(items, pos)
+            self.module.imports.append(Import(mod, item, "global", gt))
+            self.globals.define(name)
+        else:
+            raise WatSyntaxError(f"bad import descriptor {desc!r}")
+
+    def _parse_globaltype(self, items: List[SExpr], pos: int) -> Tuple[GlobalType, int]:
+        e = items[pos]
+        if _head(e) == "mut":
+            return GlobalType(self._parse_valtype(e[1]), mutable=True), pos + 1  # type: ignore[index]
+        return GlobalType(self._parse_valtype(e), mutable=False), pos + 1
+
+    def _inline_export_import(
+        self, items: List[SExpr], pos: int, kind: str, index: int
+    ) -> Tuple[Optional[Tuple[str, str]], int]:
+        """Handle ``(export "n")*`` and one optional ``(import "m" "n")``."""
+        imported = None
+        while pos < len(items) and _head(items[pos]) in ("export", "import"):
+            e = items[pos]
+            if _head(e) == "export":
+                export_name = e[1].data.decode("utf-8")  # type: ignore[index,union-attr]
+                self.module.exports.append(Export(export_name, kind, index))
+            else:
+                imported = (
+                    e[1].data.decode("utf-8"),  # type: ignore[index,union-attr]
+                    e[2].data.decode("utf-8"),  # type: ignore[index,union-attr]
+                )
+            pos += 1
+        return imported, pos
+
+    def _field_func(self, f: List[SExpr]) -> None:
+        items = f[1:]
+        name, pos = self._take_name(items, 0)
+        index = self.funcs.define(name)
+        imported, pos = self._inline_export_import(items, pos, "func", index)
+        type_idx, param_names, pos = self._parse_typeuse(items, pos)
+
+        if imported is not None:
+            self._check_imports_precede("func")
+            self.module.imports.append(Import(imported[0], imported[1], "func", type_idx))
+            return
+        self._seen_definition["func"] = True
+
+        local_names: Dict[str, int] = {}
+        for i, pname in enumerate(param_names):
+            if pname is not None:
+                local_names[pname] = i
+        locals_: List[ValType] = []
+        n_params = len(self.module.types[type_idx].params)
+        while pos < len(items) and _head(items[pos]) == "local":
+            body = items[pos][1:]  # type: ignore[index]
+            if body and _is_atom(body[0]) and body[0].text.startswith("$"):  # type: ignore[union-attr]
+                local_names[body[0].text] = n_params + len(locals_)  # type: ignore[union-attr]
+                locals_.append(self._parse_valtype(body[1]))
+            else:
+                locals_.extend(self._parse_valtype(e) for e in body)
+            pos += 1
+
+        func = Function(type_idx, locals_, [], name=name[1:] if name else None)
+        self.module.funcs.append(func)
+        self._pending_bodies.append((func, items[pos:], local_names))
+
+    def _field_table(self, f: List[SExpr]) -> None:
+        items = f[1:]
+        name, pos = self._take_name(items, 0)
+        index = self.tables.define(name)
+        imported, pos = self._inline_export_import(items, pos, "table", index)
+        # Inline element form: (table funcref (elem $f1 $f2)) — fixed size.
+        if (
+            pos < len(items)
+            and _is_atom(items[pos], "funcref")
+            and pos + 1 < len(items)
+            and _head(items[pos + 1]) == "elem"
+        ):
+            elem_items = items[pos + 1][1:]  # type: ignore[index]
+            count = len(elem_items)
+            self.module.tables.append(TableType(Limits(count, count)))
+            seg = ElemSegment(index, [Instr("i32.const", (0,))], [])
+            self._pending_elem_funcs(seg, elem_items)
+            self.module.elems.append(seg)
+            self._seen_definition["table"] = True
+            return
+        limits, pos = self._parse_limits(items, pos)
+        if pos < len(items) and _is_atom(items[pos], "funcref"):
+            pos += 1
+        if imported is not None:
+            self._check_imports_precede("table")
+            self.module.imports.append(
+                Import(imported[0], imported[1], "table", TableType(limits))
+            )
+            return
+        self._seen_definition["table"] = True
+        self.module.tables.append(TableType(limits))
+
+    def _pending_elem_funcs(self, seg: ElemSegment, items: List[SExpr]) -> None:
+        self._pending_elems.append((seg, list(items)))
+
+    def _field_memory(self, f: List[SExpr]) -> None:
+        items = f[1:]
+        name, pos = self._take_name(items, 0)
+        index = self.mems.define(name)
+        imported, pos = self._inline_export_import(items, pos, "mem", index)
+        # Inline data form: (memory (data "...")) — size derived from data.
+        if pos < len(items) and _head(items[pos]) == "data":
+            blob = b"".join(
+                t.data for t in items[pos][1:]  # type: ignore[index,union-attr]
+            )
+            pages = (len(blob) + 65535) // 65536
+            self.module.mems.append(MemoryType(Limits(pages, pages)))
+            self.module.datas.append(
+                DataSegment(index, [Instr("i32.const", (0,))], blob)
+            )
+            self._seen_definition["mem"] = True
+            return
+        limits, pos = self._parse_limits(items, pos)
+        if imported is not None:
+            self._check_imports_precede("mem")
+            self.module.imports.append(
+                Import(imported[0], imported[1], "mem", MemoryType(limits))
+            )
+            return
+        self._seen_definition["mem"] = True
+        self.module.mems.append(MemoryType(limits))
+
+    def _field_global(self, f: List[SExpr]) -> None:
+        items = f[1:]
+        name, pos = self._take_name(items, 0)
+        index = self.globals.define(name)
+        imported, pos = self._inline_export_import(items, pos, "global", index)
+        gt, pos = self._parse_globaltype(items, pos)
+        if imported is not None:
+            self._check_imports_precede("global")
+            self.module.imports.append(Import(imported[0], imported[1], "global", gt))
+            return
+        self._seen_definition["global"] = True
+        init_parser = _BodyParser(self, None, {})
+        init = init_parser.parse(items[pos:])
+        self.module.globals.append(Global(gt, init))
+
+    def _field_export(self, f: List[SExpr]) -> None:
+        if len(f) != 3 or not isinstance(f[1], Token):
+            raise WatSyntaxError('(export "name" (<kind> <idx>))')
+        export_name = f[1].data.decode("utf-8")  # type: ignore[union-attr]
+        desc = f[2]
+        head = _head(desc)
+        target = desc[1]  # type: ignore[index]
+        space = {
+            "func": self.funcs,
+            "table": self.tables,
+            "memory": self.mems,
+            "global": self.globals,
+        }.get(head or "")
+        if space is None or not _is_atom(target):
+            raise WatSyntaxError(f"bad export descriptor {desc!r}")
+        kind = "mem" if head == "memory" else head
+        self.module.exports.append(
+            Export(export_name, kind, space.resolve(target, head))  # type: ignore[arg-type]
+        )
+
+    def _field_start(self, f: List[SExpr]) -> None:
+        if len(f) != 2 or not _is_atom(f[1]):
+            raise WatSyntaxError("(start <funcidx>)")
+        self._pending_start = f[1]  # type: ignore[assignment]
+
+    def _field_elem(self, f: List[SExpr]) -> None:
+        items = f[1:]
+        pos = 0
+        table_idx = 0
+        if pos < len(items) and _is_atom(items[pos]) and items[pos].text.startswith("$"):  # type: ignore[union-attr]
+            table_idx = self.tables.resolve(items[pos], "table")  # type: ignore[arg-type]
+            pos += 1
+        elif pos < len(items) and _is_atom(items[pos]) and items[pos].text[0].isdigit():  # type: ignore[union-attr]
+            # Could be a table index; only treat as such when followed by offset.
+            if pos + 1 < len(items) and isinstance(items[pos + 1], list):
+                table_idx = parse_int(items[pos].text, 32)  # type: ignore[union-attr]
+                pos += 1
+        offset_expr = self._parse_offset(items, pos)
+        pos += 1
+        seg = ElemSegment(table_idx, offset_expr, [])
+        self._pending_elem_funcs(seg, items[pos:])
+        self.module.elems.append(seg)
+
+    def _parse_offset(self, items: List[SExpr], pos: int) -> Expr:
+        if pos >= len(items) or not isinstance(items[pos], list):
+            raise WatSyntaxError("expected (offset ...) or const expression")
+        e = items[pos]
+        inner = e[1:] if _head(e) == "offset" else [e]  # type: ignore[index]
+        return _BodyParser(self, None, {}).parse(inner)
+
+    def _field_data(self, f: List[SExpr]) -> None:
+        items = f[1:]
+        name, pos = self._take_name(items, 0)
+        self.datas.define(name)
+        mem_idx = 0
+        if pos < len(items) and _is_atom(items[pos]):
+            mem_idx = self.mems.resolve(items[pos], "memory")  # type: ignore[arg-type]
+            pos += 1
+        # Passive form: only string payloads, no offset expression.
+        passive = pos >= len(items) or not isinstance(items[pos], list)
+        if passive:
+            offset_expr: Expr = []
+        else:
+            offset_expr = self._parse_offset(items, pos)
+            pos += 1
+        blob = bytearray()
+        for e in items[pos:]:
+            if not (isinstance(e, Token) and e.kind is TokKind.STRING):
+                raise WatSyntaxError(f"bad data string {e!r}")
+            blob += e.data
+        self.module.datas.append(
+            DataSegment(mem_idx, offset_expr, bytes(blob), passive=passive)
+        )
+
+
+# --------------------------------------------------------------------------
+# Instruction bodies
+# --------------------------------------------------------------------------
+
+
+class _BodyParser:
+    """Parses a function body (flat + folded forms) with label scoping."""
+
+    def __init__(
+        self,
+        mod: _ModuleParser,
+        func: Optional[Function],
+        local_names: Dict[str, int],
+    ) -> None:
+        self.mod = mod
+        self.func = func
+        self.local_names = local_names
+        self.labels: List[Optional[str]] = []  # innermost last
+
+    # -- public -----------------------------------------------------------
+
+    def parse(self, exprs: List[SExpr]) -> Expr:
+        out: Expr = []
+        stream = _Stream(exprs)
+        while not stream.eof():
+            out.extend(self._instr(stream))
+        return out
+
+    # -- label handling ------------------------------------------------------
+
+    def _resolve_label(self, tok: Token) -> int:
+        if tok.text.startswith("$"):
+            for depth, name in enumerate(reversed(self.labels)):
+                if name == tok.text:
+                    return depth
+            raise WatSyntaxError(f"unknown label {tok.text} at {tok.line}:{tok.col}")
+        return parse_int(tok.text, 32) & 0xFFFFFFFF
+
+    # -- core dispatch ----------------------------------------------------------
+
+    def _instr(self, stream: "_Stream") -> Expr:
+        e = stream.next()
+        if isinstance(e, Token):
+            return self._flat_instr(e, stream)
+        return self._folded(e)
+
+    def _flat_instr(self, tok: Token, stream: "_Stream") -> Expr:
+        op = tok.text
+        if op in ("block", "loop"):
+            return [self._flat_block(op, stream)]
+        if op == "if":
+            return [self._flat_if(stream)]
+        if op in ("end", "else"):
+            raise WatSyntaxError(f"unexpected {op} at {tok.line}:{tok.col}")
+        return [self._simple(op, tok, stream)]
+
+    def _flat_block(self, op: str, stream: "_Stream") -> Instr:
+        label, bt = self._block_header(stream)
+        self.labels.append(label)
+        body: Expr = []
+        while True:
+            nxt = stream.peek()
+            if _is_atom(nxt, "end"):
+                stream.next()
+                self._maybe_trailing_label(stream)
+                break
+            body.extend(self._instr(stream))
+        self.labels.pop()
+        return Instr(op, blocktype=bt, body=body)
+
+    def _flat_if(self, stream: "_Stream") -> Instr:
+        label, bt = self._block_header(stream)
+        self.labels.append(label)
+        then: Expr = []
+        else_body: Expr = []
+        target = then
+        while True:
+            nxt = stream.peek()
+            if _is_atom(nxt, "else"):
+                stream.next()
+                self._maybe_trailing_label(stream)
+                target = else_body
+                continue
+            if _is_atom(nxt, "end"):
+                stream.next()
+                self._maybe_trailing_label(stream)
+                break
+            target.extend(self._instr(stream))
+        self.labels.pop()
+        return Instr("if", blocktype=bt, body=then, else_body=else_body)
+
+    def _maybe_trailing_label(self, stream: "_Stream") -> None:
+        nxt = stream.peek()
+        if nxt is not None and _is_atom(nxt) and nxt.text.startswith("$"):  # type: ignore[union-attr]
+            stream.next()  # `end $label` repetition — ignored
+
+    def _block_header(self, stream: "_Stream"):
+        label = None
+        nxt = stream.peek()
+        if nxt is not None and _is_atom(nxt) and nxt.text.startswith("$"):  # type: ignore[union-attr]
+            label = stream.next().text  # type: ignore[union-attr]
+        bt = None
+        nxt = stream.peek()
+        if isinstance(nxt, list) and _head(nxt) == "result":
+            results = [self.mod._parse_valtype(x) for x in nxt[1:]]
+            stream.next()
+            if len(results) == 1:
+                bt = results[0]
+            elif len(results) > 1:
+                bt = self.mod.module.add_type(FuncType((), tuple(results)))
+        elif isinstance(nxt, list) and _head(nxt) in ("param", "type"):
+            raise WatSyntaxError("block parameters are not supported (MVP blocks)")
+        return label, bt
+
+    def _folded(self, e: List[SExpr]) -> Expr:
+        if not e or not _is_atom(e[0]):
+            raise WatSyntaxError(f"bad folded instruction {e!r}")
+        op = e[0].text  # type: ignore[union-attr]
+        if op in ("block", "loop"):
+            stream = _Stream(e[1:])
+            label, bt = self._block_header(stream)
+            self.labels.append(label)
+            body: Expr = []
+            while not stream.eof():
+                body.extend(self._instr(stream))
+            self.labels.pop()
+            return [Instr(op, blocktype=bt, body=body)]
+        if op == "if":
+            return self._folded_if(e)
+        # Generic folded op: (op imm... operand...)
+        stream = _Stream(e[1:])
+        main = self._simple(op, e[0], stream)  # type: ignore[arg-type]
+        out: Expr = []
+        while not stream.eof():
+            operand = stream.next()
+            if not isinstance(operand, list):
+                raise WatSyntaxError(
+                    f"unexpected atom {operand!r} after immediates of folded {op}"
+                )
+            out.extend(self._folded(operand))
+        out.append(main)
+        return out
+
+    def _folded_if(self, e: List[SExpr]) -> Expr:
+        stream = _Stream(e[1:])
+        label, bt = self._block_header(stream)
+        cond: Expr = []
+        then: Expr = []
+        else_body: Expr = []
+        saw_then = False
+        while not stream.eof():
+            item = stream.next()
+            if isinstance(item, list) and _head(item) == "then":
+                saw_then = True
+                self.labels.append(label)
+                sub = _Stream(item[1:])
+                while not sub.eof():
+                    then.extend(self._instr(sub))
+                self.labels.pop()
+            elif isinstance(item, list) and _head(item) == "else":
+                self.labels.append(label)
+                sub = _Stream(item[1:])
+                while not sub.eof():
+                    else_body.extend(self._instr(sub))
+                self.labels.pop()
+            elif isinstance(item, list) and not saw_then:
+                cond.extend(self._folded(item))
+            else:
+                raise WatSyntaxError(f"bad clause in folded if: {item!r}")
+        if not saw_then:
+            raise WatSyntaxError("folded if requires (then ...)")
+        out = list(cond)
+        out.append(Instr("if", blocktype=bt, body=then, else_body=else_body))
+        return out
+
+    # -- leaf instructions --------------------------------------------------------
+
+    def _simple(self, op: str, tok: Token, stream: "_Stream") -> Instr:
+        info = OPCODES.get(op)
+        if info is None:
+            raise WatSyntaxError(f"unknown instruction {op!r} at {tok.line}:{tok.col}")
+        kind = info[1]
+
+        if kind is Imm.NONE or kind is Imm.MEM or kind is Imm.MEM2:
+            return Instr(op)
+        if kind in (Imm.DATA_IDX, Imm.DATA_MEM):
+            target = stream.next_atom(f"{op} data index")
+            return Instr(op, (self.mod.datas.resolve(target, "data segment"),))
+        if kind is Imm.IDX:
+            target = stream.next_atom(f"{op} index")
+            if op in ("br", "br_if"):
+                return Instr(op, (self._resolve_label(target),))
+            if op == "call":
+                return Instr(op, (self.mod.funcs.resolve(target, "function"),))
+            if op.startswith("local."):
+                return Instr(op, (self._resolve_local(target),))
+            if op.startswith("global."):
+                return Instr(op, (self.mod.globals.resolve(target, "global"),))
+            return Instr(op, (parse_int(target.text, 32) & 0xFFFFFFFF,))
+        if kind is Imm.BR_TABLE:
+            labels: List[int] = []
+            while True:
+                nxt = stream.peek()
+                if (
+                    nxt is None
+                    or not _is_atom(nxt)
+                    or not (
+                        nxt.text.startswith("$") or nxt.text[0].isdigit()  # type: ignore[union-attr]
+                    )
+                ):
+                    break
+                labels.append(self._resolve_label(stream.next()))  # type: ignore[arg-type]
+            if not labels:
+                raise WatSyntaxError("br_table needs at least a default label")
+            return Instr(op, (tuple(labels[:-1]), labels[-1]))
+        if kind is Imm.CALL_INDIRECT:
+            type_idx, _names, _pos = self.mod._parse_typeuse(stream.rest(), 0)
+            stream.skip_typeuse()
+            return Instr(op, (type_idx,))
+        if kind is Imm.MEMARG:
+            return self._memarg(op, stream)
+        if kind is Imm.I32:
+            return Instr(op, (parse_int(stream.next_atom("i32 literal").text, 32),))
+        if kind is Imm.I64:
+            return Instr(op, (parse_int(stream.next_atom("i64 literal").text, 64),))
+        if kind is Imm.F32:
+            return Instr(op, (parse_float(stream.next_atom("f32 literal").text, 32),))
+        if kind is Imm.F64:
+            return Instr(op, (parse_float(stream.next_atom("f64 literal").text, 64),))
+        raise WatSyntaxError(f"unhandled immediate kind for {op}")  # pragma: no cover
+
+    def _resolve_local(self, tok: Token) -> int:
+        if tok.text.startswith("$"):
+            try:
+                return self.local_names[tok.text]
+            except KeyError:
+                raise WatSyntaxError(
+                    f"unknown local {tok.text} at {tok.line}:{tok.col}"
+                ) from None
+        return parse_int(tok.text, 32) & 0xFFFFFFFF
+
+    def _memarg(self, op: str, stream: "_Stream") -> Instr:
+        offset = 0
+        align = _NATURAL_ALIGN[op]
+        nxt = stream.peek()
+        if nxt is not None and _is_atom(nxt) and nxt.text.startswith("offset="):  # type: ignore[union-attr]
+            offset = parse_int(stream.next().text[7:], 32) & 0xFFFFFFFF  # type: ignore[union-attr]
+            nxt = stream.peek()
+        if nxt is not None and _is_atom(nxt) and nxt.text.startswith("align="):  # type: ignore[union-attr]
+            raw = parse_int(stream.next().text[6:], 32)  # type: ignore[union-attr]
+            if raw <= 0 or raw & (raw - 1):
+                raise WatSyntaxError(f"alignment must be a positive power of 2, got {raw}")
+            align = raw.bit_length() - 1
+        return Instr(op, (align, offset))
+
+
+class _Stream:
+    """Cursor over a list of s-expressions."""
+
+    def __init__(self, items: List[SExpr]) -> None:
+        self.items = items
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.items)
+
+    def peek(self) -> Optional[SExpr]:
+        return self.items[self.pos] if self.pos < len(self.items) else None
+
+    def next(self) -> SExpr:
+        if self.eof():
+            raise WatSyntaxError("unexpected end of instruction sequence")
+        e = self.items[self.pos]
+        self.pos += 1
+        return e
+
+    def next_atom(self, what: str) -> Token:
+        e = self.next()
+        if not _is_atom(e):
+            raise WatSyntaxError(f"expected {what}, got {e!r}")
+        return e  # type: ignore[return-value]
+
+    def rest(self) -> List[SExpr]:
+        return self.items[self.pos :]
+
+    def skip_typeuse(self) -> None:
+        while not self.eof() and _head(self.peek()) in ("type", "param", "result"):
+            self.pos += 1
+
+
+def parse_wat(source: str) -> Module:
+    """Parse WAT text into a :class:`Module` AST."""
+    forms = _parse_sexprs(tokenize(source))
+    if len(forms) == 1 and _head(forms[0]) == "module":
+        fields = forms[0][1:]  # type: ignore[index]
+        # Optional module name.
+        name = None
+        if fields and _is_atom(fields[0]) and fields[0].text.startswith("$"):  # type: ignore[union-attr]
+            name = fields[0].text[1:]  # type: ignore[union-attr]
+            fields = fields[1:]
+        parser = _ModuleParser()
+        module = parser.parse(list(fields))
+        module.name = name
+        return module
+    # Bare field list (no (module ...) wrapper).
+    return _ModuleParser().parse(forms)

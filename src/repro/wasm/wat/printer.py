@@ -1,0 +1,191 @@
+"""WAT printer: module AST → text format.
+
+The inverse of :mod:`repro.wasm.wat.parser`. Output is flat-form WAT with
+structured blocks indented, one instruction per line — designed so that
+``parse_wat(print_wat(m))`` reproduces a module with identical binary
+encoding (asserted by property tests).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.wasm.ast import Expr, Instr, Module
+from repro.wasm.opcodes import Imm, OPCODES
+from repro.wasm.types import FuncType, GlobalType, Limits, ValType
+
+_NATURAL_ALIGN = {
+    "i32.load": 2, "i64.load": 3, "f32.load": 2, "f64.load": 3,
+    "i32.load8_s": 0, "i32.load8_u": 0, "i32.load16_s": 1, "i32.load16_u": 1,
+    "i64.load8_s": 0, "i64.load8_u": 0, "i64.load16_s": 1, "i64.load16_u": 1,
+    "i64.load32_s": 2, "i64.load32_u": 2,
+    "i32.store": 2, "i64.store": 3, "f32.store": 2, "f64.store": 3,
+    "i32.store8": 0, "i32.store16": 1,
+    "i64.store8": 0, "i64.store16": 1, "i64.store32": 2,
+}
+
+
+def _valtype(t: ValType) -> str:
+    return t.name.lower()
+
+
+def _limits(lim: Limits) -> str:
+    if lim.maximum is None:
+        return str(lim.minimum)
+    return f"{lim.minimum} {lim.maximum}"
+
+
+def _float_literal(value: float, bits: int) -> str:
+    if math.isnan(value):
+        return "-nan" if math.copysign(1.0, value) < 0 else "nan"
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    # hex float roundtrips exactly for both f32 and f64.
+    return value.hex()
+
+
+def _escape(data: bytes) -> str:
+    out = []
+    for b in data:
+        if b in (0x22, 0x5C):  # " and backslash
+            out.append("\\" + chr(b))
+        elif 0x20 <= b < 0x7F:
+            out.append(chr(b))
+        else:
+            out.append(f"\\{b:02x}")
+    return "".join(out)
+
+
+def _blocktype(instr: Instr, module: Module) -> str:
+    bt = instr.blocktype
+    if bt is None:
+        return ""
+    if isinstance(bt, ValType):
+        return f" (result {_valtype(bt)})"
+    sig = module.types[bt]
+    parts = []
+    if sig.params:
+        parts.append("(param " + " ".join(_valtype(t) for t in sig.params) + ")")
+    if sig.results:
+        parts.append("(result " + " ".join(_valtype(t) for t in sig.results) + ")")
+    return (" " + " ".join(parts)) if parts else ""
+
+
+def _instr_lines(instr: Instr, module: Module, indent: int, out: List[str]) -> None:
+    pad = "  " * indent
+    op = instr.op
+    kind = OPCODES[op][1]
+
+    if op in ("block", "loop"):
+        out.append(f"{pad}{op}{_blocktype(instr, module)}")
+        for child in instr.body:
+            _instr_lines(child, module, indent + 1, out)
+        out.append(f"{pad}end")
+        return
+    if op == "if":
+        out.append(f"{pad}if{_blocktype(instr, module)}")
+        for child in instr.body:
+            _instr_lines(child, module, indent + 1, out)
+        if instr.else_body:
+            out.append(f"{pad}else")
+            for child in instr.else_body:
+                _instr_lines(child, module, indent + 1, out)
+        out.append(f"{pad}end")
+        return
+
+    if kind in (Imm.NONE, Imm.MEM, Imm.MEM2):
+        out.append(f"{pad}{op}")
+    elif kind is Imm.IDX:
+        out.append(f"{pad}{op} {instr.args[0]}")
+    elif kind is Imm.MEMARG:
+        align, offset = instr.args
+        parts = [op]
+        if offset:
+            parts.append(f"offset={offset}")
+        if align != _NATURAL_ALIGN[op]:
+            parts.append(f"align={1 << align}")
+        out.append(pad + " ".join(parts))
+    elif kind is Imm.BR_TABLE:
+        labels, default = instr.args
+        out.append(pad + " ".join([op, *map(str, labels), str(default)]))
+    elif kind is Imm.CALL_INDIRECT:
+        # Explicit (type N) keeps the exact type index through a
+        # print→parse roundtrip even when structural duplicates exist.
+        out.append(f"{pad}{op} (type {instr.args[0]})")
+    elif kind in (Imm.I32, Imm.I64, Imm.DATA_IDX, Imm.DATA_MEM):
+        out.append(f"{pad}{op} {instr.args[0]}")
+    elif kind is Imm.F32:
+        out.append(f"{pad}{op} {_float_literal(instr.args[0], 32)}")
+    elif kind is Imm.F64:
+        out.append(f"{pad}{op} {_float_literal(instr.args[0], 64)}")
+    else:  # pragma: no cover
+        raise ValueError(f"unhandled immediate kind {kind}")
+
+
+def print_wat(module: Module) -> str:
+    """Render ``module`` as WAT text."""
+    lines: List[str] = ["(module"]
+
+    for i, ft in enumerate(module.types):
+        params = "".join(f" (param {_valtype(t)})" for t in ft.params)
+        results = "".join(f" (result {_valtype(t)})" for t in ft.results)
+        lines.append(f"  (type (;{i};) (func{params}{results}))")
+
+    for imp in module.imports:
+        if imp.kind == "func":
+            desc = f"(func (type {imp.desc}))"
+        elif imp.kind == "table":
+            desc = f"(table {_limits(imp.desc.limits)} funcref)"
+        elif imp.kind == "mem":
+            desc = f"(memory {_limits(imp.desc.limits)})"
+        else:
+            gt: GlobalType = imp.desc  # type: ignore[assignment]
+            inner = _valtype(gt.valtype)
+            desc = f"(global {'(mut ' + inner + ')' if gt.mutable else inner})"
+        lines.append(f'  (import "{_escape(imp.module.encode())}" '
+                     f'"{_escape(imp.name.encode())}" {desc})')
+
+    for func in module.funcs:
+        lines.append(f"  (func (type {func.type_idx})")
+        if func.locals:
+            lines.append("    (local " + " ".join(_valtype(t) for t in func.locals) + ")")
+        for instr in func.body:
+            _instr_lines(instr, module, 2, lines)
+        lines.append("  )")
+
+    for table in module.tables:
+        lines.append(f"  (table {_limits(table.limits)} funcref)")
+    for mem in module.mems:
+        lines.append(f"  (memory {_limits(mem.limits)})")
+
+    for g in module.globals:
+        inner = _valtype(g.type.valtype)
+        head = f"(mut {inner})" if g.type.mutable else inner
+        init: List[str] = []
+        _instr_lines(g.init[0], module, 0, init)
+        lines.append(f"  (global {head} ({init[0].strip()}))")
+
+    for ex in module.exports:
+        kind = "memory" if ex.kind == "mem" else ex.kind
+        lines.append(f'  (export "{_escape(ex.name.encode())}" ({kind} {ex.index}))')
+
+    if module.start is not None:
+        lines.append(f"  (start {module.start})")
+
+    for seg in module.elems:
+        offset: List[str] = []
+        _instr_lines(seg.offset[0], module, 0, offset)
+        funcs = " ".join(str(f) for f in seg.func_indices)
+        lines.append(f"  (elem ({offset[0].strip()}) {funcs})".rstrip())
+
+    for seg in module.datas:
+        if seg.passive:
+            lines.append(f'  (data "{_escape(seg.data)}")')
+            continue
+        offset = []
+        _instr_lines(seg.offset[0], module, 0, offset)
+        lines.append(f'  (data ({offset[0].strip()}) "{_escape(seg.data)}")')
+
+    lines.append(")")
+    return "\n".join(lines)

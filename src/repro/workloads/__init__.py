@@ -1,0 +1,37 @@
+"""Benchmark workloads: the minimal microservice in Wasm and Python forms."""
+
+from repro.workloads.microservice import (
+    MICROSERVICE_WAT,
+    build_microservice_wasm,
+    microservice_module,
+)
+from repro.workloads.python_app import PYTHON_APP_SOURCE, PythonRuntimeModel, PYTHON_RUNTIME
+from repro.workloads.images import (
+    build_wasm_image,
+    build_python_image,
+    WASM_IMAGE_REF,
+    PYTHON_IMAGE_REF,
+)
+from repro.workloads.microservice_c import (
+    C_MICROSERVICE_SOURCE,
+    C_WASM_IMAGE_REF,
+    build_c_microservice_wasm,
+    build_c_wasm_image,
+)
+
+__all__ = [
+    "MICROSERVICE_WAT",
+    "build_microservice_wasm",
+    "microservice_module",
+    "PYTHON_APP_SOURCE",
+    "PythonRuntimeModel",
+    "PYTHON_RUNTIME",
+    "build_wasm_image",
+    "build_python_image",
+    "WASM_IMAGE_REF",
+    "PYTHON_IMAGE_REF",
+    "C_MICROSERVICE_SOURCE",
+    "C_WASM_IMAGE_REF",
+    "build_c_microservice_wasm",
+    "build_c_wasm_image",
+]

@@ -1,0 +1,42 @@
+"""OCI image builders for the benchmark workloads."""
+
+from __future__ import annotations
+
+from repro.oci.annotations import WASM_VARIANT_ANNOTATION, WASM_VARIANT_COMPAT
+from repro.oci.image import Image, ImageConfig, Layer
+from repro.workloads.microservice import build_microservice_wasm
+from repro.workloads.python_app import PYTHON_APP_SOURCE
+
+WASM_IMAGE_REF = "registry.local/microservice:wasm"
+PYTHON_IMAGE_REF = "registry.local/microservice:python"
+
+#: Filler bringing the Python image to a realistic stdlib size; its only
+#: effect is page-cache residency in the `free` channel.
+_PYTHON_STDLIB_BYTES = int(7.4 * 1024 * 1024)
+
+
+def build_wasm_image(reference: str = WASM_IMAGE_REF) -> Image:
+    """Single-layer image whose entrypoint is the microservice module."""
+    layer = Layer.from_files({"app/main.wasm": build_microservice_wasm()})
+    config = ImageConfig(
+        entrypoint=["/app/main.wasm"],
+        env={"SERVICE": "microservice"},
+        annotations={WASM_VARIANT_ANNOTATION: WASM_VARIANT_COMPAT},
+    )
+    return Image(reference=reference, config=config, layers=[layer])
+
+
+def build_python_image(reference: str = PYTHON_IMAGE_REF) -> Image:
+    """python:3-slim-alike image carrying the equivalent app."""
+    base = Layer.from_files(
+        {
+            "usr/bin/python3": b"\x7fELF-python3-interpreter",
+            "usr/lib/python3/stdlib.bundle": bytes(_PYTHON_STDLIB_BYTES),
+        }
+    )
+    app = Layer.from_files({"app/main.py": PYTHON_APP_SOURCE.encode("utf-8")})
+    config = ImageConfig(
+        entrypoint=["/usr/bin/python3", "/app/main.py"],
+        env={"SERVICE": "microservice"},
+    )
+    return Image(reference=reference, config=config, layers=[base, app])

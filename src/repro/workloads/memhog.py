@@ -1,0 +1,57 @@
+"""A size-parameterized workload for the application-impact experiment.
+
+§IV-A motivates the minimal microservice by noting memory/startup become
+"dominated by the WebAssembly runtime rather than the actual microservice
+being executed", and §IV-D/IV-F defer "the impact of different
+applications". This workload makes that impact measurable: it grows the
+guest's linear memory by ``PAGES`` 64-KiB pages (from the environment)
+before signalling readiness, so per-container memory becomes
+runtime-overhead + app-working-set with a turnable knob.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.cc import compile_c_binary
+from repro.oci.annotations import WASM_VARIANT_ANNOTATION, WASM_VARIANT_COMPAT
+from repro.oci.image import Image, ImageConfig, Layer
+
+MEMHOG_SOURCE = """\
+// Size-parameterized service: allocate PAGES x 64KiB, then behave like
+// the minimal microservice.
+
+int main(void) {
+    long pages = env_int("PAGES", 0);
+    if (pages > 0) {
+        int previous = grow_pages(pages);
+        if (previous < 0) {
+            puts("memhog: allocation failed");
+            exit(1);
+        }
+    }
+    puts("microservice: ready");
+    return 0;
+}
+"""
+
+MEMHOG_IMAGE_REF = "registry.local/memhog:wasm"
+
+
+@lru_cache(maxsize=1)
+def build_memhog_wasm() -> bytes:
+    return compile_c_binary(MEMHOG_SOURCE)
+
+
+def build_memhog_image(reference: str = MEMHOG_IMAGE_REF) -> Image:
+    layer = Layer.from_files(
+        {
+            "app/main.wasm": build_memhog_wasm(),
+            "app/main.c": MEMHOG_SOURCE.encode("utf-8"),
+        }
+    )
+    config = ImageConfig(
+        entrypoint=["/app/main.wasm"],
+        annotations={WASM_VARIANT_ANNOTATION: WASM_VARIANT_COMPAT},
+    )
+    return Image(reference=reference, config=config, layers=[layer])

@@ -1,0 +1,141 @@
+"""The paper's "minimal C application" as a WebAssembly module.
+
+§IV-A: *"we execute a minimal C application corresponding to a very small
+microservice. Using such a small microservice makes memory and startup
+performance dominated by the WebAssembly runtime."*
+
+We author the equivalent program directly in WAT and assemble it with our
+own toolchain (:mod:`repro.wasm.wat`). Behaviour on ``_start``:
+
+1. read argv/environ through WASI (the integration's argument plumbing),
+2. run a short checksum loop (the microservice's init work),
+3. print a readiness line to stdout,
+4. optionally serve ``REQUESTS`` simulated requests (env-controlled; each
+   request mixes the checksum and appends a response line),
+5. exit 0. A real service would then block in ``poll_oneoff``; the node
+   model keeps the container resident and idle after readiness, which is
+   exactly the steady state the paper measures.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.wasm import assemble_wat, parse_wat
+from repro.wasm.ast import Module
+
+READY_LINE = b"microservice: ready\n"
+
+# Memory map: 0..63 scratch (iovec at 16, sizes at 32/36), 64.. message
+# text, 1024.. argv/env buffers, 4096.. response area.
+MICROSERVICE_WAT = r"""
+(module $microservice
+  (import "wasi_snapshot_preview1" "fd_write"
+    (func $fd_write (param i32 i32 i32 i32) (result i32)))
+  (import "wasi_snapshot_preview1" "args_sizes_get"
+    (func $args_sizes_get (param i32 i32) (result i32)))
+  (import "wasi_snapshot_preview1" "args_get"
+    (func $args_get (param i32 i32) (result i32)))
+  (import "wasi_snapshot_preview1" "environ_sizes_get"
+    (func $environ_sizes_get (param i32 i32) (result i32)))
+  (import "wasi_snapshot_preview1" "environ_get"
+    (func $environ_get (param i32 i32) (result i32)))
+  (import "wasi_snapshot_preview1" "clock_time_get"
+    (func $clock_time_get (param i32 i64 i32) (result i32)))
+  (import "wasi_snapshot_preview1" "proc_exit"
+    (func $proc_exit (param i32)))
+
+  (memory (export "memory") 1)
+  (data (i32.const 64) "microservice: ready\n")
+  (data (i32.const 96) "microservice: request served\n")
+  (global $checksum (mut i32) (i32.const 0))
+
+  ;; write(fd=1, ptr, len)
+  (func $puts (param $ptr i32) (param $len i32)
+    (i32.store (i32.const 16) (local.get $ptr))
+    (i32.store (i32.const 20) (local.get $len))
+    (drop (call $fd_write (i32.const 1) (i32.const 16) (i32.const 1) (i32.const 32))))
+
+  ;; murmur-style mixing loop over [0, n)
+  (func $mix (param $n i32) (result i32)
+    (local $i i32) (local $acc i32)
+    (local.set $acc (global.get $checksum))
+    (block $done
+      (loop $top
+        (br_if $done (i32.ge_u (local.get $i) (local.get $n)))
+        (local.set $acc
+          (i32.xor
+            (i32.mul (i32.add (local.get $acc) (local.get $i)) (i32.const 0x5bd1e995))
+            (i32.shr_u (local.get $acc) (i32.const 13))))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $top)))
+    (global.set $checksum (local.get $acc))
+    (local.get $acc))
+
+  ;; parse decimal integer env value REQUESTS= stored by $find_requests
+  ;; environ blob layout: ptrs at 1024, strings at 2048
+  (func $find_requests (result i32)
+    (local $count i32) (local $i i32) (local $p i32) (local $n i32) (local $c i32)
+    (drop (call $environ_sizes_get (i32.const 32) (i32.const 36)))
+    (local.set $count (i32.load (i32.const 32)))
+    (drop (call $environ_get (i32.const 1024) (i32.const 2048)))
+    (block $done (result i32)
+      (loop $next
+        (if (i32.ge_u (local.get $i) (local.get $count))
+          (then (br $done (i32.const 0))))
+        (local.set $p (i32.load (i32.add (i32.const 1024) (i32.mul (local.get $i) (i32.const 4)))))
+        ;; match "REQUESTS="
+        (if (i32.and
+              (i32.and
+                (i32.eq (i32.load8_u (local.get $p)) (i32.const 82))             ;; R
+                (i32.eq (i32.load8_u (i32.add (local.get $p) (i32.const 1))) (i32.const 69))) ;; E
+              (i32.eq (i32.load8_u (i32.add (local.get $p) (i32.const 8))) (i32.const 61)))   ;; =
+          (then
+            (local.set $p (i32.add (local.get $p) (i32.const 9)))
+            (local.set $n (i32.const 0))
+            (block $endnum
+              (loop $digit
+                (local.set $c (i32.load8_u (local.get $p)))
+                (br_if $endnum (i32.or (i32.lt_u (local.get $c) (i32.const 48))
+                                       (i32.gt_u (local.get $c) (i32.const 57))))
+                (local.set $n (i32.add (i32.mul (local.get $n) (i32.const 10))
+                                       (i32.sub (local.get $c) (i32.const 48))))
+                (local.set $p (i32.add (local.get $p) (i32.const 1)))
+                (br $digit)))
+            (br $done (local.get $n))))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $next))
+      (i32.const 0)))
+
+  (func (export "_start")
+    (local $requests i32) (local $i i32)
+    ;; touch argv the way a C main() does
+    (drop (call $args_sizes_get (i32.const 40) (i32.const 44)))
+    (drop (call $args_get (i32.const 1024) (i32.const 1536)))
+    ;; init work
+    (drop (call $mix (i32.const 1000)))
+    ;; timestamp read (exercises clock_time_get)
+    (drop (call $clock_time_get (i32.const 1) (i64.const 1000) (i32.const 48)))
+    (call $puts (i32.const 64) (i32.const 20))
+    ;; optional request loop
+    (local.set $requests (call $find_requests))
+    (block $served
+      (loop $serve
+        (br_if $served (i32.ge_u (local.get $i) (local.get $requests)))
+        (drop (call $mix (i32.const 200)))
+        (call $puts (i32.const 96) (i32.const 29))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $serve)))
+    (call $proc_exit (i32.const 0))))
+"""
+
+
+@lru_cache(maxsize=1)
+def build_microservice_wasm() -> bytes:
+    """Assemble the microservice to validated binary bytes."""
+    return assemble_wat(MICROSERVICE_WAT)
+
+
+def microservice_module() -> Module:
+    """The decoded/parsed module (for inspection in tests)."""
+    return parse_wat(MICROSERVICE_WAT)

@@ -1,0 +1,68 @@
+"""The minimal microservice in (mini-)C — the paper's actual workload form.
+
+§IV-A runs "a minimal C application" compiled to Wasm. The WAT version in
+:mod:`repro.workloads.microservice` is the hand-tuned reference;
+this module carries the same program as C source and compiles it with
+:mod:`repro.cc` — the complete paper pipeline (C → wasm → OCI image →
+crun-WAMR) inside this repository.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.cc import compile_c_binary
+from repro.oci.annotations import WASM_VARIANT_ANNOTATION, WASM_VARIANT_COMPAT
+from repro.oci.image import Image, ImageConfig, Layer
+
+C_MICROSERVICE_SOURCE = """\
+// Minimal microservice (paper section IV-A): init work, readiness line,
+// then serve REQUESTS simulated requests.
+
+int checksum;
+
+int mix(int rounds) {
+    int acc = checksum;
+    for (int i = 0; i < rounds; i++) {
+        acc = ((acc + i) * 0x5bd1e995) ^ (acc >> 13);
+    }
+    checksum = acc;
+    return acc;
+}
+
+int main(void) {
+    long requests = env_int("REQUESTS", 0);
+    mix(1000);
+    puts("microservice: ready");
+    for (long i = 0; i < requests; i++) {
+        mix(200);
+        puts("microservice: request served");
+    }
+    return 0;
+}
+"""
+
+C_WASM_IMAGE_REF = "registry.local/microservice:c-wasm"
+
+
+@lru_cache(maxsize=1)
+def build_c_microservice_wasm() -> bytes:
+    """Compile the C microservice to validated wasm bytes."""
+    return compile_c_binary(C_MICROSERVICE_SOURCE)
+
+
+def build_c_wasm_image(reference: str = C_WASM_IMAGE_REF) -> Image:
+    """OCI image carrying the C-compiled module (and its source, as a
+    real image would carry build provenance)."""
+    layer = Layer.from_files(
+        {
+            "app/main.wasm": build_c_microservice_wasm(),
+            "app/main.c": C_MICROSERVICE_SOURCE.encode("utf-8"),
+        }
+    )
+    config = ImageConfig(
+        entrypoint=["/app/main.wasm"],
+        env={"SERVICE": "microservice"},
+        annotations={WASM_VARIANT_ANNOTATION: WASM_VARIANT_COMPAT},
+    )
+    return Image(reference=reference, config=config, layers=[layer])

@@ -1,0 +1,47 @@
+"""grow_pages builtin + the memhog workload."""
+
+import pytest
+
+from repro.cc import compile_c_binary
+from repro.errors import CompileError
+from repro.wasm.embed import run_wasi
+from repro.workloads.memhog import MEMHOG_SOURCE, build_memhog_wasm
+
+
+class TestGrowPages:
+    def test_returns_previous_page_count(self):
+        src = """
+        int main(void) {
+            putd(grow_pages(3));
+            putd(grow_pages(1));
+            return 0;
+        }
+        """
+        result = run_wasi(compile_c_binary(src))
+        assert result.stdout == b"1\n4\n"
+
+    def test_memory_grows(self):
+        src = "int main(void) { grow_pages(7); return 0; }"
+        result = run_wasi(compile_c_binary(src))
+        assert result.memory_bytes == 8 * 65536
+
+    def test_arg_count_checked(self):
+        with pytest.raises(CompileError, match="one argument"):
+            compile_c_binary("int main(void) { grow_pages(); return 0; }")
+
+
+class TestMemhogWorkload:
+    def test_default_stays_one_page(self):
+        result = run_wasi(build_memhog_wasm(), env={})
+        assert result.exit_code == 0
+        assert result.memory_bytes == 65536
+        assert b"ready" in result.stdout
+
+    @pytest.mark.parametrize("pages", [1, 16, 128])
+    def test_pages_env_controls_memory(self, pages):
+        result = run_wasi(build_memhog_wasm(), env={"PAGES": str(pages)})
+        assert result.exit_code == 0
+        assert result.memory_bytes == (1 + pages) * 65536
+
+    def test_source_is_carried(self):
+        assert "grow_pages" in MEMHOG_SOURCE

@@ -1,0 +1,131 @@
+"""mini-C lexer and parser."""
+
+import pytest
+
+from repro.cc import cast as C
+from repro.cc.lexer import Kind, lex
+from repro.cc.parser import parse_c
+from repro.errors import CompileError
+
+
+class TestLexer:
+    def test_keywords_vs_identifiers(self):
+        toks = lex("int main interest")
+        assert [t.kind for t in toks[:3]] == [Kind.KEYWORD, Kind.IDENT, Kind.IDENT]
+
+    def test_numbers(self):
+        toks = lex("42 0x2A 7L 0")
+        assert toks[0].value == (42, False)
+        assert toks[1].value == (42, False)
+        assert toks[2].value == (7, True)  # long suffix
+        assert toks[3].value == (0, False)
+
+    def test_char_literals(self):
+        toks = lex(r"'a' '\n' '\\'")
+        assert toks[0].value == (97, False)
+        assert toks[1].value == (10, False)
+        assert toks[2].value == (92, False)
+
+    def test_string_escapes(self):
+        toks = lex(r'"a\tb\n"')
+        assert toks[0].value == b"a\tb\n"
+
+    def test_comments(self):
+        toks = lex("a // line\n/* block\n comment */ b")
+        idents = [t.text for t in toks if t.kind is Kind.IDENT]
+        assert idents == ["a", "b"]
+
+    def test_maximal_munch_operators(self):
+        toks = lex("a<<=b && c++")
+        ops = [t.text for t in toks if t.kind is Kind.OP]
+        assert ops == ["<<=", "&&", "++"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(CompileError, match="unterminated string"):
+            lex('"abc')
+
+    def test_unterminated_comment(self):
+        with pytest.raises(CompileError, match="block comment"):
+            lex("/* never")
+
+    def test_bad_character(self):
+        with pytest.raises(CompileError, match="unexpected character"):
+            lex("int a @ b;")
+
+    def test_line_numbers(self):
+        toks = lex("a\n  b")
+        b = [t for t in toks if t.text == "b"][0]
+        assert (b.line, b.col) == (2, 3)
+
+
+class TestParser:
+    def test_function_shape(self):
+        program = parse_c("int add(int a, long b) { return a; }")
+        [func] = program.functions
+        assert func.ret == "int"
+        assert [(p.ctype, p.name) for p in func.params] == [("int", "a"), ("long", "b")]
+
+    def test_void_params(self):
+        program = parse_c("void f(void) { }")
+        assert program.functions[0].params == []
+
+    def test_globals(self):
+        program = parse_c("int counter; long big = -5; int main(void){return 0;}")
+        assert [(g.name, g.init) for g in program.globals] == [("counter", 0), ("big", -5)]
+
+    def test_precedence(self):
+        program = parse_c("int f(void) { return 1 + 2 * 3; }")
+        ret = program.functions[0].body.statements[0]
+        add = ret.value
+        assert isinstance(add, C.CBinary) and add.op == "+"
+        assert isinstance(add.right, C.CBinary) and add.right.op == "*"
+
+    def test_comparison_precedence_below_shift(self):
+        program = parse_c("int f(int a) { return a << 1 < 8; }")
+        ret = program.functions[0].body.statements[0]
+        assert ret.value.op == "<"
+        assert ret.value.left.op == "<<"
+
+    def test_assignment_is_right_associative(self):
+        program = parse_c("int f(void) { int a; int b; a = b = 1; return a; }")
+        stmt = program.functions[0].body.statements[2]
+        assert isinstance(stmt.expr, C.CAssign)
+        assert isinstance(stmt.expr.value, C.CAssign)
+
+    def test_compound_assignment(self):
+        program = parse_c("int f(int a) { a += 2; return a; }")
+        stmt = program.functions[0].body.statements[0]
+        assert stmt.expr.op == "+="
+
+    def test_increment_sugar(self):
+        program = parse_c("int f(int a) { a++; ++a; return a; }")
+        s0, s1, _ = program.functions[0].body.statements
+        assert s0.expr.op == "+=" and s1.expr.op == "+="
+
+    def test_for_with_declaration(self):
+        program = parse_c("int f(void) { for (int i = 0; i < 3; i++) { } return 0; }")
+        loop = program.functions[0].body.statements[0]
+        assert isinstance(loop, C.CFor) and isinstance(loop.init, C.CDecl)
+
+    def test_for_headless(self):
+        program = parse_c("int f(void) { for (;;) { break; } return 0; }")
+        loop = program.functions[0].body.statements[0]
+        assert loop.init is None and loop.cond is None and loop.step is None
+
+    def test_if_without_braces(self):
+        program = parse_c("int f(int a) { if (a) return 1; else return 2; }")
+        branch = program.functions[0].body.statements[0]
+        assert isinstance(branch.then, C.CBlock)
+        assert isinstance(branch.otherwise, C.CBlock)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(CompileError, match="expected ';'"):
+            parse_c("int f(void) { return 1 }")
+
+    def test_bad_toplevel(self):
+        with pytest.raises(CompileError, match="expected declaration"):
+            parse_c("return 1;")
+
+    def test_unterminated_block(self):
+        with pytest.raises(CompileError):
+            parse_c("int f(void) { return 1;")

@@ -1,0 +1,18 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.k8s.cluster import Cluster, build_cluster
+from repro.workloads.microservice import build_microservice_wasm
+
+
+@pytest.fixture(scope="session")
+def microservice_blob() -> bytes:
+    return build_microservice_wasm()
+
+
+@pytest.fixture()
+def cluster() -> Cluster:
+    return build_cluster(seed=7)

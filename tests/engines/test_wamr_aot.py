@@ -1,0 +1,49 @@
+"""The wamr-aot extension profile and its handler plumbing."""
+
+import pytest
+
+from repro.engines import available_engines, get_engine
+from repro.engines.profiles import ALL_PROFILES, EXTENSION_PROFILES
+from repro.errors import EngineError
+from repro.workloads.microservice import build_microservice_wasm
+
+
+class TestAotProfile:
+    def test_not_in_paper_engine_set(self):
+        assert "wamr-aot" not in available_engines()
+        assert "wamr-aot" in EXTENSION_PROFILES
+
+    def test_resolvable_via_registry(self):
+        engine = get_engine("wamr-aot")
+        assert engine.profile.compile_mode == "aot"
+
+    def test_same_semantics_as_interpreter_mode(self, microservice_blob):
+        interp = get_engine("wamr")
+        aot = get_engine("wamr-aot")
+        r1 = interp.run(interp.compile(microservice_blob), env={"REQUESTS": "1"})
+        r2 = aot.run(aot.compile(microservice_blob), env={"REQUESTS": "1"})
+        assert r1.stdout == r2.stdout
+        assert r1.instructions == r2.instructions
+
+    def test_aot_trades_memory_for_speed(self, microservice_blob):
+        interp = get_engine("wamr")
+        aot = get_engine("wamr-aot")
+        ci = interp.compile(microservice_blob)
+        ca = aot.compile(microservice_blob)
+        # Bigger artifact (native code)...
+        assert ca.artifact_bytes > ci.artifact_bytes
+        # ...longer compile...
+        assert ca.compile_seconds > ci.compile_seconds
+        # ...much faster execution.
+        r1 = interp.run(ci)
+        r2 = aot.run(ca)
+        assert r2.exec_seconds < r1.exec_seconds / 5
+
+    def test_shares_libiwasm_file_key(self):
+        assert (
+            get_engine("wamr-aot").profile.lib_file
+            == get_engine("wamr").profile.lib_file
+        )
+
+    def test_paper_profiles_untouched(self):
+        assert set(ALL_PROFILES) == {"wamr", "wasmtime", "wasmer", "wasmedge"}

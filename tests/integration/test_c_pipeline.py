@@ -1,0 +1,71 @@
+"""The full paper pipeline with the C workload: C → wasm → image → pod."""
+
+import pytest
+
+from repro.wasm.embed import run_wasi
+from repro.workloads.microservice import build_microservice_wasm
+from repro.workloads.microservice_c import (
+    C_WASM_IMAGE_REF,
+    build_c_microservice_wasm,
+    build_c_wasm_image,
+)
+
+
+class TestEquivalenceWithWat:
+    """The C build and the reference WAT build are the same microservice."""
+
+    @pytest.mark.parametrize("requests", [0, 1, 5])
+    def test_identical_observable_behaviour(self, requests):
+        env = {"REQUESTS": str(requests)}
+        wat = run_wasi(build_microservice_wasm(), args=["svc"], env=env)
+        c = run_wasi(build_c_microservice_wasm(), args=["svc"], env=env)
+        assert c.exit_code == wat.exit_code == 0
+        assert c.stdout == wat.stdout
+
+    def test_both_fit_in_one_memory_page(self):
+        wat = run_wasi(build_microservice_wasm())
+        c = run_wasi(build_c_microservice_wasm())
+        assert wat.memory_bytes == c.memory_bytes == 65536
+
+
+class TestDeployment:
+    def test_c_image_runs_under_crun_wamr(self, cluster):
+        cluster.node.env.images.push(build_c_wasm_image())
+        pod = cluster.make_pod("crun-wamr", image=C_WASM_IMAGE_REF, env={"REQUESTS": "2"})
+        cluster.kernel.run_all([cluster.node.kubelet.sync_pod(pod)])
+        [container] = cluster.node.kubelet.pod_containers[pod.uid]
+        assert container.exit_code == 0
+        assert container.stdout.count(b"request served") == 2
+        assert container.facts["engine"] == "wamr"
+
+    def test_c_image_runs_under_runwasi(self, cluster):
+        cluster.node.env.images.push(build_c_wasm_image())
+        pod = cluster.make_pod("shim-wasmedge", image=C_WASM_IMAGE_REF)
+        cluster.kernel.run_all([cluster.node.kubelet.sync_pod(pod)])
+        [container] = cluster.node.kubelet.pod_containers[pod.uid]
+        assert b"ready" in container.stdout
+
+    def test_image_carries_source_provenance(self):
+        image = build_c_wasm_image()
+        assert b"int main(void)" in image.read_file("app/main.c")
+        assert image.read_file("app/main.wasm")[:4] == b"\x00asm"
+
+    def test_memory_footprint_close_to_wat_workload(self, cluster):
+        """The workload swap must not change the figure-level story."""
+        from repro.sim.memory import MIB
+
+        cluster.node.env.images.push(build_c_wasm_image())
+        wat_pods = cluster.deploy_and_wait("crun-wamr", 4)
+        metrics = cluster.node.metrics.pod_working_sets()
+        wat_mean = sum(metrics[p.uid] for p in wat_pods) / 4
+        cluster.teardown(wat_pods)
+
+        c_pods = [
+            cluster.make_pod("crun-wamr", image=C_WASM_IMAGE_REF) for _ in range(4)
+        ]
+        cluster.kernel.run_all(
+            [cluster.node.kubelet.sync_pod(p) for p in c_pods]
+        )
+        metrics = cluster.node.metrics.pod_working_sets()
+        c_mean = sum(metrics[p.uid] for p in c_pods) / 4
+        assert abs(c_mean - wat_mean) < 0.1 * MIB

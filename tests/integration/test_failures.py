@@ -1,0 +1,102 @@
+"""Fault injection across the stack: OOM, bad modules, guest traps."""
+
+import pytest
+
+from repro.errors import OutOfMemory
+from repro.k8s import ContainerSpec, PodPhase, PodSpec
+from repro.k8s.cluster import build_cluster
+from repro.oci.annotations import WASM_VARIANT_ANNOTATION, WASM_VARIANT_COMPAT
+from repro.oci.image import Image, ImageConfig, Layer
+from repro.sim.memory import GIB, MIB
+from repro.wasm import assemble_wat
+
+
+def _push_image(cluster, reference: str, wasm_bytes: bytes) -> str:
+    image = Image(
+        reference=reference,
+        config=ImageConfig(
+            entrypoint=["/app/bad.wasm"],
+            annotations={WASM_VARIANT_ANNOTATION: WASM_VARIANT_COMPAT},
+        ),
+        layers=[Layer.from_files({"app/bad.wasm": wasm_bytes})],
+    )
+    cluster.node.env.images.push(image)
+    cluster.node.env.images.pull(reference)
+    return reference
+
+
+def _deploy_one(cluster, config: str, image: str):
+    spec = PodSpec(
+        containers=[ContainerSpec(name="app", image=image)],
+        runtime_class_name=config,
+    )
+    pod = cluster.api.create_pod("faulty", spec)
+    cluster.kernel.run_all([cluster.node.kubelet.sync_pod(pod)])
+    return pod
+
+
+class TestBadModules:
+    def test_corrupt_wasm_fails_pod_not_harness(self):
+        cluster = build_cluster(seed=1)
+        ref = _push_image(cluster, "registry.local/bad:corrupt", b"\x00asmGARBAGE")
+        pod = _deploy_one(cluster, "crun-wamr", ref)
+        assert pod.phase is PodPhase.FAILED
+        assert "rejected" in pod.status_message
+        # Node fully cleaned up after the failure.
+        assert len(cluster.node.containerd.pods) == 0
+
+    def test_trapping_module_fails_pod(self):
+        cluster = build_cluster(seed=1)
+        trap = assemble_wat('(module (func (export "_start") unreachable))')
+        ref = _push_image(cluster, "registry.local/bad:trap", trap)
+        pod = _deploy_one(cluster, "crun-wamr", ref)
+        assert pod.phase is PodPhase.FAILED
+        assert "trap" in pod.status_message
+
+    def test_trapping_module_fails_under_runwasi_too(self):
+        cluster = build_cluster(seed=1)
+        trap = assemble_wat('(module (func (export "_start") (unreachable)))')
+        ref = _push_image(cluster, "registry.local/bad:trap2", trap)
+        pod = _deploy_one(cluster, "shim-wasmtime", ref)
+        assert pod.phase is PodPhase.FAILED
+
+    def test_module_without_entrypoint_fails(self):
+        cluster = build_cluster(seed=1)
+        empty = assemble_wat("(module (func $noop))")
+        ref = _push_image(cluster, "registry.local/bad:noentry", empty)
+        pod = _deploy_one(cluster, "crun-wamr", ref)
+        assert pod.phase is PodPhase.FAILED
+
+    def test_healthy_pods_unaffected_by_earlier_failure(self):
+        cluster = build_cluster(seed=1)
+        ref = _push_image(cluster, "registry.local/bad:corrupt2", b"not wasm at all")
+        bad = _deploy_one(cluster, "crun-wamr", ref)
+        assert bad.phase is PodPhase.FAILED
+        good = cluster.deploy_and_wait("crun-wamr", 3)
+        assert all(p.phase is PodPhase.RUNNING for p in good)
+
+
+class TestOutOfMemory:
+    def test_dense_deployment_on_tiny_node_fails_pods(self):
+        # 1 GiB node: the ~23 MiB/pod wasmer shims exhaust it quickly.
+        cluster = build_cluster(seed=1, memory_bytes=1 * GIB)
+        pods = [cluster.make_pod("shim-wasmer") for _ in range(40)]
+        acts = [cluster.node.kubelet.sync_pod(p) for p in pods]
+        cluster.kernel.run_all(acts)
+        phases = {p.phase for p in pods}
+        assert PodPhase.FAILED in phases, "some pods must OOM"
+        failed = [p for p in pods if p.phase is PodPhase.FAILED]
+        assert any("exhausted" in p.status_message for p in failed)
+
+    def test_lightweight_pods_fit_where_heavy_ones_do_not(self):
+        cluster = build_cluster(seed=1, memory_bytes=1 * GIB)
+        pods = cluster.deploy_and_wait("crun-wamr", 40)
+        assert all(p.phase is PodPhase.RUNNING for p in pods)
+
+    def test_oom_error_type(self):
+        from repro.sim.memory import SystemMemoryModel
+
+        model = SystemMemoryModel(total_bytes=10 * MIB, kernel_base=0)
+        p = model.spawn("hog")
+        with pytest.raises(OutOfMemory):
+            model.map_private(p, 11 * MIB)

@@ -1,0 +1,71 @@
+"""Scale canary (the §III-C 500-pods-per-node extension) + runaway guests."""
+
+import pytest
+
+from repro.errors import KubernetesError
+from repro.k8s import PodPhase
+from repro.k8s.cluster import build_cluster
+from repro.oci.annotations import WASM_VARIANT_ANNOTATION, WASM_VARIANT_COMPAT
+from repro.oci.image import Image, ImageConfig, Layer
+from repro.wasm import assemble_wat
+
+
+class TestFiveHundredPods:
+    def test_full_node_of_wamr_pods(self):
+        """§III-C: 'now supporting up to 500 pods per node'."""
+        cluster = build_cluster(seed=6)
+        pods = cluster.deploy_and_wait("crun-wamr", 500)
+        assert all(p.phase is PodPhase.RUNNING for p in pods)
+        assert cluster.node.info.pod_count == 500
+        metrics = cluster.node.metrics.pod_working_sets()
+        assert len(metrics) == 500
+        # Memory scales linearly, not superlinearly: mean per pod stays
+        # in the same band as smaller deployments.
+        mean = sum(metrics.values()) / len(metrics) / (1024 * 1024)
+        assert 3.5 < mean < 4.5
+
+    def test_pod_501_stays_pending(self):
+        cluster = build_cluster(seed=6)
+        cluster.deploy_and_wait("crun-wamr", 500)
+        extra = cluster.make_pod("crun-wamr")
+        assert extra.node_name is None  # no capacity anywhere
+
+
+class TestRunawayGuest:
+    def _spin_image(self, cluster) -> str:
+        spin = assemble_wat(
+            '(module (func (export "_start") (loop $l (br $l))))'
+        )
+        image = Image(
+            reference="registry.local/spin:latest",
+            config=ImageConfig(
+                entrypoint=["/app/spin.wasm"],
+                annotations={WASM_VARIANT_ANNOTATION: WASM_VARIANT_COMPAT},
+            ),
+            layers=[Layer.from_files({"app/spin.wasm": spin})],
+        )
+        cluster.node.env.images.push(image)
+        return image.reference
+
+    def test_infinite_loop_fails_pod_not_harness(self):
+        cluster = build_cluster(seed=6)
+        ref = self._spin_image(cluster)
+        pod = cluster.make_pod("crun-wamr", image=ref)
+        cluster.kernel.run_all([cluster.node.kubelet.sync_pod(pod)])
+        assert pod.phase is PodPhase.FAILED
+        assert "fuel" in pod.status_message or "trap" in pod.status_message
+
+    def test_runaway_under_runwasi_too(self):
+        cluster = build_cluster(seed=6)
+        ref = self._spin_image(cluster)
+        pod = cluster.make_pod("shim-wasmer", image=ref)
+        cluster.kernel.run_all([cluster.node.kubelet.sync_pod(pod)])
+        assert pod.phase is PodPhase.FAILED
+
+    def test_node_remains_usable_after_runaway(self):
+        cluster = build_cluster(seed=6)
+        ref = self._spin_image(cluster)
+        bad = cluster.make_pod("crun-wamr", image=ref)
+        cluster.kernel.run_all([cluster.node.kubelet.sync_pod(bad)])
+        good = cluster.deploy_and_wait("crun-wamr", 3)
+        assert all(p.phase is PodPhase.RUNNING for p in good)

@@ -1,0 +1,101 @@
+"""Deployment controller: reconciliation, scaling, teardown."""
+
+import pytest
+
+from repro.errors import KubernetesError
+from repro.k8s import ContainerSpec, PodPhase, PodSpec
+from repro.k8s.cluster import build_cluster
+from repro.workloads.images import WASM_IMAGE_REF
+
+
+def template(config: str = "crun-wamr") -> PodSpec:
+    return PodSpec(
+        containers=[ContainerSpec(name="app", image=WASM_IMAGE_REF)],
+        runtime_class_name=config,
+    )
+
+
+@pytest.fixture()
+def cluster_with_deployment(cluster):
+    cluster.deployments.create("svc", template(), replicas=4)
+    return cluster
+
+
+class TestReconciliation:
+    def test_initial_rollout(self, cluster_with_deployment):
+        status = cluster_with_deployment.reconcile_and_wait("svc")
+        assert status == {"desired": 4, "current": 4, "ready": 4}
+        assert len(cluster_with_deployment.node.containerd.pods) == 4
+
+    def test_reconcile_is_idempotent(self, cluster_with_deployment):
+        cluster_with_deployment.reconcile_and_wait("svc")
+        pods_before = set(cluster_with_deployment.api.pods)
+        status = cluster_with_deployment.reconcile_and_wait("svc")
+        assert status["ready"] == 4
+        assert set(cluster_with_deployment.api.pods) == pods_before
+
+    def test_scale_up(self, cluster_with_deployment):
+        cluster_with_deployment.reconcile_and_wait("svc")
+        cluster_with_deployment.deployments.scale("svc", 7)
+        status = cluster_with_deployment.reconcile_and_wait("svc")
+        assert status == {"desired": 7, "current": 7, "ready": 7}
+
+    def test_scale_down_releases_node_memory(self, cluster_with_deployment):
+        c = cluster_with_deployment
+        c.reconcile_and_wait("svc")
+        ws_at_4 = c.node.env.memory.node_working_set()
+        c.deployments.scale("svc", 1)
+        status = c.reconcile_and_wait("svc")
+        assert status["ready"] == 1
+        assert c.node.env.memory.node_working_set() < ws_at_4
+        assert len(c.node.containerd.pods) == 1
+
+    def test_scale_to_zero(self, cluster_with_deployment):
+        c = cluster_with_deployment
+        c.reconcile_and_wait("svc")
+        c.deployments.scale("svc", 0)
+        status = c.reconcile_and_wait("svc")
+        assert status == {"desired": 0, "current": 0, "ready": 0}
+
+    def test_replaces_externally_deleted_pods(self, cluster_with_deployment):
+        c = cluster_with_deployment
+        c.reconcile_and_wait("svc")
+        victim_uid = c.deployments.deployments["svc"].pod_uids[0]
+        victim = c.api.pods[victim_uid]
+        c.nodes[victim.node_name].kubelet.teardown_pod(victim)
+        status = c.reconcile_and_wait("svc")
+        assert status["ready"] == 4
+        assert victim_uid not in c.api.pods
+
+
+class TestControllerEdges:
+    def test_duplicate_deployment(self, cluster_with_deployment):
+        with pytest.raises(KubernetesError, match="already exists"):
+            cluster_with_deployment.deployments.create("svc", template())
+
+    def test_unknown_deployment(self, cluster):
+        with pytest.raises(KubernetesError, match="no deployment"):
+            cluster.deployments.reconcile("ghost")
+
+    def test_negative_replicas(self, cluster_with_deployment):
+        with pytest.raises(KubernetesError, match=">= 0"):
+            cluster_with_deployment.deployments.scale("svc", -1)
+
+    def test_delete_returns_pods_for_teardown(self, cluster_with_deployment):
+        c = cluster_with_deployment
+        c.reconcile_and_wait("svc")
+        pods = c.deployments.delete("svc")
+        assert len(pods) == 4
+        c.teardown(pods)
+        assert len(c.node.containerd.pods) == 0
+
+    def test_mixed_deployments_share_node(self, cluster):
+        cluster.deployments.create("wasm", template("crun-wamr"), replicas=3)
+        cluster.deployments.create("legacy", template("crun-python"), replicas=2)
+        # Python template needs the python image.
+        cluster.deployments.deployments["legacy"].template.containers[0].image = (
+            "registry.local/microservice:python"
+        )
+        assert cluster.reconcile_and_wait("wasm")["ready"] == 3
+        assert cluster.reconcile_and_wait("legacy")["ready"] == 2
+        assert len(cluster.node.containerd.pods) == 5

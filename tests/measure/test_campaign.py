@@ -1,0 +1,40 @@
+"""Campaign driver tests (uses cached measurements from other tests)."""
+
+import pytest
+
+from repro.measure.campaign import render_campaign, run_campaign
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign(seed=1)
+
+
+class TestCampaign:
+    def test_all_claims_hold(self, campaign):
+        failing = [c.claim_id for c in campaign.claims if not c.holds]
+        assert campaign.all_hold(), failing
+
+    def test_covers_six_claims(self, campaign):
+        assert {c.claim_id for c in campaign.claims} == {
+            "crun-family",
+            "runwasi",
+            "python",
+            "startup-10",
+            "startup-400",
+            "fig10-order",
+        }
+
+    def test_full_matrix_measured(self, campaign):
+        assert len(campaign.measurements) == 9 * 3
+
+    def test_render_contains_verdicts(self, campaign):
+        text = render_campaign(campaign)
+        assert "[OK  ]" in text
+        assert "crun-wamr" in text
+        assert "paper:" in text and "measured:" in text
+
+    def test_averages_consistent_with_measurements(self, campaign):
+        avg = campaign.averaged_free("crun-wamr")
+        values = [campaign.get("crun-wamr", n).free_mib for n in (10, 100, 400)]
+        assert avg == pytest.approx(sum(values) / 3)

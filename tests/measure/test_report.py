@@ -1,0 +1,49 @@
+"""Report renderers."""
+
+from repro.measure.figures import FigureSeries
+from repro.measure.report import render_phase_breakdown, render_series
+
+
+class TestRenderSeries:
+    def _series(self) -> FigureSeries:
+        return FigureSeries(
+            figure_id="figX",
+            title="Example",
+            unit="MiB/container",
+            densities=(10, 400),
+            values={
+                "crun-wamr": {10: 4.0, 400: 3.9},
+                "crun-wasmer": {10: 20.0, 400: 18.0},
+            },
+        )
+
+    def test_contains_rows_and_average(self):
+        text = render_series(self._series())
+        assert "crun-wamr" in text and "<== ours" in text
+        assert "avg" in text
+        assert "3.95" in text  # (4.0+3.9)/2
+
+    def test_single_density_has_no_average(self):
+        series = self._series()
+        series.densities = (10,)
+        series.values = {c: {10: v[10]} for c, v in series.values.items()}
+        assert "avg" not in render_series(series)
+
+    def test_best_other_and_averaged_helpers(self):
+        series = self._series()
+        assert series.best_other(10) == ("crun-wasmer", 20.0)
+        assert series.averaged("crun-wamr") == 3.95
+
+
+class TestRenderPhases:
+    def test_table_shape(self):
+        text = render_phase_breakdown(
+            "phases",
+            {
+                "crun-wamr": {"startup.parallel": 0.08, "startup.serialized": 0.01},
+                "shim-wasmtime": {"startup.parallel": 0.10},
+            },
+        )
+        assert "parallel" in text and "serialized" in text
+        assert "80.0ms" in text
+        assert "0.0ms" in text  # missing phase renders as zero

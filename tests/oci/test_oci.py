@@ -1,0 +1,160 @@
+"""OCI substrate: digests, images, store, spec, bundles, annotations."""
+
+import pytest
+
+from repro.errors import ImageNotFound, OCIError
+from repro.oci import (
+    Image,
+    ImageConfig,
+    ImageStore,
+    Layer,
+    build_bundle,
+    is_wasm_image,
+    sha256_digest,
+)
+from repro.oci.digest import short_digest
+from repro.oci.spec import MountSpec, RuntimeSpec
+from repro.sim.memory import MIB, SystemMemoryModel
+from repro.workloads.images import build_python_image, build_wasm_image
+
+
+class TestDigest:
+    def test_format(self):
+        d = sha256_digest(b"abc")
+        assert d.startswith("sha256:") and len(d) == 7 + 64
+
+    def test_deterministic(self):
+        assert sha256_digest(b"x") == sha256_digest(b"x")
+        assert sha256_digest(b"x") != sha256_digest(b"y")
+
+    def test_short(self):
+        assert len(short_digest(sha256_digest(b"x"))) == 12
+
+
+class TestImage:
+    def test_layer_digest_is_content_addressed(self):
+        a = Layer.from_files({"f": b"1"})
+        b = Layer.from_files({"f": b"1"})
+        c = Layer.from_files({"f": b"2"})
+        assert a.digest == b.digest != c.digest
+
+    def test_layer_order_independence_of_digest(self):
+        a = Layer.from_files({"a": b"1", "b": b"2"})
+        b = Layer.from_files({"b": b"2", "a": b"1"})
+        assert a.digest == b.digest
+
+    def test_image_needs_layers(self):
+        with pytest.raises(OCIError, match="layer"):
+            Image("r", ImageConfig(), layers=[])
+
+    def test_flatten_shadows_earlier_layers(self):
+        image = Image(
+            "r",
+            ImageConfig(),
+            layers=[
+                Layer.from_files({"etc/conf": b"old", "keep": b"k"}),
+                Layer.from_files({"etc/conf": b"new"}),
+            ],
+        )
+        rootfs = image.flatten()
+        assert rootfs["etc/conf"] == b"new" and rootfs["keep"] == b"k"
+
+    def test_read_file(self):
+        image = build_wasm_image()
+        assert image.read_file("app/main.wasm")[:4] == b"\x00asm"
+        with pytest.raises(OCIError):
+            image.read_file("missing")
+
+    def test_full_command(self):
+        cfg = ImageConfig(entrypoint=["/bin/app"], cmd=["--serve"])
+        assert cfg.full_command() == ["/bin/app", "--serve"]
+
+
+class TestAnnotations:
+    def test_wasm_image_detected_by_annotation(self):
+        assert is_wasm_image(build_wasm_image())
+
+    def test_python_image_not_wasm(self):
+        assert not is_wasm_image(build_python_image())
+
+    def test_wasm_detected_by_entrypoint_suffix(self):
+        image = Image(
+            "r",
+            ImageConfig(entrypoint=["/app/x.wasm"]),
+            layers=[Layer.from_files({"app/x.wasm": b"\x00asm"})],
+        )
+        assert is_wasm_image(image)
+
+
+class TestStore:
+    def test_pull_unknown_reference(self):
+        with pytest.raises(ImageNotFound):
+            ImageStore().pull("nope:latest")
+
+    def test_cold_then_warm_pull(self):
+        store = ImageStore()
+        store.push(build_wasm_image())
+        first = store.pull(build_wasm_image().reference)
+        second = store.pull(build_wasm_image().reference)
+        assert not first.was_cached and first.seconds > 0
+        assert second.was_cached and second.seconds == 0
+
+    def test_pull_populates_page_cache(self):
+        memory = SystemMemoryModel()
+        store = ImageStore(memory=memory)
+        image = build_python_image()
+        store.push(image)
+        before = memory.free_report().buff_cache
+        store.pull(image.reference)
+        after = memory.free_report().buff_cache
+        assert after - before == image.size
+
+    def test_warm_pull_does_not_regrow_cache(self):
+        memory = SystemMemoryModel()
+        store = ImageStore(memory=memory)
+        image = build_wasm_image()
+        store.push(image)
+        store.pull(image.reference)
+        cache1 = memory.free_report().buff_cache
+        store.pull(image.reference)
+        assert memory.free_report().buff_cache == cache1
+
+
+class TestSpecAndBundle:
+    def test_bundle_merges_env_with_overrides(self):
+        image = build_python_image()
+        bundle = build_bundle("c1", image, env_override={"EXTRA": "1"})
+        assert bundle.spec.process.env["SERVICE"] == "microservice"
+        assert bundle.spec.process.env["EXTRA"] == "1"
+
+    def test_bundle_args_override_wins(self):
+        image = build_python_image()
+        bundle = build_bundle("c1", image, args_override=["/usr/bin/python3", "-V"])
+        assert bundle.spec.process.args == ["/usr/bin/python3", "-V"]
+
+    def test_bundle_default_args_from_image(self):
+        bundle = build_bundle("c1", build_wasm_image())
+        assert bundle.spec.process.args == ["/app/main.wasm"]
+
+    def test_bundle_carries_rootfs_content(self):
+        bundle = build_bundle("c1", build_wasm_image())
+        assert bundle.read_file("/app/main.wasm")[:4] == b"\x00asm"
+
+    def test_bundle_annotations_merge(self):
+        bundle = build_bundle(
+            "c1", build_wasm_image(), annotations={"custom": "y"}
+        )
+        assert bundle.spec.annotations["module.wasm.image/variant"] == "compat"
+        assert bundle.spec.annotations["custom"] == "y"
+
+    def test_preopen_dirs_from_mounts(self):
+        spec = RuntimeSpec(
+            mounts=[MountSpec(destination="/config", source="/host/cfg")]
+        )
+        dirs = spec.preopen_dirs()
+        assert dirs["/"] == "rootfs"
+        assert dirs["/config"] == "/host/cfg"
+
+    def test_cgroups_path_set(self):
+        bundle = build_bundle("c1", build_wasm_image(), cgroups_path="/kubepods/podX")
+        assert bundle.spec.linux.cgroups_path == "/kubepods/podX"

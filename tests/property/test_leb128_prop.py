@@ -1,0 +1,62 @@
+"""Property tests: LEB128 codec."""
+
+from hypothesis import given, strategies as st
+
+from repro.errors import MalformedModule
+from repro.wasm import leb128
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_u32_roundtrip(value):
+    decoded, pos = leb128.decode_u(leb128.encode_u(value), 0, bits=32)
+    assert decoded == value
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1))
+def test_u64_roundtrip(value):
+    encoded = leb128.encode_u(value)
+    decoded, pos = leb128.decode_u(encoded, 0, bits=64)
+    assert decoded == value and pos == len(encoded)
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+def test_s32_roundtrip(value):
+    decoded, _ = leb128.decode_s(leb128.encode_s(value), 0, bits=32)
+    assert decoded == value
+
+
+@given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+def test_s64_roundtrip(value):
+    decoded, _ = leb128.decode_s(leb128.encode_s(value), 0, bits=64)
+    assert decoded == value
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_u32_encoding_is_minimal(value):
+    encoded = leb128.encode_u(value)
+    # Strictly fewer bytes must not decode to the same value.
+    assert len(encoded) == max(1, (value.bit_length() + 6) // 7)
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1), st.binary(max_size=8))
+def test_trailing_bytes_ignored(value, suffix):
+    encoded = leb128.encode_u(value)
+    decoded, pos = leb128.decode_u(encoded + suffix, 0, bits=32)
+    assert decoded == value and pos == len(encoded)
+
+
+@given(st.binary(min_size=1, max_size=12))
+def test_decode_never_crashes(data):
+    """Arbitrary bytes either decode or raise MalformedModule — no other
+    exception escapes."""
+    for bits in (32, 64):
+        try:
+            value, pos = leb128.decode_u(data, 0, bits=bits)
+            assert 0 <= value < 2**bits and 0 < pos <= len(data)
+        except MalformedModule:
+            pass
+        try:
+            value, pos = leb128.decode_s(data, 0, bits=bits)
+            assert -(2 ** (bits - 1)) <= value < 2 ** (bits - 1)
+        except MalformedModule:
+            pass

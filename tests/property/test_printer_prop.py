@@ -1,0 +1,17 @@
+"""Property test: WAT printer/parser roundtrip over generated modules."""
+
+from hypothesis import given, settings
+
+from repro.wasm import encode_module, parse_wat
+from repro.wasm.wat import print_wat
+
+from test_codec_prop import modules  # reuse the module generator
+
+
+@settings(max_examples=120, deadline=None)
+@given(modules)
+def test_print_parse_preserves_binary(module):
+    """print_wat → parse_wat reproduces the identical binary encoding."""
+    text = print_wat(module)
+    reparsed = parse_wat(text)
+    assert encode_module(reparsed) == encode_module(module)

@@ -1,0 +1,157 @@
+"""SystemMemoryModel: RSS, sharing, cgroup charging, free(1)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.memory import GIB, MIB, SystemMemoryModel
+from repro.sim.process import MemorySegment, SegmentKind
+
+
+@pytest.fixture()
+def memory() -> SystemMemoryModel:
+    return SystemMemoryModel(total_bytes=8 * GIB, kernel_base=100 * MIB)
+
+
+class TestProcessAccounting:
+    def test_private_counts_fully(self, memory):
+        p = memory.spawn("app", cgroup="/pods/a")
+        memory.map_private(p, 10 * MIB)
+        assert p.private_bytes() == 10 * MIB
+        assert p.rss() == 10 * MIB
+
+    def test_rss_includes_full_shared_mapping(self, memory):
+        p1 = memory.spawn("a")
+        p2 = memory.spawn("b")
+        memory.map_file(p1, "lib.so", 4 * MIB)
+        memory.map_file(p2, "lib.so", 4 * MIB)
+        # Linux semantics: both RSS values include the mapping fully...
+        assert p1.rss() == p2.rss() == 4 * MIB
+        # ...but the node pays once.
+        assert memory.node_working_set() == 4 * MIB
+
+    def test_mismatched_file_size_rejected(self, memory):
+        p1 = memory.spawn("a")
+        p2 = memory.spawn("b")
+        memory.map_file(p1, "lib.so", 4 * MIB)
+        with pytest.raises(SimulationError):
+            memory.map_file(p2, "lib.so", 8 * MIB)
+
+    def test_exit_releases_private_and_mappings(self, memory):
+        p = memory.spawn("app")
+        memory.map_private(p, 10 * MIB)
+        memory.map_file(p, "lib.so", 2 * MIB)
+        memory.exit(p)
+        assert memory.node_working_set() == 0
+        assert memory.file_mapper_count("lib.so") == 0
+
+    def test_exit_is_idempotent(self, memory):
+        p = memory.spawn("app")
+        memory.exit(p)
+        memory.exit(p)  # no error
+
+    def test_find_by_name_prefix(self, memory):
+        memory.spawn("containerd-shim-a")
+        memory.spawn("containerd-shim-b")
+        memory.spawn("other")
+        assert len(memory.find("containerd-shim")) == 2
+
+    def test_segment_validation(self):
+        with pytest.raises(ValueError):
+            MemorySegment(SegmentKind.PRIVATE, -1)
+        with pytest.raises(ValueError):
+            MemorySegment(SegmentKind.FILE_TEXT, 10)  # no file_key
+
+
+class TestCgroupCharging:
+    def test_first_toucher_pays_for_shared_file(self, memory):
+        p1 = memory.spawn("a", cgroup="/pods/a")
+        p2 = memory.spawn("b", cgroup="/pods/b")
+        memory.map_file(p1, "lib.so", 4 * MIB)
+        memory.map_file(p2, "lib.so", 4 * MIB)
+        assert memory.cgroup_working_set("/pods/a") == 4 * MIB
+        assert memory.cgroup_working_set("/pods/b") == 0
+
+    def test_charge_migrates_when_first_toucher_exits(self, memory):
+        p1 = memory.spawn("a", cgroup="/pods/a")
+        p2 = memory.spawn("b", cgroup="/pods/b")
+        memory.map_file(p1, "lib.so", 4 * MIB)
+        memory.map_file(p2, "lib.so", 4 * MIB)
+        memory.exit(p1)
+        assert memory.cgroup_working_set("/pods/b") == 4 * MIB
+
+    def test_cgroup_prefix_aggregation(self, memory):
+        p1 = memory.spawn("a", cgroup="/kubepods/pod1")
+        p2 = memory.spawn("b", cgroup="/kubepods/pod2")
+        memory.map_private(p1, 1 * MIB)
+        memory.map_private(p2, 2 * MIB)
+        assert memory.cgroup_working_set("/kubepods") == 3 * MIB
+        assert memory.cgroup_working_set("/kubepods/pod2") == 2 * MIB
+
+    def test_unrelated_cgroup_sees_nothing(self, memory):
+        p = memory.spawn("a", cgroup="/system/daemon")
+        memory.map_private(p, 5 * MIB)
+        assert memory.cgroup_working_set("/kubepods") == 0
+
+
+class TestFreeReport:
+    def test_conservation(self, memory):
+        p = memory.spawn("a")
+        memory.map_private(p, 100 * MIB)
+        memory.touch_page_cache("layer1", 50 * MIB)
+        report = memory.free_report()
+        assert report.total == 8 * GIB
+        assert report.used + report.free + report.buff_cache == report.total
+
+    def test_used_includes_kernel_and_processes(self, memory):
+        baseline = memory.free_report().used
+        p = memory.spawn("a")
+        memory.map_private(p, 64 * MIB)
+        assert memory.free_report().used == baseline + 64 * MIB
+
+    def test_shared_file_counted_once_in_used(self, memory):
+        before = memory.free_report().used
+        p1 = memory.spawn("a")
+        p2 = memory.spawn("b")
+        memory.map_file(p1, "lib.so", 10 * MIB)
+        memory.map_file(p2, "lib.so", 10 * MIB)
+        assert memory.free_report().used == before + 10 * MIB
+
+    def test_page_cache_in_buff_cache_not_used(self, memory):
+        before = memory.free_report()
+        memory.touch_page_cache("layer", 30 * MIB)
+        after = memory.free_report()
+        assert after.used == before.used
+        assert after.buff_cache == before.buff_cache + 30 * MIB
+
+    def test_page_cache_touch_takes_max(self, memory):
+        memory.touch_page_cache("layer", 30 * MIB)
+        memory.touch_page_cache("layer", 10 * MIB)
+        assert memory.free_report().buff_cache == 30 * MIB
+
+    def test_drop_page_cache(self, memory):
+        memory.touch_page_cache("layer", 30 * MIB)
+        memory.drop_page_cache("layer")
+        assert memory.free_report().buff_cache == 0
+
+    def test_oom_raises_at_allocation(self):
+        from repro.errors import OutOfMemory
+
+        small = SystemMemoryModel(total_bytes=64 * MIB, kernel_base=0)
+        p = small.spawn("big")
+        with pytest.raises(OutOfMemory, match="exhausted"):
+            small.map_private(p, 65 * MIB)
+
+    def test_allocation_up_to_limit_succeeds(self):
+        small = SystemMemoryModel(total_bytes=64 * MIB, kernel_base=0)
+        p = small.spawn("fits")
+        small.map_private(p, 64 * MIB)
+        assert small.free_report().free == 0
+
+    def test_kernel_overhead_tracking(self, memory):
+        before = memory.free_report().used
+        memory.add_kernel_overhead(1 * MIB)
+        assert memory.free_report().used == before + 1 * MIB
+        memory.remove_kernel_overhead(1 * MIB)
+        assert memory.free_report().used == before
+        with pytest.raises(SimulationError):
+            memory.remove_kernel_overhead(10 * GIB)

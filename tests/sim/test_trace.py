@@ -1,0 +1,78 @@
+"""Tracer unit tests + end-to-end startup phase spans."""
+
+import pytest
+
+from repro.sim.trace import Span, Tracer
+
+
+class TestTracer:
+    def test_record_and_query(self):
+        t = Tracer()
+        t.record("phase.a", "x", 0.0, 1.0, config="c1")
+        t.record("phase.a", "y", 1.0, 3.0, config="c2")
+        t.record("phase.b", "x", 0.0, 0.5, config="c1")
+        assert len(t.by_category("phase.a")) == 2
+        assert t.phase_totals() == {"phase.a": 3.0, "phase.b": 0.5}
+        assert t.phase_means()["phase.a"] == 1.5
+
+    def test_attr_filtering(self):
+        t = Tracer()
+        t.record("p", "a", 0.0, 1.0, config="c1")
+        t.record("p", "b", 0.0, 2.0, config="c2")
+        assert t.phase_totals(config="c1") == {"p": 1.0}
+        assert [s.name for s in t.filtered(config="c2")] == ["b"]
+
+    def test_negative_span_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer().record("p", "x", 2.0, 1.0)
+
+    def test_disabled_tracer_records_nothing(self):
+        t = Tracer(enabled=False)
+        t.record("p", "x", 0.0, 1.0)
+        assert t.spans == []
+
+    def test_span_attr_access(self):
+        s = Span("c", "n", 0.0, 1.0, (("k", "v"),))
+        assert s.attr("k") == "v" and s.attr("missing") is None
+        assert s.duration == 1.0
+
+    def test_clear(self):
+        t = Tracer()
+        t.record("p", "x", 0.0, 1.0)
+        t.clear()
+        assert t.spans == []
+
+
+class TestStartupSpans:
+    def test_deployment_produces_phase_spans(self, cluster):
+        pods = cluster.deploy_and_wait("crun-wamr", 4)
+        tracer = cluster.node.env.tracer
+        means = tracer.phase_means(config="crun-wamr")
+        for phase in ("startup.pipeline", "startup.serialized", "startup.parallel", "startup.exec"):
+            assert phase in means, phase
+        # One span per pod for the pipeline, one per container otherwise.
+        assert len(tracer.by_category("startup.pipeline")) == 4
+        assert len(tracer.by_category("startup.parallel")) == 4
+        # Phases are ordered in time for each container.
+        for pod in pods:
+            cid = cluster.node.kubelet.pod_containers[pod.uid][0].container_id
+            serialized = [s for s in tracer.by_category("startup.serialized") if s.name == cid][0]
+            parallel = [s for s in tracer.by_category("startup.parallel") if s.name == cid][0]
+            assert serialized.end <= parallel.start + 1e-9
+
+    def test_phase_means_reach_measurement(self):
+        from repro.measure.experiment import ExperimentRunner
+
+        m = ExperimentRunner(seed=13).run("crun-wasmtime", 6)
+        assert m.phase_means["startup.parallel"] > m.phase_means["startup.serialized"]
+        # Pipeline dominates small deployments.
+        assert m.phase_means["startup.pipeline"] > m.phase_means["startup.parallel"]
+
+    def test_phases_explain_makespan(self):
+        """pipeline + serialized-wait + parallel + (exec) ≈ last start."""
+        from repro.measure.experiment import ExperimentRunner
+
+        m = ExperimentRunner(seed=13).run("crun-wamr", 8)
+        lower = m.phase_means["startup.pipeline"]
+        assert m.startup_seconds > lower
+        assert m.startup_seconds < lower + 8 * 0.1 + 1.0  # loose upper bound

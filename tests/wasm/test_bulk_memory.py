@@ -1,0 +1,218 @@
+"""Bulk-memory extension: passive segments, memory.init, data.drop."""
+
+import pytest
+
+from repro.errors import InvalidModule, WasmTrap
+from repro.wasm import decode_module, encode_module, parse_wat, validate_module
+from repro.wasm.embed import run_wasi
+from repro.wasm.runtime import Interpreter, Store, instantiate
+from repro.wasm.wat import print_wat
+
+
+def run(src: str, func: str = "run", args=()):
+    module = validate_module(parse_wat(src))
+    store = Store()
+    inst = instantiate(store, module)
+    return Interpreter(store).invoke_export(inst, func, args), store, inst
+
+
+class TestParsing:
+    def test_passive_segment_parses(self):
+        m = parse_wat('(module (memory 1) (data "payload"))')
+        assert m.datas[0].passive and m.datas[0].data == b"payload"
+
+    def test_active_segment_still_works(self):
+        m = parse_wat('(module (memory 1) (data (i32.const 4) "x"))')
+        assert not m.datas[0].passive
+
+    def test_named_segment_referenced_by_ops(self):
+        m = parse_wat(
+            """
+            (module (memory 1)
+              (data $blob "abc")
+              (func (memory.init $blob (i32.const 0) (i32.const 0) (i32.const 3))
+                    (data.drop $blob)))
+            """
+        )
+        body = m.funcs[0].body
+        assert body[3].op == "memory.init" and body[3].args == (0,)
+        assert body[4].op == "data.drop" and body[4].args == (0,)
+
+
+class TestBinaryFormat:
+    def test_passive_roundtrip(self):
+        m = parse_wat('(module (memory 1) (data "p") (data (i32.const 0) "a"))')
+        blob = encode_module(m)
+        decoded = decode_module(blob)
+        assert decoded.datas[0].passive and not decoded.datas[1].passive
+        assert encode_module(decoded) == blob
+
+    def test_datacount_section_emitted_when_needed(self):
+        m = parse_wat(
+            """
+            (module (memory 1) (data $d "abc")
+              (func (memory.init $d (i32.const 0) (i32.const 0) (i32.const 1))))
+            """
+        )
+        blob = encode_module(m)
+        assert bytes([12]) in blob  # DataCount section id present
+        decoded = decode_module(blob)
+        assert len(decoded.datas) == 1
+
+    def test_datacount_mismatch_rejected(self):
+        from repro.errors import MalformedModule
+
+        m = parse_wat(
+            """
+            (module (memory 1) (data $d "abc")
+              (func (memory.init $d (i32.const 0) (i32.const 0) (i32.const 1))))
+            """
+        )
+        blob = bytearray(encode_module(m))
+        # Patch the DataCount payload (section 12, size 1, count 1 -> 2).
+        idx = blob.index(bytes([12, 1, 1]))
+        blob[idx + 2] = 2
+        with pytest.raises(MalformedModule, match="data count"):
+            decode_module(bytes(blob))
+
+    def test_printer_handles_passive(self):
+        m = parse_wat('(module (memory 1) (data "p\\00q"))')
+        reparsed = parse_wat(print_wat(m))
+        assert encode_module(reparsed) == encode_module(m)
+
+
+class TestValidation:
+    def test_memory_init_requires_valid_segment(self):
+        with pytest.raises(InvalidModule, match="no data segment"):
+            validate_module(
+                parse_wat(
+                    "(module (memory 1) (func "
+                    "(memory.init 3 (i32.const 0) (i32.const 0) (i32.const 0))))"
+                )
+            )
+
+    def test_data_drop_requires_valid_segment(self):
+        with pytest.raises(InvalidModule, match="no data segment"):
+            validate_module(parse_wat("(module (func (data.drop 0)))"))
+
+    def test_memory_init_requires_memory(self):
+        with pytest.raises(InvalidModule, match="requires a memory"):
+            validate_module(
+                parse_wat(
+                    '(module (data "x") (func '
+                    "(memory.init 0 (i32.const 0) (i32.const 0) (i32.const 0))))"
+                )
+            )
+
+
+class TestExecution:
+    INIT_SRC = """
+    (module (memory 1)
+      (data $greeting "hello!")
+      (func (export "run") (result i32)
+        (memory.init $greeting (i32.const 100) (i32.const 0) (i32.const 6))
+        (i32.load8_u (i32.const 100))))
+    """
+
+    def test_memory_init_copies_payload(self):
+        [result], store, inst = run(self.INIT_SRC)
+        assert result == ord("h")
+        mem = store.mems[inst.mem_addrs[0]]
+        assert mem.read(100, 6) == b"hello!"
+
+    def test_partial_init_with_source_offset(self):
+        src = """
+        (module (memory 1)
+          (data $d "abcdef")
+          (func (export "run") (result i32)
+            (memory.init $d (i32.const 0) (i32.const 2) (i32.const 3))
+            (i32.load8_u (i32.const 0))))
+        """
+        [result], store, inst = run(src)
+        assert result == ord("c")
+        assert store.mems[inst.mem_addrs[0]].read(0, 3) == b"cde"
+
+    def test_init_after_drop_traps(self):
+        src = """
+        (module (memory 1)
+          (data $d "abc")
+          (func (export "run")
+            (data.drop $d)
+            (memory.init $d (i32.const 0) (i32.const 0) (i32.const 1))))
+        """
+        with pytest.raises(WasmTrap, match="out of bounds"):
+            run(src)
+
+    def test_zero_length_init_after_drop_succeeds(self):
+        src = """
+        (module (memory 1)
+          (data $d "abc")
+          (func (export "run")
+            (data.drop $d)
+            (memory.init $d (i32.const 0) (i32.const 0) (i32.const 0))))
+        """
+        run(src)  # no trap
+
+    def test_source_oob_traps(self):
+        src = """
+        (module (memory 1)
+          (data $d "abc")
+          (func (export "run")
+            (memory.init $d (i32.const 0) (i32.const 1) (i32.const 5))))
+        """
+        with pytest.raises(WasmTrap, match="out of bounds"):
+            run(src)
+
+    def test_dest_oob_traps(self):
+        src = """
+        (module (memory 1)
+          (data $d "abc")
+          (func (export "run")
+            (memory.init $d (i32.const 65535) (i32.const 0) (i32.const 3))))
+        """
+        with pytest.raises(WasmTrap, match="out of bounds"):
+            run(src)
+
+    def test_double_drop_is_ok(self):
+        src = """
+        (module (memory 1)
+          (data $d "abc")
+          (func (export "run") (data.drop $d) (data.drop $d)))
+        """
+        run(src)
+
+    def test_active_segments_unaffected(self):
+        """Active segments still initialize memory and then auto-drop."""
+        src = """
+        (module (memory 1)
+          (data (i32.const 8) "live")
+          (func (export "run") (result i32) (i32.load8_u (i32.const 8))))
+        """
+        [result], store, inst = run(src)
+        assert result == ord("l")
+        assert store.datas[inst.data_addrs[0]] is None  # auto-dropped
+
+    def test_lazy_initialization_pattern_under_wasi(self):
+        """The classic use: a passive segment initialized on demand."""
+        from repro.wasm import assemble_wat
+
+        blob = assemble_wat(
+            """
+            (module
+              (import "wasi_snapshot_preview1" "fd_write"
+                (func $fd_write (param i32 i32 i32 i32) (result i32)))
+              (import "wasi_snapshot_preview1" "proc_exit"
+                (func $proc_exit (param i32)))
+              (memory (export "memory") 1)
+              (data $msg "lazy init works\\n")
+              (func (export "_start")
+                (memory.init $msg (i32.const 64) (i32.const 0) (i32.const 16))
+                (data.drop $msg)
+                (i32.store (i32.const 0) (i32.const 64))
+                (i32.store (i32.const 4) (i32.const 16))
+                (drop (call $fd_write (i32.const 1) (i32.const 0) (i32.const 1) (i32.const 16)))
+                (call $proc_exit (i32.const 0))))
+            """
+        )
+        result = run_wasi(blob)
+        assert result.stdout == b"lazy init works\n"

@@ -1,0 +1,237 @@
+"""Binary encoder/decoder: sections, roundtrips, malformed input."""
+
+import pytest
+
+from repro.errors import MalformedModule
+from repro.wasm import decode_module, encode_module, parse_wat
+from repro.wasm.ast import (
+    CustomSection,
+    DataSegment,
+    ElemSegment,
+    Export,
+    Function,
+    Global,
+    Import,
+    Instr,
+    Module,
+)
+from repro.wasm.types import (
+    FuncType,
+    GlobalType,
+    Limits,
+    MemoryType,
+    TableType,
+    ValType,
+)
+
+
+def roundtrip(module: Module) -> Module:
+    blob = encode_module(module)
+    decoded = decode_module(blob)
+    assert encode_module(decoded) == blob, "re-encode must be byte-identical"
+    return decoded
+
+
+class TestHeader:
+    def test_empty_module(self):
+        blob = encode_module(Module())
+        assert blob == b"\x00asm\x01\x00\x00\x00"
+        assert decode_module(blob).types == []
+
+    def test_bad_magic(self):
+        with pytest.raises(MalformedModule, match="magic"):
+            decode_module(b"\x00bad\x01\x00\x00\x00")
+
+    def test_bad_version(self):
+        with pytest.raises(MalformedModule, match="version"):
+            decode_module(b"\x00asm\x02\x00\x00\x00")
+
+    def test_truncated_header(self):
+        with pytest.raises(MalformedModule):
+            decode_module(b"\x00asm")
+
+
+class TestSections:
+    def test_type_section_roundtrip(self):
+        m = Module(types=[FuncType((ValType.I32, ValType.I64), (ValType.F64,))])
+        assert roundtrip(m).types == m.types
+
+    def test_import_kinds_roundtrip(self):
+        m = Module(
+            types=[FuncType((ValType.I32,), ())],
+            imports=[
+                Import("env", "f", "func", 0),
+                Import("env", "t", "table", TableType(Limits(1, 10))),
+                Import("env", "m", "mem", MemoryType(Limits(1, None))),
+                Import("env", "g", "global", GlobalType(ValType.I64, mutable=True)),
+            ],
+        )
+        decoded = roundtrip(m)
+        assert [i.kind for i in decoded.imports] == ["func", "table", "mem", "global"]
+        assert decoded.imports[1].desc.limits == Limits(1, 10)
+        assert decoded.imports[3].desc.mutable is True
+
+    def test_function_and_code_roundtrip(self):
+        m = Module(
+            types=[FuncType((ValType.I32,), (ValType.I32,))],
+            funcs=[
+                Function(
+                    type_idx=0,
+                    locals=[ValType.I64, ValType.I64, ValType.F32],
+                    body=[
+                        Instr("local.get", (0,)),
+                        Instr("i32.const", (5,)),
+                        Instr("i32.add"),
+                    ],
+                )
+            ],
+        )
+        decoded = roundtrip(m)
+        assert decoded.funcs[0].locals == [ValType.I64, ValType.I64, ValType.F32]
+        assert [i.op for i in decoded.funcs[0].body] == ["local.get", "i32.const", "i32.add"]
+
+    def test_memory_limits_roundtrip(self):
+        m = Module(mems=[MemoryType(Limits(2, 16))])
+        assert roundtrip(m).mems[0].limits == Limits(2, 16)
+
+    def test_global_with_init(self):
+        m = Module(
+            globals=[
+                Global(GlobalType(ValType.I32, True), [Instr("i32.const", (7,))])
+            ]
+        )
+        decoded = roundtrip(m)
+        assert decoded.globals[0].init[0].args == (7,)
+
+    def test_exports_roundtrip(self):
+        m = Module(
+            types=[FuncType()],
+            funcs=[Function(0)],
+            mems=[MemoryType(Limits(1))],
+            exports=[Export("run", "func", 0), Export("memory", "mem", 0)],
+        )
+        decoded = roundtrip(m)
+        assert {(e.name, e.kind) for e in decoded.exports} == {
+            ("run", "func"),
+            ("memory", "mem"),
+        }
+
+    def test_start_section(self):
+        m = Module(types=[FuncType()], funcs=[Function(0)], start=0)
+        assert roundtrip(m).start == 0
+
+    def test_elem_and_data_segments(self):
+        m = Module(
+            types=[FuncType()],
+            funcs=[Function(0)],
+            tables=[TableType(Limits(4))],
+            mems=[MemoryType(Limits(1))],
+            elems=[ElemSegment(0, [Instr("i32.const", (1,))], [0])],
+            datas=[DataSegment(0, [Instr("i32.const", (8,))], b"hello")],
+        )
+        decoded = roundtrip(m)
+        assert decoded.elems[0].func_indices == [0]
+        assert decoded.datas[0].data == b"hello"
+
+    def test_custom_section_preserved(self):
+        m = Module(customs=[CustomSection("name", b"\x01\x02\x03")])
+        decoded = roundtrip(m)
+        assert decoded.customs[0].name == "name"
+        assert decoded.customs[0].payload == b"\x01\x02\x03"
+
+    def test_section_order_enforced(self):
+        # memory (5) then type (1) is out of order.
+        blob = bytearray(b"\x00asm\x01\x00\x00\x00")
+        blob += bytes([5, 3, 1, 0, 1])  # memory section
+        blob += bytes([1, 4, 1, 0x60, 0, 0])  # type section
+        with pytest.raises(MalformedModule, match="out of order"):
+            decode_module(bytes(blob))
+
+    def test_trailing_garbage_in_section(self):
+        blob = bytearray(b"\x00asm\x01\x00\x00\x00")
+        blob += bytes([1, 5, 1, 0x60, 0, 0, 0xAA])  # extra byte in type section
+        with pytest.raises(MalformedModule, match="trailing"):
+            decode_module(bytes(blob))
+
+    def test_code_count_mismatch(self):
+        blob = bytearray(b"\x00asm\x01\x00\x00\x00")
+        blob += bytes([1, 4, 1, 0x60, 0, 0])  # one type
+        blob += bytes([3, 2, 1, 0])  # one function
+        blob += bytes([10, 1, 0])  # zero code entries
+        with pytest.raises(MalformedModule, match="code count"):
+            decode_module(bytes(blob))
+
+
+class TestInstructions:
+    def test_structured_control_roundtrip(self):
+        src = """
+        (module (func (result i32)
+          (block (result i32)
+            (if (result i32) (i32.const 1)
+              (then (i32.const 2))
+              (else (i32.const 3))))))
+        """
+        m = parse_wat(src)
+        decoded = roundtrip(m)
+        block = decoded.funcs[0].body[0]
+        assert block.op == "block"
+        if_instr = block.body[-1]
+        assert if_instr.op == "if"
+        assert if_instr.body[0].args == (2,)
+        assert if_instr.else_body[0].args == (3,)
+
+    def test_br_table_roundtrip(self):
+        src = """
+        (module (func (param i32)
+          (block (block (block
+            (br_table 0 1 2 (local.get 0)))))))
+        """
+        decoded = roundtrip(parse_wat(src))
+
+        def find(instrs):
+            for i in instrs:
+                if i.op == "br_table":
+                    return i
+                found = find(i.body) or find(i.else_body)
+                if found:
+                    return found
+            return None
+
+        bt = find(decoded.funcs[0].body)
+        assert bt is not None and bt.args == ((0, 1), 2)
+
+    def test_float_const_roundtrip(self):
+        src = '(module (func (result f64) (f64.const 3.14159)))'
+        decoded = roundtrip(parse_wat(src))
+        assert decoded.funcs[0].body[0].args[0] == pytest.approx(3.14159)
+
+    def test_memarg_roundtrip(self):
+        src = "(module (memory 1) (func (drop (i32.load offset=16 align=1 (i32.const 0)))))"
+        decoded = roundtrip(parse_wat(src))
+        load = decoded.funcs[0].body[1]
+        assert load.op == "i32.load"
+        assert load.args == (0, 16)  # align log2=0, offset=16
+
+    def test_fc_prefixed_roundtrip(self):
+        src = "(module (func (param f64) (result i32) (i32.trunc_sat_f64_s (local.get 0))))"
+        decoded = roundtrip(parse_wat(src))
+        assert decoded.funcs[0].body[-1].op == "i32.trunc_sat_f64_s"
+
+    def test_memory_copy_fill_roundtrip(self):
+        src = """
+        (module (memory 1) (func
+          (memory.copy (i32.const 0) (i32.const 16) (i32.const 8))
+          (memory.fill (i32.const 0) (i32.const 0) (i32.const 4))))
+        """
+        decoded = roundtrip(parse_wat(src))
+        ops = [i.op for i in decoded.funcs[0].body]
+        assert "memory.copy" in ops and "memory.fill" in ops
+
+    def test_unknown_opcode_rejected(self):
+        blob = bytearray(b"\x00asm\x01\x00\x00\x00")
+        blob += bytes([1, 4, 1, 0x60, 0, 0])
+        blob += bytes([3, 2, 1, 0])
+        # body: size 3, 0 locals, opcode 0xFE (unknown), end
+        blob += bytes([10, 5, 1, 3, 0, 0xFE, 0x0B])
+        with pytest.raises(MalformedModule, match="opcode"):
+            decode_module(bytes(blob))

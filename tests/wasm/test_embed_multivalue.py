@@ -1,0 +1,112 @@
+"""Embedder API details + multi-value block results."""
+
+import pytest
+
+from repro.errors import WasmError
+from repro.wasm import assemble_wat, parse_wat, validate_module
+from repro.wasm.embed import run_wasi
+from repro.wasm.runtime import Interpreter, Store, instantiate
+from repro.wasm.wasi import InMemoryFilesystem
+
+
+class TestMultiValueBlocks:
+    def test_block_with_two_results(self):
+        # Multi-value block results ride on a type-section signature.
+        src = """
+        (module
+          (type $pair (func (result i32 i32)))
+          (func (export "run") (result i32)
+            (block (result i32 i32)
+              (i32.const 30)
+              (i32.const 12))
+            i32.add))
+        """
+        module = validate_module(parse_wat(src))
+        store = Store()
+        inst = instantiate(store, module)
+        assert Interpreter(store).invoke_export(inst, "run") == [42]
+
+    def test_function_with_two_results(self):
+        src = """
+        (module
+          (func $divmod (param i32 i32) (result i32 i32)
+            (i32.div_u (local.get 0) (local.get 1))
+            (i32.rem_u (local.get 0) (local.get 1)))
+          (func (export "run") (result i32)
+            (call $divmod (i32.const 17) (i32.const 5))
+            i32.mul))
+        """
+        module = validate_module(parse_wat(src))
+        store = Store()
+        inst = instantiate(store, module)
+        # 17/5=3, 17%5=2 -> 6
+        assert Interpreter(store).invoke_export(inst, "run") == [6]
+
+    def test_direct_multivalue_invoke(self):
+        src = """
+        (module (func (export "pair") (result i32 i64)
+          (i32.const 1) (i64.const 2)))
+        """
+        module = validate_module(parse_wat(src))
+        store = Store()
+        inst = instantiate(store, module)
+        assert Interpreter(store).invoke_export(inst, "pair") == [1, 2]
+
+
+class TestEmbedApi:
+    def test_custom_entrypoint(self):
+        blob = assemble_wat(
+            '(module (memory (export "memory") 1) '
+            '(func (export "serve") (i32.store (i32.const 0) (i32.const 9))))'
+        )
+        result = run_wasi(blob, entrypoint="serve")
+        assert result.exit_code == 0
+
+    def test_missing_entrypoint_raises(self):
+        blob = assemble_wat("(module (func $hidden))")
+        with pytest.raises(WasmError, match="no '_start' export"):
+            run_wasi(blob)
+
+    def test_start_section_runs_without_entrypoint(self):
+        blob = assemble_wat(
+            '(module (memory (export "memory") 1) '
+            "(func $init (i32.store (i32.const 4) (i32.const 7))) (start $init))"
+        )
+        result = run_wasi(blob)  # no _start export, but start section
+        assert result.exit_code == 0
+
+    def test_shared_filesystem_across_runs(self):
+        fs = InMemoryFilesystem()
+        writer = assemble_wat(
+            """
+            (module
+              (import "wasi_snapshot_preview1" "path_open"
+                (func $open (param i32 i32 i32 i32 i32 i64 i64 i32 i32) (result i32)))
+              (import "wasi_snapshot_preview1" "fd_write"
+                (func $fd_write (param i32 i32 i32 i32) (result i32)))
+              (memory (export "memory") 1)
+              (data (i32.const 400) "state.txt")
+              (data (i32.const 500) "persisted")
+              (func (export "_start")
+                ;; open with OFLAGS_CREAT (=1)
+                (drop (call $open (i32.const 3) (i32.const 0)
+                  (i32.const 400) (i32.const 9) (i32.const 1)
+                  (i64.const -1) (i64.const -1) (i32.const 0) (i32.const 32)))
+                (i32.store (i32.const 0) (i32.const 500))
+                (i32.store (i32.const 4) (i32.const 9))
+                (drop (call $fd_write (i32.load (i32.const 32))
+                                      (i32.const 0) (i32.const 1) (i32.const 16)))))
+            """
+        )
+        run_wasi(writer, preopens={"/data": "/data"}, fs=fs)
+        assert fs.read_file("/data/state.txt") == b"persisted"
+
+    def test_instruction_count_deterministic(self):
+        blob = assemble_wat(
+            '(module (func (export "_start") (local $i i32) '
+            "(block $e (loop $t (br_if $e (i32.ge_u (local.get $i) (i32.const 50))) "
+            "(local.set $i (i32.add (local.get $i) (i32.const 1))) (br $t)))))"
+        )
+        a = run_wasi(blob).instructions
+        b = run_wasi(blob).instructions
+        assert a == b > 100

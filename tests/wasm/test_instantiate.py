@@ -1,0 +1,182 @@
+"""Instantiation: imports, linking, segments, start function."""
+
+import pytest
+
+from repro.errors import LinkError, WasmTrap
+from repro.wasm import parse_wat, validate_module
+from repro.wasm.runtime import (
+    GlobalInstance,
+    Interpreter,
+    MemoryInstance,
+    Store,
+    TableInstance,
+    instantiate,
+)
+from repro.wasm.runtime.host import HostModule, sig
+from repro.wasm.types import GlobalType, Limits, MemoryType, TableType, ValType
+
+
+def load(src: str):
+    return validate_module(parse_wat(src))
+
+
+class TestImports:
+    def test_unresolved_import(self):
+        m = load('(module (import "env" "f" (func)))')
+        with pytest.raises(LinkError, match="unresolved"):
+            instantiate(Store(), m)
+
+    def test_host_function_import_and_call(self):
+        m = load(
+            """
+            (module (import "env" "add3" (func $a (param i32) (result i32)))
+              (func (export "run") (result i32) (call $a (i32.const 4))))
+            """
+        )
+        store = Store()
+        host = HostModule(store, "env")
+        host.func("add3", sig("i", "i"), lambda x: [x + 3])
+        inst = instantiate(store, m, imports=host.import_map())
+        assert Interpreter(store).invoke_export(inst, "run") == [7]
+
+    def test_signature_mismatch_rejected(self):
+        m = load('(module (import "env" "f" (func (param i32))))')
+        store = Store()
+        host = HostModule(store, "env")
+        host.func("f", sig("ii"), lambda a, b: [])
+        with pytest.raises(LinkError, match="signature mismatch"):
+            instantiate(store, m, imports=host.import_map())
+
+    def test_kind_mismatch_rejected(self):
+        m = load('(module (import "env" "f" (func)))')
+        store = Store()
+        addr = store.alloc_mem(MemoryInstance(MemoryType(Limits(1))))
+        with pytest.raises(LinkError, match="expected func"):
+            instantiate(store, m, imports={"env": {"f": ("mem", addr)}})
+
+    def test_memory_import_limits_checked(self):
+        m = load('(module (import "env" "mem" (memory 2)))')
+        store = Store()
+        addr = store.alloc_mem(MemoryInstance(MemoryType(Limits(1))))
+        with pytest.raises(LinkError, match="limits"):
+            instantiate(store, m, imports={"env": {"mem": ("mem", addr)}})
+
+    def test_shared_memory_between_instances(self):
+        writer = load(
+            """
+            (module (import "env" "mem" (memory 1))
+              (func (export "write") (i32.store (i32.const 0) (i32.const 42))))
+            """
+        )
+        reader = load(
+            """
+            (module (import "env" "mem" (memory 1))
+              (func (export "read") (result i32) (i32.load (i32.const 0))))
+            """
+        )
+        store = Store()
+        mem_addr = store.alloc_mem(MemoryInstance(MemoryType(Limits(1))))
+        imports = {"env": {"mem": ("mem", mem_addr)}}
+        w = instantiate(store, writer, imports=imports)
+        r = instantiate(store, reader, imports=imports)
+        interp = Interpreter(store)
+        interp.invoke_export(w, "write")
+        assert interp.invoke_export(r, "read") == [42]
+
+    def test_imported_global_read(self):
+        m = load(
+            """
+            (module (import "env" "g" (global i32))
+              (func (export "run") (result i32) (global.get 0)))
+            """
+        )
+        store = Store()
+        addr = store.alloc_global(GlobalInstance(GlobalType(ValType.I32), 99))
+        inst = instantiate(store, m, imports={"env": {"g": ("global", addr)}})
+        assert Interpreter(store).invoke_export(inst, "run") == [99]
+
+    def test_global_type_mismatch(self):
+        m = load('(module (import "env" "g" (global (mut i32))))')
+        store = Store()
+        addr = store.alloc_global(GlobalInstance(GlobalType(ValType.I32), 0))
+        with pytest.raises(LinkError, match="global type"):
+            instantiate(store, m, imports={"env": {"g": ("global", addr)}})
+
+
+class TestSegments:
+    def test_data_segment_initializes_memory(self):
+        m = load('(module (memory (export "memory") 1) (data (i32.const 4) "wasm"))')
+        store = Store()
+        inst = instantiate(store, m)
+        mem = store.mems[inst.export_addr("memory", "mem")]
+        assert mem.read(4, 4) == b"wasm"
+
+    def test_data_segment_oob_traps(self):
+        m = load('(module (memory 1) (data (i32.const 65534) "long"))')
+        with pytest.raises(WasmTrap, match="data segment"):
+            instantiate(Store(), m)
+
+    def test_elem_segment_oob_traps(self):
+        m = load("(module (table 1 funcref) (func $f) (elem (i32.const 1) $f))")
+        with pytest.raises(WasmTrap, match="element segment"):
+            instantiate(Store(), m)
+
+    def test_global_init_from_imported_global(self):
+        m = load(
+            """
+            (module (import "env" "base" (global i32))
+              (global $x i32 (global.get 0))
+              (func (export "run") (result i32) (global.get $x)))
+            """
+        )
+        store = Store()
+        addr = store.alloc_global(GlobalInstance(GlobalType(ValType.I32), 7))
+        inst = instantiate(store, m, imports={"env": {"base": ("global", addr)}})
+        assert Interpreter(store).invoke_export(inst, "run") == [7]
+
+
+class TestStart:
+    def test_start_runs_at_instantiation(self):
+        m = load(
+            """
+            (module (memory (export "memory") 1)
+              (func $init (i32.store (i32.const 0) (i32.const 123)))
+              (start $init))
+            """
+        )
+        store = Store()
+        inst = instantiate(store, m)
+        mem = store.mems[inst.export_addr("memory", "mem")]
+        assert mem.read_u32(0) == 123
+
+    def test_start_deferred_with_run_start_false(self):
+        m = load(
+            """
+            (module (memory (export "memory") 1)
+              (func $init (i32.store (i32.const 0) (i32.const 123)))
+              (start $init))
+            """
+        )
+        store = Store()
+        inst = instantiate(store, m, run_start=False)
+        mem = store.mems[inst.export_addr("memory", "mem")]
+        assert mem.read_u32(0) == 0
+
+
+class TestExports:
+    def test_export_addr_lookup(self):
+        m = load('(module (func (export "f")) (memory (export "m") 1))')
+        store = Store()
+        inst = instantiate(store, m)
+        assert inst.exports["f"][0] == "func"
+        with pytest.raises(KeyError):
+            inst.export_addr("f", "mem")
+        with pytest.raises(KeyError):
+            inst.export_addr("missing", "func")
+
+    def test_table_export(self):
+        m = load('(module (table (export "t") 3 funcref))')
+        store = Store()
+        inst = instantiate(store, m)
+        table = store.tables[inst.export_addr("t", "table")]
+        assert len(table.elements) == 3

@@ -1,0 +1,95 @@
+"""LEB128 codec unit tests (spec edge cases)."""
+
+import pytest
+
+from repro.errors import MalformedModule
+from repro.wasm import leb128
+
+
+class TestUnsigned:
+    @pytest.mark.parametrize(
+        "value,encoding",
+        [
+            (0, b"\x00"),
+            (1, b"\x01"),
+            (127, b"\x7f"),
+            (128, b"\x80\x01"),
+            (624485, b"\xe5\x8e\x26"),
+            (2**32 - 1, b"\xff\xff\xff\xff\x0f"),
+        ],
+    )
+    def test_known_encodings(self, value, encoding):
+        assert leb128.encode_u(value) == encoding
+        decoded, pos = leb128.decode_u(encoding, 0)
+        assert decoded == value and pos == len(encoding)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            leb128.encode_u(-1)
+
+    def test_truncated_input(self):
+        with pytest.raises(MalformedModule):
+            leb128.decode_u(b"\x80", 0)
+
+    def test_too_long_for_width(self):
+        with pytest.raises(MalformedModule):
+            leb128.decode_u(b"\x80\x80\x80\x80\x80\x01", 0, bits=32)
+
+    def test_overflow_in_final_byte(self):
+        # 5-byte u32 with high bits set in the last byte.
+        with pytest.raises(MalformedModule):
+            leb128.decode_u(b"\xff\xff\xff\xff\x7f", 0, bits=32)
+
+    def test_decode_at_offset(self):
+        data = b"junk" + leb128.encode_u(300)
+        value, pos = leb128.decode_u(data, 4)
+        assert value == 300
+
+    def test_64_bit_values(self):
+        big = 2**64 - 1
+        value, _ = leb128.decode_u(leb128.encode_u(big), 0, bits=64)
+        assert value == big
+
+
+class TestSigned:
+    @pytest.mark.parametrize(
+        "value,encoding",
+        [
+            (0, b"\x00"),
+            (1, b"\x01"),
+            (-1, b"\x7f"),
+            (63, b"\x3f"),
+            (64, b"\xc0\x00"),
+            (-64, b"\x40"),
+            (-65, b"\xbf\x7f"),
+            (-123456, b"\xc0\xbb\x78"),
+        ],
+    )
+    def test_known_encodings(self, value, encoding):
+        assert leb128.encode_s(value) == encoding
+        decoded, pos = leb128.decode_s(encoding, 0)
+        assert decoded == value and pos == len(encoding)
+
+    def test_int32_extremes(self):
+        for value in (-(2**31), 2**31 - 1):
+            decoded, _ = leb128.decode_s(leb128.encode_s(value), 0, bits=32)
+            assert decoded == value
+
+    def test_int64_extremes(self):
+        for value in (-(2**63), 2**63 - 1):
+            decoded, _ = leb128.decode_s(leb128.encode_s(value), 0, bits=64)
+            assert decoded == value
+
+    def test_value_too_large_for_s32(self):
+        encoded = leb128.encode_s(2**31)  # fits s64, not s32
+        with pytest.raises(MalformedModule):
+            leb128.decode_s(encoded, 0, bits=32)
+
+    def test_truncated(self):
+        with pytest.raises(MalformedModule):
+            leb128.decode_s(b"\xc0", 0)
+
+    def test_s33_block_types(self):
+        # Block type indices use 33-bit signed decoding.
+        value, _ = leb128.decode_s(leb128.encode_s(2**32 - 1), 0, bits=33)
+        assert value == 2**32 - 1

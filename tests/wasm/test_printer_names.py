@@ -1,0 +1,163 @@
+"""WAT printer and name-section roundtrips."""
+
+import pytest
+
+from repro.wasm import decode_module, encode_module, parse_wat, validate_module
+from repro.wasm.names import (
+    apply_name_section,
+    attach_name_section,
+    build_name_section,
+)
+from repro.wasm.wat import print_wat
+from repro.workloads.microservice import MICROSERVICE_WAT
+
+
+def print_parse_encode(src: str) -> None:
+    """parse → print → parse must reproduce the identical binary."""
+    module = parse_wat(src)
+    validate_module(module)
+    reparsed = parse_wat(print_wat(module))
+    assert encode_module(reparsed) == encode_module(module)
+
+
+class TestPrinterRoundtrip:
+    def test_microservice(self):
+        print_parse_encode(MICROSERVICE_WAT)
+
+    def test_arithmetic(self):
+        print_parse_encode(
+            "(module (func (export \"f\") (param i32 i64) (result i64) "
+            "(i64.add (i64.extend_i32_s (local.get 0)) (local.get 1))))"
+        )
+
+    def test_control_flow(self):
+        print_parse_encode(
+            """
+            (module (func (param i32) (result i32)
+              (block $b (result i32)
+                (loop $l (result i32)
+                  (if (result i32) (local.get 0)
+                    (then (br 2 (i32.const 1)))
+                    (else (i32.const 0)))))))
+            """
+        )
+
+    def test_br_table(self):
+        print_parse_encode(
+            """
+            (module (func (param i32)
+              (block (block (block (br_table 0 1 2 (local.get 0)))))))
+            """
+        )
+
+    def test_memory_and_segments(self):
+        print_parse_encode(
+            '(module (memory 1 4) (data (i32.const 3) "a\\"b\\\\c\\00d")'
+            " (func (drop (i32.load offset=4 align=2 (i32.const 0)))))"
+        )
+
+    def test_tables_and_call_indirect(self):
+        print_parse_encode(
+            """
+            (module
+              (type $binop (func (param i32 i32) (result i32)))
+              (table 3 funcref)
+              (elem (i32.const 0) $add $add)
+              (func $add (type $binop) (i32.add (local.get 0) (local.get 1)))
+              (func (export "apply") (param i32 i32) (result i32)
+                (call_indirect (type $binop)
+                  (local.get 0) (local.get 1) (i32.const 0))))
+            """
+        )
+
+    def test_globals_and_start(self):
+        print_parse_encode(
+            """
+            (module
+              (global $g (mut i64) (i64.const -5))
+              (global $pi f64 (f64.const 3.14159))
+              (func $init (global.set $g (i64.const 1)))
+              (start $init))
+            """
+        )
+
+    def test_imports(self):
+        print_parse_encode(
+            """
+            (module
+              (import "env" "f" (func (param f32) (result f64)))
+              (import "env" "m" (memory 1 2))
+              (import "env" "t" (table 1 funcref))
+              (import "env" "g" (global (mut i32))))
+            """
+        )
+
+    def test_float_specials(self):
+        print_parse_encode(
+            "(module (func (result f64) "
+            "(f64.add (f64.const inf) (f64.add (f64.const -inf) (f64.const nan)))))"
+        )
+
+    def test_printed_output_is_readable(self):
+        text = print_wat(parse_wat("(module (func (result i32) (i32.const 42)))"))
+        assert text.startswith("(module")
+        assert "i32.const 42" in text
+        assert text.endswith(")")
+
+
+class TestNameSection:
+    def _module(self):
+        return parse_wat(
+            """
+            (module $svc
+              (import "env" "host" (func $host))
+              (func $alpha nop)
+              (func $beta nop))
+            """
+        )
+
+    def test_build_and_parse(self):
+        module = self._module()
+        section = build_name_section(module)
+        assert section is not None and section.name == "name"
+
+    def test_binary_roundtrip_preserves_names(self):
+        module = attach_name_section(self._module())
+        decoded = decode_module(encode_module(module))
+        # Names are lost at decode (custom section opaque)...
+        assert decoded.funcs[0].name is None
+        # ...until the name section is applied.
+        apply_name_section(decoded)
+        assert decoded.name == "svc"
+        assert [f.name for f in decoded.funcs] == ["alpha", "beta"]
+
+    def test_import_offset_respected(self):
+        """Function name indices are in the joint (imports-first) space."""
+        module = attach_name_section(self._module())
+        payload = build_name_section(module).payload
+        # Function subsection must reference indices 1 and 2 (import is 0).
+        decoded = decode_module(encode_module(module))
+        apply_name_section(decoded)
+        assert decoded.funcs[0].name == "alpha"
+
+    def test_no_names_no_section(self):
+        module = parse_wat("(module (func nop))")
+        assert build_name_section(module) is None
+
+    def test_attach_replaces_stale_section(self):
+        module = attach_name_section(self._module())
+        module.funcs[0].name = "renamed"
+        attach_name_section(module)
+        sections = [c for c in module.customs if c.name == "name"]
+        assert len(sections) == 1
+        decoded = apply_name_section(decode_module(encode_module(module)))
+        assert decoded.funcs[0].name == "renamed"
+
+    def test_unknown_subsections_skipped(self):
+        from repro.wasm.ast import CustomSection
+        from repro.wasm.names import parse_name_section
+
+        # Subsection id 9 (unknown) then a module name.
+        payload = bytes([9, 1, 0]) + bytes([0, 3, 2]) + b"ab"
+        names = parse_name_section(CustomSection("name", payload))
+        assert names["module"] == "ab"

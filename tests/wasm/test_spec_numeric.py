@@ -1,0 +1,257 @@
+"""Spec-style numeric battery: assert_return tables at type boundaries.
+
+A compact harness in the spirit of the WebAssembly spec test suite:
+each operator gets a parameterized function module, invoked over a table
+of (inputs → expected) rows covering the boundary values the spec calls
+out (INT_MIN/INT_MAX, -0.0, infinities, NaN, shift counts ≥ width, ...).
+Integers are written/compared in *unsigned* representation.
+"""
+
+import math
+
+import pytest
+
+from repro.wasm import parse_wat, validate_module
+from repro.wasm.runtime import Interpreter, Store, instantiate
+
+I32_MIN = 0x80000000  # -2147483648 unsigned view
+I32_MAX = 0x7FFFFFFF
+U32_MAX = 0xFFFFFFFF
+I64_MIN = 0x8000000000000000
+I64_MAX = 0x7FFFFFFFFFFFFFFF
+U64_MAX = 0xFFFFFFFFFFFFFFFF
+
+_CACHE = {}
+
+
+def invoke(op: str, in_types: str, out_type: str, *args):
+    key = (op, in_types, out_type)
+    runner = _CACHE.get(key)
+    if runner is None:
+        params = " ".join(f"(param {t})" for t in in_types.split())
+        gets = " ".join(f"(local.get {i})" for i in range(len(in_types.split())))
+        src = f'(module (func (export "f") {params} (result {out_type}) ({op} {gets})))'
+        module = validate_module(parse_wat(src))
+        store = Store()
+        inst = instantiate(store, module)
+        interp = Interpreter(store)
+        addr = inst.export_addr("f", "func")
+        runner = lambda *a: interp.invoke(addr, list(a))[0]  # noqa: E731
+        _CACHE[key] = runner
+    return runner(*args)
+
+
+class TestI32Boundaries:
+    @pytest.mark.parametrize(
+        "a,b,want",
+        [
+            (I32_MAX, 1, I32_MIN),  # overflow wraps to INT_MIN
+            (I32_MIN, I32_MIN, 0),
+            (U32_MAX, U32_MAX, U32_MAX - 1),
+            (0, 0, 0),
+        ],
+    )
+    def test_add(self, a, b, want):
+        assert invoke("i32.add", "i32 i32", "i32", a, b) == want
+
+    @pytest.mark.parametrize(
+        "a,b,want",
+        [
+            (0, 1, U32_MAX),  # 0 - 1 wraps to UINT_MAX
+            (I32_MIN, 1, I32_MAX),  # INT_MIN - 1 wraps to INT_MAX
+            (I32_MIN, I32_MIN, 0),
+        ],
+    )
+    def test_sub(self, a, b, want):
+        assert invoke("i32.sub", "i32 i32", "i32", a, b) == want
+
+    @pytest.mark.parametrize(
+        "a,b,want",
+        [
+            (I32_MIN, U32_MAX, I32_MIN),  # MIN * -1 wraps back to MIN
+            (0x10000, 0x10000, 0),  # 2^32 wraps to 0
+            (0x7FFF, 0x10001, 0x7FFF7FFF),
+        ],
+    )
+    def test_mul(self, a, b, want):
+        assert invoke("i32.mul", "i32 i32", "i32", a, b) == want
+
+    @pytest.mark.parametrize(
+        "a,b,want",
+        [
+            (7, 2, 3),
+            (U32_MAX - 6, 2, U32_MAX - 2),  # -7 / 2 = -3
+            (U32_MAX - 6, U32_MAX - 1, 3),  # -7 / -2 = 3
+            (7, U32_MAX - 1, U32_MAX - 2),  # 7 / -2 = -3
+            (I32_MIN, 2, 0xC0000000),  # MIN/2
+        ],
+    )
+    def test_div_s_truncation(self, a, b, want):
+        assert invoke("i32.div_s", "i32 i32", "i32", a, b) == want
+
+    @pytest.mark.parametrize(
+        "a,b,want",
+        [
+            (7, 3, 1),
+            (U32_MAX - 6, 3, U32_MAX),  # -7 rem 3 = -1
+            (7, U32_MAX - 2, 1),  # 7 rem -3 = 1
+            (U32_MAX - 6, U32_MAX - 2, U32_MAX),  # -7 rem -3 = -1
+        ],
+    )
+    def test_rem_s_sign(self, a, b, want):
+        assert invoke("i32.rem_s", "i32 i32", "i32", a, b) == want
+
+    @pytest.mark.parametrize("k", [0, 1, 31, 32, 33, 63, 64, 100])
+    def test_shift_counts_mod_32(self, k):
+        assert invoke("i32.shl", "i32 i32", "i32", 1, k) == (1 << (k % 32)) & U32_MAX
+        assert invoke("i32.shr_u", "i32 i32", "i32", I32_MIN, k) == I32_MIN >> (k % 32)
+
+    @pytest.mark.parametrize(
+        "x,clz,ctz,pop",
+        [
+            (0, 32, 32, 0),
+            (1, 31, 0, 1),
+            (I32_MIN, 0, 31, 1),
+            (U32_MAX, 0, 0, 32),
+            (0x00F0, 24, 4, 4),
+        ],
+    )
+    def test_bit_counting(self, x, clz, ctz, pop):
+        assert invoke("i32.clz", "i32", "i32", x) == clz
+        assert invoke("i32.ctz", "i32", "i32", x) == ctz
+        assert invoke("i32.popcnt", "i32", "i32", x) == pop
+
+    @pytest.mark.parametrize(
+        "x,k,want",
+        [
+            (0xABCD9876, 0, 0xABCD9876),
+            (0xFE00DC00, 4, 0xE00DC00F),
+            (0xB0C1D2E3, 32, 0xB0C1D2E3),
+        ],
+    )
+    def test_rotl(self, x, k, want):
+        assert invoke("i32.rotl", "i32 i32", "i32", x, k) == want
+
+
+class TestI64Boundaries:
+    def test_add_wrap(self):
+        assert invoke("i64.add", "i64 i64", "i64", I64_MAX, 1) == I64_MIN
+
+    def test_div_s_min_by_two(self):
+        assert invoke("i64.div_s", "i64 i64", "i64", I64_MIN, 2) == 0xC000000000000000
+
+    def test_shift_mod_64(self):
+        assert invoke("i64.shl", "i64 i64", "i64", 1, 64) == 1
+        assert invoke("i64.shl", "i64 i64", "i64", 1, 65) == 2
+
+    def test_clz_ctz(self):
+        assert invoke("i64.clz", "i64", "i64", 1) == 63
+        assert invoke("i64.ctz", "i64", "i64", I64_MIN) == 63
+
+    def test_rem_s_min_minus_one(self):
+        assert invoke("i64.rem_s", "i64 i64", "i64", I64_MIN, U64_MAX) == 0
+
+
+class TestFloatSpecials:
+    def test_neg_zero_identity(self):
+        got = invoke("f64.neg", "f64", "f64", 0.0)
+        assert got == 0.0 and math.copysign(1.0, got) < 0
+
+    def test_add_inf_and_neg_inf_is_nan(self):
+        assert math.isnan(invoke("f64.add", "f64 f64", "f64", math.inf, -math.inf))
+
+    def test_mul_zero_inf_is_nan(self):
+        assert math.isnan(invoke("f64.mul", "f64 f64", "f64", 0.0, math.inf))
+
+    def test_sub_same_inf_is_nan(self):
+        assert math.isnan(invoke("f64.sub", "f64 f64", "f64", math.inf, math.inf))
+
+    @pytest.mark.parametrize(
+        "x,want",
+        [(0.5, 0.0), (1.5, 2.0), (2.5, 2.0), (-0.5, -0.0), (4.5, 4.0), (5.5, 6.0)],
+    )
+    def test_nearest_ties_even(self, x, want):
+        got = invoke("f64.nearest", "f64", "f64", x)
+        assert got == want
+        assert math.copysign(1.0, got) == math.copysign(1.0, want)
+
+    def test_abs_of_nan_is_nan(self):
+        assert math.isnan(invoke("f64.abs", "f64", "f64", math.nan))
+
+    @pytest.mark.parametrize(
+        "a,b,want_min,want_max",
+        [
+            (1.0, 2.0, 1.0, 2.0),
+            (-math.inf, math.inf, -math.inf, math.inf),
+        ],
+    )
+    def test_min_max(self, a, b, want_min, want_max):
+        assert invoke("f64.min", "f64 f64", "f64", a, b) == want_min
+        assert invoke("f64.max", "f64 f64", "f64", a, b) == want_max
+
+    def test_copysign_table(self):
+        assert invoke("f64.copysign", "f64 f64", "f64", 1.0, -2.0) == -1.0
+        assert invoke("f64.copysign", "f64 f64", "f64", -1.0, 2.0) == 1.0
+        got = invoke("f64.copysign", "f64 f64", "f64", 1.0, -0.0)
+        assert got == -1.0
+
+    def test_sqrt_neg_zero(self):
+        got = invoke("f64.sqrt", "f64", "f64", -0.0)
+        assert got == 0.0 and math.copysign(1.0, got) < 0
+
+
+class TestConversionBoundaries:
+    @pytest.mark.parametrize(
+        "x,want",
+        [
+            (2147483647.0, I32_MAX),
+            (-2147483648.0, I32_MIN),
+            (2147483646.9, 2147483646),
+            (-2147483648.9, I32_MIN),  # truncates toward zero into range
+            (-0.9, 0),
+        ],
+    )
+    def test_i32_trunc_f64_s_in_range(self, x, want):
+        assert invoke("i32.trunc_f64_s", "f64", "i32", x) == want
+
+    @pytest.mark.parametrize("x", [2147483648.0, -2147483649.0, math.inf, -math.inf])
+    def test_i32_trunc_f64_s_out_of_range_traps(self, x):
+        from repro.errors import WasmTrap
+
+        with pytest.raises(WasmTrap):
+            invoke("i32.trunc_f64_s", "f64", "i32", x)
+
+    @pytest.mark.parametrize(
+        "x,want",
+        [(4294967295.0, U32_MAX), (0.9, 0), (4294967295.9, U32_MAX)],
+    )
+    def test_i32_trunc_f64_u_in_range(self, x, want):
+        assert invoke("i32.trunc_f64_u", "f64", "i32", x) == want
+
+    def test_f32_convert_precision_loss(self):
+        # 2^24 + 1 is not representable in f32.
+        got = invoke("f32.convert_i32_s", "i32", "f32", (1 << 24) + 1)
+        assert got == float(1 << 24)
+
+    def test_f64_convert_u64_max(self):
+        got = invoke("f64.convert_i64_u", "i64", "f64", U64_MAX)
+        assert got == 18446744073709551616.0  # rounded up to 2^64
+
+    def test_wrap_keeps_low_bits(self):
+        assert invoke("i32.wrap_i64", "i64", "i32", 0xAABBCCDD11223344) == 0x11223344
+
+    @pytest.mark.parametrize(
+        "x,want",
+        [(0x7F, 0x7F), (0x80, 0xFFFFFF80), (0xFF, U32_MAX), (0x17F, 0x7F)],
+    )
+    def test_extend8_s(self, x, want):
+        assert invoke("i32.extend8_s", "i32", "i32", x) == want
+
+    def test_reinterpret_nan_payload_roundtrip(self):
+        bits = 0x7FF8000000000001  # quiet NaN with payload
+        got = invoke("f64.reinterpret_i64", "i64", "f64", bits)
+        back = invoke("i64.reinterpret_f64", "f64", "i64", got)
+        assert back == bits
+
+    def test_reinterpret_neg_zero(self):
+        assert invoke("i64.reinterpret_f64", "f64", "i64", -0.0) == 1 << 63

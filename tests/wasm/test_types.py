@@ -1,0 +1,60 @@
+"""Type-system primitives: ValType, FuncType, Limits matching."""
+
+import pytest
+
+from repro.errors import MalformedModule
+from repro.wasm.types import FuncType, Limits, TableType, ValType
+
+
+class TestValType:
+    def test_byte_mapping(self):
+        assert ValType.from_byte(0x7F) is ValType.I32
+        assert ValType.from_byte(0x7C) is ValType.F64
+
+    def test_unknown_byte(self):
+        with pytest.raises(MalformedModule, match="value type"):
+            ValType.from_byte(0x11)
+
+    def test_properties(self):
+        assert ValType.I64.is_int and ValType.I64.bits == 64
+        assert not ValType.F32.is_int and ValType.F32.bits == 32
+
+
+class TestFuncType:
+    def test_equality_is_structural(self):
+        a = FuncType((ValType.I32,), (ValType.I64,))
+        b = FuncType((ValType.I32,), (ValType.I64,))
+        assert a == b and hash(a) == hash(b)
+
+    def test_str_rendering(self):
+        ft = FuncType((ValType.I32, ValType.F64), (ValType.I64,))
+        assert str(ft) == "[i32 f64] -> [i64]"
+
+
+class TestLimits:
+    def test_validation(self):
+        with pytest.raises(MalformedModule):
+            Limits(-1)
+        with pytest.raises(MalformedModule):
+            Limits(5, 3)
+
+    @pytest.mark.parametrize(
+        "declared,actual,ok",
+        [
+            (Limits(1), Limits(1), True),
+            (Limits(1), Limits(5), True),  # bigger minimum is fine
+            (Limits(2), Limits(1), False),  # too small
+            (Limits(1, 10), Limits(1, 10), True),
+            (Limits(1, 10), Limits(1, 5), True),  # tighter max is fine
+            (Limits(1, 10), Limits(1, None), False),  # unbounded vs bounded
+            (Limits(1, 10), Limits(1, 20), False),  # looser max
+            (Limits(1, None), Limits(1, 5), True),  # declared unbounded
+        ],
+    )
+    def test_import_matching_rule(self, declared, actual, ok):
+        assert declared.contains(actual) is ok
+
+
+class TestTableType:
+    def test_default_elem_kind_is_funcref(self):
+        assert TableType(Limits(1)).elem_kind == 0x70

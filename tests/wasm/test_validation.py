@@ -1,0 +1,259 @@
+"""Validator: type checking, index spaces, module-level rules."""
+
+import pytest
+
+from repro.errors import InvalidModule
+from repro.wasm import parse_wat, validate_module
+from repro.wasm.ast import Function, Global, Instr, Module
+from repro.wasm.types import FuncType, GlobalType, Limits, MemoryType, TableType, ValType
+
+
+def check(src: str):
+    return validate_module(parse_wat(src))
+
+
+def reject(src: str, match: str):
+    with pytest.raises(InvalidModule, match=match):
+        check(src)
+
+
+class TestStackTyping:
+    def test_simple_arith_validates(self):
+        check("(module (func (result i32) (i32.add (i32.const 1) (i32.const 2))))")
+
+    def test_type_mismatch(self):
+        reject(
+            "(module (func (result i32) (i32.add (i32.const 1) (i64.const 2))))",
+            "type mismatch",
+        )
+
+    def test_stack_underflow(self):
+        reject("(module (func (result i32) i32.add))", "underflow")
+
+    def test_leftover_values(self):
+        reject(
+            "(module (func (i32.const 1)))",
+            "values left|not empty",
+        )
+
+    def test_missing_result(self):
+        reject("(module (func (result i32) nop))", "underflow")
+
+    def test_param_types_respected(self):
+        check("(module (func (param i64) (result i64) (local.get 0)))")
+        reject(
+            "(module (func (param i64) (result i32) (local.get 0)))",
+            "type mismatch",
+        )
+
+    def test_local_index_bounds(self):
+        reject("(module (func (local.get 3)))", "out of range")
+
+    def test_drop_and_select(self):
+        check(
+            "(module (func (result i32) "
+            "(drop (i64.const 1)) "
+            "(select (i32.const 1) (i32.const 2) (i32.const 0))))"
+        )
+
+    def test_select_mismatched_operands(self):
+        reject(
+            "(module (func (result i32) "
+            "(select (i32.const 1) (i64.const 2) (i32.const 0))))",
+            "type mismatch",
+        )
+
+
+class TestControlFlow:
+    def test_block_result(self):
+        check("(module (func (result i32) (block (result i32) (i32.const 1))))")
+
+    def test_block_wrong_result(self):
+        reject(
+            "(module (func (result i32) (block (result i32) (i64.const 1))))",
+            "type mismatch",
+        )
+
+    def test_if_arms_must_match(self):
+        reject(
+            "(module (func (param i32) (result i32) "
+            "(if (result i32) (local.get 0) (then (i32.const 1)) (else (i64.const 2)))))",
+            "type mismatch",
+        )
+
+    def test_if_without_else_needs_empty_type(self):
+        reject(
+            "(module (func (param i32) (result i32) "
+            "(if (result i32) (local.get 0) (then (i32.const 1)))))",
+            "matching types",
+        )
+
+    def test_br_depth_bounds(self):
+        reject("(module (func (br 2)))", "depth")
+
+    def test_br_with_value(self):
+        check(
+            "(module (func (result i32) "
+            "(block (result i32) (br 0 (i32.const 5)))))"
+        )
+
+    def test_br_if_preserves_stack(self):
+        check(
+            "(module (func (param i32) (result i32) "
+            "(block (result i32) (i32.const 1) (br_if 0 (local.get 0)))))"
+        )
+
+    def test_br_table_consistent_labels(self):
+        reject(
+            "(module (func (param i32) "
+            "(block (result i32) (block "
+            "(br_table 0 1 (local.get 0))) (drop (i32.const 0)) ) drop))",
+            "br_table|type mismatch|underflow",
+        )
+
+    def test_unreachable_makes_rest_polymorphic(self):
+        check("(module (func (result i32) unreachable))")
+        check("(module (func (result i32) (unreachable) (i32.add)))")
+
+    def test_code_after_br_is_polymorphic(self):
+        check("(module (func (result i32) (block (result i32) (br 0 (i32.const 1)) (i32.add))))")
+
+    def test_loop_branch_targets_start(self):
+        # br to a loop must match its *start* types (empty), not results.
+        check(
+            "(module (func (result i32) "
+            "(loop (result i32) (br_if 0 (i32.const 0)) (i32.const 4))))"
+        )
+
+    def test_return_checks_results(self):
+        check("(module (func (result i32) (return (i32.const 1))))")
+        reject("(module (func (result i32) (return)))", "underflow")
+
+
+class TestCallsAndIndices:
+    def test_call_signature(self):
+        check(
+            "(module (func $f (param i32) (result i32) (local.get 0)) "
+            "(func (result i32) (call $f (i32.const 1))))"
+        )
+
+    def test_call_wrong_arg_type(self):
+        reject(
+            "(module (func $f (param i32)) (func (call $f (i64.const 1))))",
+            "type mismatch",
+        )
+
+    def test_call_index_out_of_range(self):
+        m = Module(types=[FuncType()], funcs=[Function(0, body=[Instr("call", (7,))])])
+        with pytest.raises(InvalidModule, match="unknown function"):
+            validate_module(m)
+
+    def test_call_indirect_requires_table(self):
+        reject(
+            "(module (func (call_indirect (i32.const 0))))",
+            "requires a table",
+        )
+
+    def test_global_set_immutable(self):
+        reject(
+            "(module (global $g i32 (i32.const 0)) (func (global.set $g (i32.const 1))))",
+            "immutable",
+        )
+
+    def test_global_get_type(self):
+        check(
+            "(module (global $g i64 (i64.const 9)) "
+            "(func (result i64) (global.get $g)))"
+        )
+
+
+class TestMemoryRules:
+    def test_load_requires_memory(self):
+        reject("(module (func (drop (i32.load (i32.const 0)))))", "requires a memory")
+
+    def test_alignment_bound(self):
+        m = parse_wat("(module (memory 1) (func (drop (i32.load (i32.const 0)))))")
+        # Force an over-natural alignment directly in the AST.
+        m.funcs[0].body[1].args = (3, 0)  # 2**3 > 4 bytes
+        with pytest.raises(InvalidModule, match="alignment"):
+            validate_module(m)
+
+    def test_multiple_memories_rejected(self):
+        m = Module(mems=[MemoryType(Limits(1)), MemoryType(Limits(1))])
+        with pytest.raises(InvalidModule, match="multiple memories"):
+            validate_module(m)
+
+    def test_multiple_tables_rejected(self):
+        m = Module(tables=[TableType(Limits(1)), TableType(Limits(1))])
+        with pytest.raises(InvalidModule, match="multiple tables"):
+            validate_module(m)
+
+    def test_memory_grow_type(self):
+        check(
+            "(module (memory 1) (func (result i32) (memory.grow (i32.const 1))))"
+        )
+
+
+class TestModuleLevel:
+    def test_duplicate_export_names(self):
+        reject(
+            '(module (func $f) (export "x" (func $f)) (export "x" (func $f)))',
+            "duplicate export",
+        )
+
+    def test_export_index_bounds(self):
+        m = Module(exports=[__import__("repro.wasm.ast", fromlist=["Export"]).Export("f", "func", 0)])
+        with pytest.raises(InvalidModule, match="out of range"):
+            validate_module(m)
+
+    def test_start_signature(self):
+        reject(
+            "(module (func $main (param i32)) (start $main))",
+            "start function",
+        )
+
+    def test_global_init_must_be_constant(self):
+        m = Module(
+            globals=[Global(GlobalType(ValType.I32), [Instr("i32.add")])]
+        )
+        with pytest.raises(InvalidModule, match="non-constant"):
+            validate_module(m)
+
+    def test_global_init_type(self):
+        m = Module(
+            globals=[Global(GlobalType(ValType.I32), [Instr("i64.const", (1,))])]
+        )
+        with pytest.raises(InvalidModule, match="expected"):
+            validate_module(m)
+
+    def test_global_init_may_reference_imported_global(self):
+        check(
+            '(module (global $base (import "env" "base") i32) '
+            "(global $derived i32 (global.get $base)))"
+        )
+
+    def test_global_init_may_not_reference_local_global(self):
+        m = parse_wat(
+            "(module (global $a i32 (i32.const 1)) (global $b i32 (global.get $a)))"
+        )
+        with pytest.raises(InvalidModule, match="imported"):
+            validate_module(m)
+
+    def test_data_offset_type(self):
+        m = parse_wat('(module (memory 1) (data (i32.const 0) "x"))')
+        m.datas[0].offset = [Instr("i64.const", (0,))]
+        with pytest.raises(InvalidModule, match="expected"):
+            validate_module(m)
+
+    def test_elem_function_bounds(self):
+        m = parse_wat("(module (table 1 funcref) (func $f))")
+        from repro.wasm.ast import ElemSegment
+
+        m.elems.append(ElemSegment(0, [Instr("i32.const", (0,))], [5]))
+        with pytest.raises(InvalidModule, match="no function"):
+            validate_module(m)
+
+    def test_microservice_module_validates(self):
+        from repro.workloads.microservice import microservice_module
+
+        validate_module(microservice_module())

@@ -1,0 +1,271 @@
+"""WAT lexer + parser behaviour."""
+
+import math
+
+import pytest
+
+from repro.errors import WatSyntaxError
+from repro.wasm import parse_wat, validate_module
+from repro.wasm.types import FuncType, Limits, ValType
+from repro.wasm.wat.lexer import TokKind, tokenize
+from repro.wasm.wat.parser import parse_float, parse_int
+
+
+class TestLexer:
+    def test_parens_and_atoms(self):
+        toks = tokenize("(module $m)")
+        assert [t.kind for t in toks] == [
+            TokKind.LPAREN,
+            TokKind.ATOM,
+            TokKind.ATOM,
+            TokKind.RPAREN,
+        ]
+
+    def test_line_comment(self):
+        toks = tokenize("(a) ;; comment here\n(b)")
+        assert len(toks) == 6
+
+    def test_nested_block_comment(self):
+        toks = tokenize("(a (; outer (; inner ;) still ;) b)")
+        assert [t.text for t in toks if t.kind is TokKind.ATOM] == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(WatSyntaxError, match="block comment"):
+            tokenize("(; never ends")
+
+    def test_string_escapes(self):
+        toks = tokenize(r'"a\n\t\"\\\5a"')
+        assert toks[0].data == b'a\n\t"\\\x5a'
+
+    def test_unicode_escape(self):
+        toks = tokenize(r'"\u{1F600}"')
+        assert toks[0].data == "\U0001F600".encode("utf-8")
+
+    def test_unterminated_string(self):
+        with pytest.raises(WatSyntaxError, match="unterminated"):
+            tokenize('"abc')
+
+    def test_line_col_tracking(self):
+        toks = tokenize("(a\n  b)")
+        b = [t for t in toks if t.text == "b"][0]
+        assert (b.line, b.col) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(WatSyntaxError):
+            tokenize("[bracket]")
+
+
+class TestLiterals:
+    @pytest.mark.parametrize(
+        "text,value",
+        [("0", 0), ("42", 42), ("-1", -1), ("0x10", 16), ("-0x80000000", -(2**31)),
+         ("4294967295", -1), ("1_000_000", 1000000)],
+    )
+    def test_i32(self, text, value):
+        assert parse_int(text, 32) == value
+
+    def test_i32_overflow(self):
+        with pytest.raises(WatSyntaxError):
+            parse_int("4294967296", 32)
+
+    @pytest.mark.parametrize(
+        "text,value",
+        [("1.5", 1.5), ("-2.0", -2.0), ("1e3", 1000.0), ("inf", math.inf),
+         ("-inf", -math.inf), ("0x1.8p3", 12.0)],
+    )
+    def test_floats(self, text, value):
+        assert parse_float(text, 64) == value
+
+    def test_nan(self):
+        assert math.isnan(parse_float("nan", 64))
+        assert math.isnan(parse_float("nan:0x400000", 32))
+
+    def test_f32_rounding(self):
+        # 0.1 is not representable in f32; must round through single.
+        assert parse_float("0.1", 32) != 0.1
+
+
+class TestModuleFields:
+    def test_typed_func_with_named_params(self):
+        m = parse_wat(
+            "(module (func $add (param $a i32) (param $b i32) (result i32) "
+            "(i32.add (local.get $a) (local.get $b))))"
+        )
+        assert m.types[0] == FuncType((ValType.I32, ValType.I32), (ValType.I32,))
+        assert m.funcs[0].name == "add"
+
+    def test_type_interning(self):
+        m = parse_wat(
+            "(module (func (param i32)) (func (param i32)) (func (param i64)))"
+        )
+        assert len(m.types) == 2
+
+    def test_explicit_type_use(self):
+        m = parse_wat(
+            "(module (type $t (func (param i32) (result i32))) "
+            "(func (type $t) (local.get 0)))"
+        )
+        assert m.funcs[0].type_idx == 0
+
+    def test_type_use_signature_mismatch(self):
+        with pytest.raises(WatSyntaxError, match="does not match"):
+            parse_wat(
+                "(module (type $t (func (param i32))) "
+                "(func (type $t) (param i64)))"
+            )
+
+    def test_inline_export(self):
+        m = parse_wat('(module (func (export "f") (export "g")))')
+        assert [(e.name, e.index) for e in m.exports] == [("f", 0), ("g", 0)]
+
+    def test_inline_import(self):
+        m = parse_wat('(module (func $f (import "env" "f") (param i32)))')
+        assert m.imports[0].module == "env"
+        assert m.num_imported_funcs() == 1
+
+    def test_memory_with_limits(self):
+        m = parse_wat("(module (memory 2 10))")
+        assert m.mems[0].limits == Limits(2, 10)
+
+    def test_memory_inline_data(self):
+        m = parse_wat('(module (memory (data "abc")))')
+        assert m.mems[0].limits == Limits(1, 1)
+        assert m.datas[0].data == b"abc"
+
+    def test_data_with_offset(self):
+        m = parse_wat('(module (memory 1) (data (i32.const 8) "xy" "z"))')
+        assert m.datas[0].data == b"xyz"
+        assert m.datas[0].offset[0].args == (8,)
+
+    def test_global_mutable(self):
+        m = parse_wat("(module (global $g (mut i64) (i64.const 5)))")
+        assert m.globals[0].type.mutable is True
+        assert m.globals[0].type.valtype is ValType.I64
+
+    def test_table_with_elem(self):
+        m = parse_wat(
+            "(module (table 2 funcref) (elem (i32.const 0) $f $f) (func $f))"
+        )
+        assert m.elems[0].func_indices == [0, 0]
+
+    def test_table_inline_elem(self):
+        m = parse_wat("(module (table funcref (elem $f)) (func $f))")
+        assert m.tables[0].limits == Limits(1, 1)
+
+    def test_start_field(self):
+        m = parse_wat("(module (func $main) (start $main))")
+        assert m.start == 0
+
+    def test_export_field(self):
+        m = parse_wat('(module (func $f) (export "run" (func $f)))')
+        assert m.exports[0].index == 0
+
+    def test_module_name(self):
+        assert parse_wat("(module $hello)").name == "hello"
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(WatSyntaxError, match="unsupported module field"):
+            parse_wat("(module (bogus))")
+
+    def test_duplicate_identifier_rejected(self):
+        with pytest.raises(WatSyntaxError, match="duplicate"):
+            parse_wat("(module (func $f) (func $f))")
+
+    def test_unknown_function_reference(self):
+        with pytest.raises(WatSyntaxError, match="unknown function"):
+            parse_wat("(module (func (call $missing)))")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(WatSyntaxError, match="unbalanced"):
+            parse_wat("(module (func)")
+
+
+class TestInstructionForms:
+    def test_flat_form(self):
+        m = parse_wat(
+            "(module (func (result i32) i32.const 1 i32.const 2 i32.add))"
+        )
+        assert [i.op for i in m.funcs[0].body] == ["i32.const", "i32.const", "i32.add"]
+
+    def test_folded_form_operand_order(self):
+        m = parse_wat(
+            "(module (func (result i32) (i32.sub (i32.const 10) (i32.const 3))))"
+        )
+        ops = [(i.op, i.args) for i in m.funcs[0].body]
+        assert ops == [("i32.const", (10,)), ("i32.const", (3,)), ("i32.sub", ())]
+
+    def test_flat_block_with_end(self):
+        m = parse_wat(
+            "(module (func block $l i32.const 1 drop end))"
+        )
+        assert m.funcs[0].body[0].op == "block"
+
+    def test_flat_if_else(self):
+        m = parse_wat(
+            "(module (func (param i32) (result i32) "
+            "local.get 0 if (result i32) i32.const 1 else i32.const 2 end))"
+        )
+        if_instr = m.funcs[0].body[1]
+        assert if_instr.op == "if"
+        assert if_instr.body[0].args == (1,)
+        assert if_instr.else_body[0].args == (2,)
+
+    def test_label_resolution_depth(self):
+        m = parse_wat(
+            "(module (func (block $outer (block $inner (br $outer)))))"
+        )
+        outer = m.funcs[0].body[0]
+        inner = outer.body[0]
+        assert inner.body[0].args == (1,)  # $outer is depth 1 from inside $inner
+
+    def test_loop_label(self):
+        m = parse_wat("(module (func (loop $l (br $l))))")
+        assert m.funcs[0].body[0].body[0].args == (0,)
+
+    def test_unknown_label(self):
+        with pytest.raises(WatSyntaxError, match="unknown label"):
+            parse_wat("(module (func (br $nope)))")
+
+    def test_memarg_defaults(self):
+        m = parse_wat("(module (memory 1) (func (drop (i64.load (i32.const 0)))))")
+        load = m.funcs[0].body[1]
+        assert load.args == (3, 0)  # natural align log2(8)=3, offset 0
+
+    def test_bad_alignment(self):
+        with pytest.raises(WatSyntaxError, match="power of 2"):
+            parse_wat("(module (memory 1) (func (drop (i32.load align=3 (i32.const 0)))))")
+
+    def test_call_indirect_typeuse(self):
+        m = parse_wat(
+            "(module (table 1 funcref) (func (result i32) "
+            "(call_indirect (result i32) (i32.const 0))))"
+        )
+        ci = m.funcs[0].body[-1]
+        assert ci.op == "call_indirect"
+        assert m.types[ci.args[0]] == FuncType((), (ValType.I32,))
+
+    def test_select_parses(self):
+        m = parse_wat(
+            "(module (func (result i32) "
+            "(select (i32.const 1) (i32.const 2) (i32.const 0))))"
+        )
+        assert m.funcs[0].body[-1].op == "select"
+
+    def test_parsed_modules_validate(self):
+        m = parse_wat(
+            """
+            (module
+              (memory 1)
+              (global $g (mut i32) (i32.const 0))
+              (table 2 funcref)
+              (elem (i32.const 0) $f $f)
+              (func $f (param i32) (result i32)
+                (local $tmp i32)
+                (local.set $tmp (i32.mul (local.get 0) (i32.const 2)))
+                (global.set $g (local.get $tmp))
+                (local.get $tmp))
+              (func (export "main") (result i32)
+                (call_indirect (param i32) (result i32) (i32.const 21) (i32.const 0))))
+            """
+        )
+        validate_module(m)
