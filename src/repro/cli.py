@@ -5,6 +5,7 @@ Subcommands mirror the tools a user of the real system would reach for:
 * ``wat2wasm`` / ``wasm2wat`` / ``validate`` — the Wasm toolchain,
 * ``run`` — execute a module under WASI (the engines' code path),
 * ``deploy`` — a deployment experiment on the simulated testbed,
+* ``recover`` — a fault-injection recovery experiment,
 * ``figures`` — regenerate the paper's tables/figures.
 
 Usable as ``python -m repro <cmd>`` or the ``repro`` console script.
@@ -127,6 +128,22 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.measure.recovery import render_recovery, run_recovery
+    from repro.sim.faults import transient_plan
+
+    plan = transient_plan(
+        seed=args.seed,
+        pull_probability=args.pull_probability,
+        compile_probability=args.compile_probability,
+    )
+    m = run_recovery(
+        config=args.config, count=args.count, seed=args.seed, plan=plan
+    )
+    print(render_recovery(m))
+    return 0 if m.converged and m.failed_pods == 0 else 1
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.measure.campaign import render_campaign, run_campaign
 
@@ -209,6 +226,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--phases", action="store_true", help="show phase breakdown")
     p.set_defaults(func=_cmd_deploy)
+
+    p = sub.add_parser("recover", help="run a fault-injection recovery experiment")
+    p.add_argument("--config", default="crun-wamr")
+    p.add_argument("-n", "--count", type=int, default=100)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--pull-probability", type=float, default=0.3)
+    p.add_argument("--compile-probability", type=float, default=0.3)
+    p.set_defaults(func=_cmd_recover)
 
     p = sub.add_parser("campaign", help="run the full §IV campaign and summary")
     p.add_argument("--seed", type=int, default=1)

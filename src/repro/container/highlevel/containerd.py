@@ -33,6 +33,7 @@ from repro.core.integration import (
 from repro.engines.registry import get_engine
 from repro.errors import ContainerError
 from repro.oci.bundle import Bundle, build_bundle
+from repro.sim.faults import FaultPoint
 from repro.sim.kernel import Acquire, Release, Timeout
 from repro.sim.process import SimProcess
 
@@ -80,6 +81,7 @@ class Containerd:
         """Create the pod sandbox: cgroup, pause process, per-pod overhead."""
         if pod_uid in self.pods:
             raise ContainerError(f"sandbox for pod {pod_uid} already exists")
+        self.env.inject(FaultPoint.SANDBOX_SETUP, pod_uid)
         cgroup = f"/kubepods/pod{pod_uid}"
         handle = PodHandle(pod_uid=pod_uid, cgroup=cgroup)
         handle.pause = spawn_pause(self.env, pod_uid, cgroup)
@@ -133,7 +135,10 @@ class Containerd:
             raise ContainerError(f"no sandbox for pod {pod_uid}")
         profile = startup_profile(config_id)
 
-        # Image pull (warm after the first pod of a deployment).
+        # Image pull (warm after the first pod of a deployment). The
+        # injection point models registry/transport flakes, which occur
+        # even when the content would be cache-warm.
+        env.inject(FaultPoint.IMAGE_PULL, pod_uid)
         t0 = env.kernel.now
         pull = env.images.pull(image_ref)
         if pull.seconds:
@@ -178,7 +183,14 @@ class Containerd:
         )
 
         # Phase 3 — dispatch: spawn processes, run workload functionally.
+        # A failure here (injected or organic, e.g. OOM mid-spawn) must
+        # release every process already spawned for this container, or
+        # failed attempts would leak memory the node never gets back.
         try:
+            env.inject(FaultPoint.SHIM_SPAWN, pod_uid)
+            if config.workload == "wasm":
+                env.inject(FaultPoint.ENGINE_COMPILE, pod_uid)
+                env.inject(FaultPoint.ENGINE_INSTANTIATE, pod_uid)
             if config.family == "runwasi":
                 exec_seconds = self._shims[config_id].create_and_exec(
                     env, container, bundle
@@ -191,6 +203,12 @@ class Containerd:
                 exec_seconds = self._runtimes[config_id].create_and_exec(
                     env, container, bundle
                 )
+            env.inject(FaultPoint.MAIN_EXEC, pod_uid)
+        except BaseException:
+            for proc in container.processes:
+                env.memory.exit(proc)
+            container.processes.clear()
+            raise
         finally:
             yield Release(env.cpu_queue)
 

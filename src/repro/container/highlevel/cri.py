@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 from repro.container.highlevel.containerd import Containerd, PodHandle
 from repro.container.lifecycle import Container
+from repro.sim.faults import FaultPoint
 
 
 @dataclass
@@ -43,12 +44,18 @@ class CRIService:
         return "containerd"
 
     def run_pod_sandbox(self, config: PodSandboxConfig) -> PodHandle:
+        self._containerd.env.inject(
+            FaultPoint.CRI_RPC, f"RunPodSandbox/{config.pod_uid}"
+        )
         return self._containerd.run_pod_sandbox(config.pod_uid)
 
     def create_and_start_container(
         self, sandbox: PodSandboxConfig, container: ContainerConfig
     ):
         """Activity returning the started :class:`Container`."""
+        self._containerd.env.inject(
+            FaultPoint.CRI_RPC, f"CreateContainer/{sandbox.pod_uid}"
+        )
         return self._containerd.create_container(
             sandbox.pod_uid,
             sandbox.runtime_handler,

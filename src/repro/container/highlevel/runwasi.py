@@ -40,11 +40,15 @@ class RunwasiShim:
         if not is_wasm_image(bundle.image):
             raise ContainerError(f"{self.name}: not a wasm image: {bundle.image.reference}")
 
+        # Register each process on the container as soon as it exists, so
+        # a failure mid-setup (e.g. OOM on the worker's mapping) lets the
+        # caller release everything already spawned.
         parent = env.memory.spawn(
             f"{self.name}:{container.pod_uid[:8]}",
             cgroup="/system.slice/containerd",
             start_time=env.kernel.now,
         )
+        container.processes.append(parent)
         env.memory.map_private(
             parent, self.engine.profile.shim_parent_rss, label="shim-parent-heap"
         )
@@ -62,6 +66,7 @@ class RunwasiShim:
             cgroup=container.cgroup,
             start_time=env.kernel.now,
         )
+        container.processes.append(child)
         private = self.engine.shim_child_private_bytes(
             compiled, result.linear_memory_bytes
         )
@@ -69,7 +74,6 @@ class RunwasiShim:
         env.memory.map_private(child, private, label="shim-worker-rss")
         env.memory.map_file(child, self.binary_file, C.RUNWASI_SHIM_TEXT, label="shim-binary")
 
-        container.processes.extend([parent, child])
         container.transition(ContainerState.CREATED)
         container.transition(ContainerState.RUNNING)
         container.stdout = result.stdout

@@ -21,9 +21,15 @@ def spawn_runc_shim(env: NodeEnv, pod_uid: str, for_runc: bool = False) -> SimPr
         cgroup="/system.slice/containerd",
         start_time=env.kernel.now,
     )
-    private = C.RUNC_SHIM_PRIVATE_RUNC if for_runc else C.RUNC_SHIM_PRIVATE
-    env.memory.map_private(proc, private, label="shim-heap")
-    env.memory.map_file(proc, C.RUNC_SHIM_TEXT_FILE, C.RUNC_SHIM_TEXT, label="shim-text")
+    try:
+        private = C.RUNC_SHIM_PRIVATE_RUNC if for_runc else C.RUNC_SHIM_PRIVATE
+        env.memory.map_private(proc, private, label="shim-heap")
+        env.memory.map_file(
+            proc, C.RUNC_SHIM_TEXT_FILE, C.RUNC_SHIM_TEXT, label="shim-text"
+        )
+    except BaseException:
+        env.memory.exit(proc)
+        raise
     return proc
 
 
@@ -32,6 +38,10 @@ def spawn_pause(env: NodeEnv, pod_uid: str, cgroup: str) -> SimProcess:
     proc = env.memory.spawn(
         f"pause:{pod_uid[:8]}", cgroup=cgroup, start_time=env.kernel.now
     )
-    env.memory.map_private(proc, C.PAUSE_PRIVATE, label="pause-heap")
-    env.memory.map_file(proc, C.PAUSE_TEXT_FILE, C.PAUSE_TEXT, label="pause-text")
+    try:
+        env.memory.map_private(proc, C.PAUSE_PRIVATE, label="pause-heap")
+        env.memory.map_file(proc, C.PAUSE_TEXT_FILE, C.PAUSE_TEXT, label="pause-text")
+    except BaseException:
+        env.memory.exit(proc)
+        raise
     return proc

@@ -7,6 +7,7 @@ from typing import Optional
 
 from repro.oci.store import ImageStore
 from repro.sim.cpu import CpuModel
+from repro.sim.faults import FaultPlan, FaultPoint
 from repro.sim.kernel import Kernel, Resource
 from repro.sim.memory import SystemMemoryModel
 from repro.sim.process import SimProcess
@@ -33,6 +34,8 @@ class NodeEnv:
     containers_created: int = 0
     containerd_proc: Optional[SimProcess] = None
     tracer: Tracer = None  # type: ignore[assignment]  # set in create()
+    #: armed fault plan (None = no injection, zero overhead)
+    faults: Optional[FaultPlan] = None
     _containerd_heap_key: Optional[str] = None
 
     @classmethod
@@ -43,6 +46,7 @@ class NodeEnv:
         cpu: Optional[CpuModel] = None,
         rng: Optional[RngStreams] = None,
         images: Optional[ImageStore] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> "NodeEnv":
         cpu = cpu or CpuModel()
         env = cls(
@@ -54,6 +58,7 @@ class NodeEnv:
             rng=rng or RngStreams(0),
             images=images or ImageStore(memory=memory),
             tracer=Tracer(),
+            faults=faults,
         )
         env._boot_daemons()
         return env
@@ -90,6 +95,11 @@ class NodeEnv:
         assert self.containerd_proc is not None and self._containerd_heap_key
         seg = self.containerd_proc.segments[self._containerd_heap_key]
         seg.size = max(0, seg.size - C.CONTAINERD_GROWTH_PER_POD)
+
+    def inject(self, point: FaultPoint, key: str) -> None:
+        """Fault-injection hook: raises ``FaultInjected`` when armed & firing."""
+        if self.faults is not None:
+            self.faults.raise_if_fires(point, key)
 
     def pressure(self) -> float:
         """Current startup-work pressure multiplier."""

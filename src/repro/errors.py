@@ -111,6 +111,23 @@ class EngineError(ReproError):
     """A Wasm engine failed to compile/instantiate/run a module."""
 
 
+class FaultInjected(ContainerError):
+    """A failure injected by :class:`repro.sim.faults.FaultPlan`.
+
+    Subclasses :class:`ContainerError` so every layer that already treats
+    container-runtime failures as operational (kubelet pod-sync, the CRI)
+    handles injected faults through the same paths as organic ones.
+    ``transient`` drives the kubelet's restart decision: transient faults
+    are retried under the pod's restart policy, permanent ones fail the
+    pod immediately.
+    """
+
+    def __init__(self, message: str, point: str, transient: bool = True) -> None:
+        super().__init__(message)
+        self.point = point
+        self.transient = transient
+
+
 # --------------------------------------------------------------------------
 # Kubernetes
 # --------------------------------------------------------------------------

@@ -12,10 +12,12 @@ from repro.k8s.objects import (
     PodSpec,
     ContainerSpec,
     PodPhase,
+    RestartPolicy,
     NodeInfo,
     RuntimeClass,
 )
 from repro.k8s.apiserver import APIServer
+from repro.k8s.backoff import BackoffPolicy, BackoffTracker
 from repro.k8s.scheduler import Scheduler
 from repro.k8s.kubelet import Kubelet
 from repro.k8s.metrics_server import MetricsServer, PodMetrics
@@ -26,9 +28,12 @@ __all__ = [
     "PodSpec",
     "ContainerSpec",
     "PodPhase",
+    "RestartPolicy",
     "NodeInfo",
     "RuntimeClass",
     "APIServer",
+    "BackoffPolicy",
+    "BackoffTracker",
     "Scheduler",
     "Kubelet",
     "MetricsServer",

@@ -43,6 +43,10 @@ class APIServer:
     # -- pod lifecycle ------------------------------------------------------
 
     def create_pod(self, name: str, spec: PodSpec) -> Pod:
+        # Admission: a pod with no containers can never become Running and
+        # would otherwise surface as a kubelet crash deep in pod sync.
+        if not spec.containers:
+            raise KubernetesError(f"pod {name}: spec.containers must not be empty")
         if spec.runtime_class_name is not None:
             if spec.runtime_class_name not in self.runtime_classes:
                 raise KubernetesError(
@@ -70,9 +74,12 @@ class APIServer:
         node.pod_uids.append(pod.uid)
         self._notify(pod)
 
-    def set_phase(self, pod: Pod, phase: PodPhase, message: str = "") -> None:
+    def set_phase(
+        self, pod: Pod, phase: PodPhase, message: str = "", reason: str = ""
+    ) -> None:
         pod.phase = phase
         pod.status_message = message
+        pod.reason = reason
         if phase is PodPhase.RUNNING and pod.running_at is None:
             pod.running_at = self._clock()
         self._notify(pod)

@@ -1,0 +1,62 @@
+"""Capped exponential backoff with seeded jitter.
+
+Models the kubelet's CrashLoopBackOff/ImagePullBackOff timing: the n-th
+consecutive failure of a pod waits ``initial * factor**n`` seconds (capped
+at ``max_s``) plus a small half-normal jitter drawn from the pod's named
+RNG stream — so the schedule is deterministic per cluster seed and two
+pods never synchronize their retry storms.
+
+Real kubelets use 10 s → 5 min; the simulation's startup timescale is
+single-digit seconds, so the defaults are scaled down but keep the same
+shape (geometric growth, hard cap, jitter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.sim.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Shape of the retry schedule."""
+
+    initial_s: float = 0.5
+    factor: float = 2.0
+    max_s: float = 10.0
+    jitter_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.initial_s <= 0 or self.max_s <= 0:
+            raise SimulationError("backoff delays must be positive")
+        if self.factor < 1.0:
+            raise SimulationError("backoff factor must be >= 1")
+
+    def base_delay(self, failures: int) -> float:
+        """Jitter-free delay after ``failures`` consecutive failures."""
+        if failures < 0:
+            raise SimulationError("failure count must be >= 0")
+        return min(self.initial_s * self.factor**failures, self.max_s)
+
+
+class BackoffTracker:
+    """Per-pod consecutive-failure counter bound to one RNG stream."""
+
+    def __init__(self, policy: BackoffPolicy, rng: RngStreams, key: str) -> None:
+        self.policy = policy
+        self.key = key
+        self.failures = 0
+        self._rng = rng
+
+    def next_delay(self) -> float:
+        """Delay to wait before the next attempt; advances the counter."""
+        delay = self.policy.base_delay(self.failures) + self._rng.jitter(
+            f"backoff/{self.key}", self.policy.jitter_s
+        )
+        self.failures += 1
+        return delay
+
+    def reset(self) -> None:
+        self.failures = 0

@@ -22,8 +22,17 @@ from repro.k8s.apiserver import APIServer
 from repro.k8s.controllers import DeploymentController
 from repro.k8s.kubelet import Kubelet
 from repro.k8s.metrics_server import MetricsServer
-from repro.k8s.objects import ContainerSpec, NodeInfo, Pod, PodPhase, PodSpec, RuntimeClass
+from repro.k8s.objects import (
+    ContainerSpec,
+    NodeInfo,
+    Pod,
+    PodPhase,
+    PodSpec,
+    RestartPolicy,
+    RuntimeClass,
+)
 from repro.k8s.scheduler import Scheduler
+from repro.sim.faults import FaultPlan
 from repro.sim.kernel import Kernel
 from repro.sim.memory import GIB, SystemMemoryModel
 from repro.sim.rng import RngStreams
@@ -66,14 +75,14 @@ class Cluster:
 
     # -- deployment helpers ------------------------------------------------
 
-    def make_pod(
+    def pod_template(
         self,
         runtime_config: str,
         image: Optional[str] = None,
         env: Optional[Dict[str, str]] = None,
-        name: Optional[str] = None,
-    ) -> Pod:
-        """Create (in the API server) one single-container pod."""
+        restart_policy: RestartPolicy = RestartPolicy.ALWAYS,
+    ) -> PodSpec:
+        """A single-container PodSpec for a runtime config (image inferred)."""
         if image is None:
             config = RUNTIME_CONFIGS.get(runtime_config) or ABLATION_CONFIGS.get(
                 runtime_config
@@ -81,13 +90,27 @@ class Cluster:
             if config is None:
                 raise KubernetesError(f"unknown runtime configuration {runtime_config!r}")
             image = WASM_IMAGE_REF if config.workload == "wasm" else PYTHON_IMAGE_REF
-        n = next(self._pod_counter)
-        spec = PodSpec(
+        return PodSpec(
             containers=[
                 ContainerSpec(name="app", image=image, env=dict(env or {}))
             ],
             runtime_class_name=runtime_config,
+            restart_policy=restart_policy,
         )
+
+    def make_pod(
+        self,
+        runtime_config: str,
+        image: Optional[str] = None,
+        env: Optional[Dict[str, str]] = None,
+        name: Optional[str] = None,
+        restart_policy: RestartPolicy = RestartPolicy.ALWAYS,
+    ) -> Pod:
+        """Create (in the API server) one single-container pod."""
+        spec = self.pod_template(
+            runtime_config, image=image, env=env, restart_policy=restart_policy
+        )
+        n = next(self._pod_counter)
         return self.api.create_pod(name or f"{runtime_config}-{n:05d}", spec)
 
     def deploy_and_wait(
@@ -137,8 +160,18 @@ class Cluster:
             activities.append(self.nodes[pod.node_name].kubelet.sync_pod(pod))
         if activities:
             self.kernel.run_all(activities)
-        self.teardown(actions["removed"])
+        # Surplus pods and disowned FAILED/evicted pods both need their
+        # node-side state released, or they'd leak memory forever.
+        self.teardown(actions["removed"] + actions["failed"])
         return self.deployments.status(deployment_name)
+
+    def delete_deployment(self, deployment_name: str) -> None:
+        """Delete a deployment AND tear down every pod it still owns.
+
+        Callers that used ``deployments.delete()`` directly could leak
+        the returned pods' node-side state; this helper closes the loop.
+        """
+        self.teardown(self.deployments.delete(deployment_name))
 
 
 def build_cluster(
@@ -146,8 +179,14 @@ def build_cluster(
     node_count: int = 1,
     max_pods: int = 500,
     memory_bytes: int = 256 * GIB,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Cluster:
-    """Build the simulated testbed (defaults = the paper's single node)."""
+    """Build the simulated testbed (defaults = the paper's single node).
+
+    ``fault_plan`` arms deterministic fault injection on every node (the
+    plan's budgets are shared cluster-wide); None leaves injection off
+    with zero overhead.
+    """
     kernel = Kernel()
     api = APIServer(clock=lambda: kernel.now)
     scheduler = Scheduler(api)
@@ -160,7 +199,10 @@ def build_cluster(
         name = f"node-{i}"
         memory = SystemMemoryModel(total_bytes=memory_bytes)
         env = NodeEnv.create(
-            kernel=kernel, memory=memory, rng=RngStreams(seed * 1000 + i)
+            kernel=kernel,
+            memory=memory,
+            rng=RngStreams(seed * 1000 + i),
+            faults=fault_plan,
         )
         env.images.push(build_wasm_image())
         env.images.push(build_python_image())

@@ -57,25 +57,31 @@ class DeploymentController:
         return deployment
 
     def delete(self, name: str) -> List[Pod]:
-        """Remove the deployment; returns its pods for node-side teardown."""
+        """Remove the deployment; returns ALL its pods (including FAILED /
+        evicted ones still parked in the API server) for node-side teardown."""
         deployment = self.deployments.pop(name, None)
         if deployment is None:
             return []
-        pods = self._live_pods(deployment)
+        pods = self._owned_pods(deployment)
         deployment.pod_uids.clear()
         return pods
 
     # -- reconciliation --------------------------------------------------------
 
     def reconcile(self, name: str) -> Dict[str, List[Pod]]:
-        """One reconciliation pass; returns {'created': [...], 'removed': [...]}.
+        """One reconciliation pass.
 
+        Returns ``{'created': [...], 'removed': [...], 'failed': [...]}``.
         Created pods are Pending+scheduled (the API server's watch path
         runs the scheduler); the caller must run their kubelet sync
-        activities. Removed pods are returned for node-side teardown.
+        activities. Removed pods (scale-down surplus) and failed pods
+        (FAILED / evicted, now disowned and replaced) are returned for
+        node-side teardown.
         """
         deployment = self._get(name)
-        live = self._live_pods(deployment)
+        owned = self._owned_pods(deployment)
+        failed = [p for p in owned if p.phase is PodPhase.FAILED]
+        live = [p for p in owned if p.phase is not PodPhase.FAILED]
         deployment.pod_uids = [p.uid for p in live]
 
         created: List[Pod] = []
@@ -93,7 +99,7 @@ class DeploymentController:
             pod = self.api.pods.get(uid)
             if pod is not None:
                 removed.append(pod)
-        return {"created": created, "removed": removed}
+        return {"created": created, "removed": removed, "failed": failed}
 
     def status(self, name: str) -> Dict[str, int]:
         deployment = self._get(name)
@@ -112,9 +118,20 @@ class DeploymentController:
             raise KubernetesError(f"no deployment named {name}")
         return deployment
 
-    def _live_pods(self, deployment: DeploymentObject) -> List[Pod]:
+    def _owned_pods(self, deployment: DeploymentObject) -> List[Pod]:
         return [
             self.api.pods[uid]
             for uid in deployment.pod_uids
             if uid in self.api.pods
+        ]
+
+    def _live_pods(self, deployment: DeploymentObject) -> List[Pod]:
+        """Pods counted against the replica goal: everything not FAILED.
+
+        FAILED covers both permanent sync failures and node-pressure
+        evictions — either way the pod will never serve again and must
+        not shadow a replacement.
+        """
+        return [
+            p for p in self._owned_pods(deployment) if p.phase is not PodPhase.FAILED
         ]

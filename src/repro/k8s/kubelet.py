@@ -4,6 +4,13 @@ The pod sync activity models the control-plane pipeline ahead of container
 creation (watch delivery, sync-loop pickup, sandbox + CNI setup) as the
 runtime config's ``pipeline_s`` latency with small jitter, then drives the
 CRI: RunPodSandbox → CreateContainer/StartContainer per container.
+
+Pod sync is **self-healing**: a failed attempt tears the sandbox down
+(idempotently), classifies the failure, and — under the pod's restart
+policy — retries after a capped exponential backoff with seeded jitter
+(CrashLoopBackOff / ImagePullBackOff). Memory pressure is handled by
+evicting the newest running pods instead of letting the node OOM; only
+permanent failures (or an exhausted retry budget) leave a pod FAILED.
 """
 
 from __future__ import annotations
@@ -19,9 +26,27 @@ from repro.container.highlevel.cri import (
 from repro.container.lifecycle import Container
 from repro.container.nodeenv import NodeEnv
 from repro.container.startup import startup_profile
-from repro.errors import ContainerError, EngineError, KubernetesError, OutOfMemory
+from repro.errors import (
+    ContainerError,
+    EngineError,
+    FaultInjected,
+    KubernetesError,
+    OutOfMemory,
+)
 from repro.k8s.apiserver import APIServer
-from repro.k8s.objects import Pod, PodPhase
+from repro.k8s.backoff import BackoffPolicy, BackoffTracker
+from repro.k8s.objects import (
+    Pod,
+    PodPhase,
+    REASON_CRASH_LOOP_BACKOFF,
+    REASON_ERROR,
+    REASON_EVICTED,
+    REASON_IMAGE_PULL_BACKOFF,
+    REASON_MEMORY_PRESSURE,
+    REASON_OOM,
+    RestartPolicy,
+)
+from repro.sim.faults import FaultPoint
 from repro.sim.kernel import Timeout
 
 
@@ -35,9 +60,22 @@ class Kubelet:
     env: NodeEnv
     #: pod uid → realized containers
     pod_containers: Dict[str, List[Container]] = field(default_factory=dict)
+    #: retry schedule shape for CrashLoopBackOff / ImagePullBackOff
+    backoff_policy: BackoffPolicy = field(default_factory=BackoffPolicy)
+    #: hard cap on sync retries per pod (bounds convergence time)
+    max_sync_retries: int = 10
+    #: evict when `available` drops below this fraction of node memory
+    eviction_threshold_frac: float = 0.01
+    _backoffs: Dict[str, BackoffTracker] = field(default_factory=dict)
+
+    # -- pod sync (self-healing activity) -----------------------------------
 
     def sync_pod(self, pod: Pod):
-        """Activity: bring one bound pod to Running. Returns the pod."""
+        """Activity: bring one bound pod to Running. Returns the pod.
+
+        Retries transient failures under the pod's restart policy; the
+        no-failure path is event-for-event identical to a single attempt.
+        """
         if pod.node_name != self.node_name:
             raise KubernetesError(
                 f"pod {pod.name} bound to {pod.node_name}, not {self.node_name}"
@@ -50,6 +88,29 @@ class Kubelet:
             )
         profile = startup_profile(handler)
 
+        while True:
+            # The pod may have been evicted or deleted while backing off.
+            if pod.uid not in self.api.pods or pod.phase is PodPhase.FAILED:
+                return pod
+            try:
+                yield from self._sync_attempt(pod, handler, profile)
+                self._backoffs.pop(pod.uid, None)
+                return pod
+            except (ContainerError, EngineError, OutOfMemory) as exc:
+                self._cleanup_attempt(pod)
+                reason = self._failure_action(pod, exc)
+                if reason is None:
+                    self.api.set_phase(
+                        pod,
+                        PodPhase.FAILED,
+                        message=str(exc),
+                        reason=self._terminal_reason(exc),
+                    )
+                    return pod
+                yield from self._backoff(pod, handler, reason, exc)
+
+    def _sync_attempt(self, pod: Pod, handler: str, profile):
+        """One full sync attempt; raises on any failure along the path."""
         # Control-plane pipeline: watch delivery → sync loop → sandbox/CNI.
         t0 = self.env.kernel.now
         delay = profile.pipeline_s + self.env.jitter(
@@ -60,34 +121,146 @@ class Kubelet:
             "startup.pipeline", pod.uid, t0, self.env.kernel.now, config=handler
         )
 
+        self._relieve_memory_pressure(exclude_uid=pod.uid)
+
         sandbox = PodSandboxConfig(
             pod_uid=pod.uid, name=pod.name, runtime_handler=handler
         )
         self.cri.run_pod_sandbox(sandbox)
 
         containers: List[Container] = []
-        try:
-            for cspec in pod.spec.containers:
-                container = yield self.cri.create_and_start_container(
-                    sandbox,
-                    ContainerConfig(
-                        image_ref=cspec.image, command=cspec.command, env=cspec.env
-                    ),
-                )
-                containers.append(container)
-        except (ContainerError, EngineError, OutOfMemory) as exc:
-            self.api.set_phase(pod, PodPhase.FAILED, message=str(exc))
-            self.cri.remove_pod_sandbox(pod.uid)
-            return pod
+        for cspec in pod.spec.containers:
+            container = yield self.cri.create_and_start_container(
+                sandbox,
+                ContainerConfig(
+                    image_ref=cspec.image, command=cspec.command, env=cspec.env
+                ),
+            )
+            containers.append(container)
 
         self.pod_containers[pod.uid] = containers
         pod.exec_started_at = max(
-            c.exec_started_at for c in containers if c.exec_started_at is not None
+            (c.exec_started_at for c in containers if c.exec_started_at is not None),
+            default=self.env.kernel.now,
         )
         self.api.set_phase(pod, PodPhase.RUNNING)
-        return pod
 
-    def teardown_pod(self, pod: Pod) -> None:
+    def _cleanup_attempt(self, pod: Pod) -> None:
+        """Release whatever a failed attempt left on the node (idempotent)."""
         self.cri.remove_pod_sandbox(pod.uid)
         self.pod_containers.pop(pod.uid, None)
+
+    # -- failure classification ---------------------------------------------
+
+    def _failure_action(self, pod: Pod, exc: Exception) -> Optional[str]:
+        """Decide retry (returns the waiting reason) or fail (None).
+
+        * transient image-pull faults retry regardless of restart policy
+          (the kubelet always retries pulls) → ImagePullBackOff;
+        * other transient faults retry unless restartPolicy=Never
+          → CrashLoopBackOff;
+        * memory exhaustion evicts the newest running pod and retries
+          → MemoryPressure; with nothing left to evict it is terminal;
+        * everything else is deterministic in this simulation (a bad
+          module traps on every attempt) and fails the pod immediately.
+        """
+        if pod.restart_count >= self.max_sync_retries:
+            return None
+        if isinstance(exc, OutOfMemory):
+            victim = self._newest_running_pod(exclude_uid=pod.uid)
+            if victim is None:
+                return None
+            self.evict_pod(victim)
+            return REASON_MEMORY_PRESSURE
+        if isinstance(exc, FaultInjected) and exc.transient:
+            if exc.point == FaultPoint.IMAGE_PULL.value:
+                return REASON_IMAGE_PULL_BACKOFF
+            if pod.spec.restart_policy is RestartPolicy.NEVER:
+                return None
+            return REASON_CRASH_LOOP_BACKOFF
+        return None
+
+    @staticmethod
+    def _terminal_reason(exc: Exception) -> str:
+        if isinstance(exc, OutOfMemory):
+            return REASON_OOM
+        return REASON_ERROR
+
+    def _backoff(self, pod: Pod, handler: str, reason: str, exc: Exception):
+        """Wait out one backoff period, recording state and a trace span."""
+        tracker = self._backoffs.get(pod.uid)
+        if tracker is None:
+            tracker = BackoffTracker(self.backoff_policy, self.env.rng, pod.uid)
+            self._backoffs[pod.uid] = tracker
+        delay = tracker.next_delay()
+        pod.restart_count += 1
+        t0 = self.env.kernel.now
+        pod.backoff_until = t0 + delay
+        self.api.set_phase(pod, PodPhase.PENDING, message=str(exc), reason=reason)
+        yield Timeout(delay)
+        pod.backoff_until = None
+        self.env.tracer.record(
+            "recovery.backoff",
+            pod.uid,
+            t0,
+            self.env.kernel.now,
+            config=handler,
+            reason=reason,
+            attempt=str(pod.restart_count),
+        )
+
+    # -- memory-pressure eviction -------------------------------------------
+
+    def under_memory_pressure(self) -> bool:
+        report = self.env.memory.free_report()
+        return report.available < self.eviction_threshold_frac * report.total
+
+    def _newest_running_pod(self, exclude_uid: Optional[str] = None) -> Optional[Pod]:
+        """Newest Running pod on this node (eviction order: newest first)."""
+        candidates = [
+            pod
+            for uid in self.pod_containers
+            if (pod := self.api.pods.get(uid)) is not None
+            and uid != exclude_uid
+            and pod.phase is PodPhase.RUNNING
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda p: (p.created_at, p.uid))
+
+    def evict_pod(self, pod: Pod, message: str = "") -> None:
+        """Node-pressure eviction: free the pod's resources, mark it FAILED.
+
+        The pod object stays in the API server (like a real evicted pod)
+        so controllers observe the failure and reconcile a replacement.
+        """
+        self._cleanup_attempt(pod)
+        self.api.set_phase(
+            pod,
+            PodPhase.FAILED,
+            message=message
+            or "node memory exhausted: evicted newest pod to relieve pressure",
+            reason=REASON_EVICTED,
+        )
+        now = self.env.kernel.now
+        self.env.tracer.record(
+            "recovery.eviction", pod.uid, now, now, reason=REASON_EVICTED
+        )
+
+    def _relieve_memory_pressure(self, exclude_uid: Optional[str] = None) -> int:
+        """Evict newest pods while the node is under pressure; returns count."""
+        evicted = 0
+        while self.under_memory_pressure():
+            victim = self._newest_running_pod(exclude_uid=exclude_uid)
+            if victim is None:
+                break
+            self.evict_pod(victim)
+            evicted += 1
+        return evicted
+
+    # -- teardown ------------------------------------------------------------
+
+    def teardown_pod(self, pod: Pod) -> None:
+        self._cleanup_attempt(pod)
+        self._backoffs.pop(pod.uid, None)
         self.api.delete_pod(pod)

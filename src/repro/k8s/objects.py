@@ -14,6 +14,31 @@ class PodPhase(enum.Enum):
     FAILED = "Failed"
 
 
+class RestartPolicy(enum.Enum):
+    """Pod-level container restart policy (the kubelet's retry contract).
+
+    In this reproduction the workloads are deterministic, so a fault that
+    reproduces on every attempt (bad module, guest trap) is classified
+    permanent regardless of policy; the policy governs *transient*
+    failures (injected faults, memory pressure). ``ALWAYS`` and
+    ``ON_FAILURE`` behave identically here because containers never
+    exit-and-linger — pods run until torn down.
+    """
+
+    ALWAYS = "Always"
+    ON_FAILURE = "OnFailure"
+    NEVER = "Never"
+
+
+#: waiting/terminal reasons the kubelet records on ``Pod.reason``
+REASON_CRASH_LOOP_BACKOFF = "CrashLoopBackOff"
+REASON_IMAGE_PULL_BACKOFF = "ImagePullBackOff"
+REASON_MEMORY_PRESSURE = "MemoryPressure"
+REASON_EVICTED = "Evicted"
+REASON_OOM = "OutOfMemory"
+REASON_ERROR = "Error"
+
+
 @dataclass
 class ContainerSpec:
     """One container within a pod spec."""
@@ -29,6 +54,7 @@ class PodSpec:
     containers: List[ContainerSpec]
     runtime_class_name: Optional[str] = None  # selects the runtime config
     node_selector: Dict[str, str] = field(default_factory=dict)
+    restart_policy: RestartPolicy = RestartPolicy.ALWAYS
 
 
 @dataclass
@@ -46,6 +72,12 @@ class Pod:
     #: when the last container's workload began executing (Figs 8–9 probe)
     exec_started_at: Optional[float] = None
     status_message: str = ""
+    #: machine-readable status reason (CrashLoopBackOff, Evicted, ...)
+    reason: str = ""
+    #: kubelet sync retries performed so far
+    restart_count: int = 0
+    #: simulated time until which the kubelet is backing off (None = not)
+    backoff_until: Optional[float] = None
 
 
 @dataclass

@@ -3,6 +3,7 @@
 * :mod:`repro.measure.free` — the ``free(1)`` sampling channel,
 * :mod:`repro.measure.experiment` — deploy-N-pods experiments with both
   memory channels and the startup probe,
+* :mod:`repro.measure.recovery` — fault-injection recovery experiments,
 * :mod:`repro.measure.stats` — summary statistics,
 * :mod:`repro.measure.figures` — one generator per paper table/figure,
 * :mod:`repro.measure.report` — plain-text rendering of figure data.
@@ -14,6 +15,12 @@ from repro.measure.experiment import (
     MemorySample,
 )
 from repro.measure.free import FreeSampler
+from repro.measure.recovery import (
+    BackoffEvent,
+    RecoveryMeasurement,
+    render_recovery,
+    run_recovery,
+)
 from repro.measure.stats import mean, stddev, summarize
 from repro.measure.figures import (
     FigureSeries,
@@ -34,6 +41,10 @@ __all__ = [
     "ExperimentRunner",
     "MemorySample",
     "FreeSampler",
+    "BackoffEvent",
+    "RecoveryMeasurement",
+    "render_recovery",
+    "run_recovery",
     "mean",
     "stddev",
     "summarize",

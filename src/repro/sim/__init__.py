@@ -20,6 +20,7 @@ named :class:`~repro.sim.rng.RngStreams`.
 
 from repro.sim.clock import SimClock
 from repro.sim.events import Event, EventQueue
+from repro.sim.faults import FaultPlan, FaultPoint, FaultSpec, InjectedFault
 from repro.sim.kernel import Kernel, Timeout, Acquire, Release, WaitEvent, SimEvent
 from repro.sim.rng import RngStreams
 from repro.sim.process import SimProcess, MemorySegment, SegmentKind
@@ -30,6 +31,10 @@ __all__ = [
     "SimClock",
     "Event",
     "EventQueue",
+    "FaultPlan",
+    "FaultPoint",
+    "FaultSpec",
+    "InjectedFault",
     "Kernel",
     "Timeout",
     "Acquire",

@@ -1,0 +1,186 @@
+"""Deterministic fault injection for the simulated stack.
+
+A :class:`FaultPlan` arms named **injection points** along the pod-startup
+critical path (image pull, sandbox setup, shim spawn, engine
+compile/instantiate, CRI RPC, main exec). Each point carries a firing
+probability, an optional max-occurrence budget, and a transient-vs-
+permanent classification. Components ask the plan at the matching point
+(via :meth:`repro.container.nodeenv.NodeEnv.inject`) and the plan either
+does nothing or raises :class:`~repro.errors.FaultInjected`.
+
+Determinism: every ``(point, key)`` pair draws from its own named RNG
+stream (``fault/<point>/<key>``), so the outcome of a given pod's n-th
+retry at a given point depends only on the plan's seed — never on how
+other pods' checks interleave. The same seed therefore reproduces the
+same failure pattern, backoff schedule, and recovery timeline; budgets
+are the only global state and the event kernel orders them
+deterministically too.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import FaultInjected, SimulationError
+from repro.sim.rng import RngStreams
+
+
+class FaultPoint(enum.Enum):
+    """Named injection points along the pod startup path."""
+
+    IMAGE_PULL = "image.pull"
+    SANDBOX_SETUP = "sandbox.setup"
+    SHIM_SPAWN = "shim.spawn"
+    ENGINE_COMPILE = "engine.compile"
+    ENGINE_INSTANTIATE = "engine.instantiate"
+    CRI_RPC = "cri.rpc"
+    MAIN_EXEC = "main.exec"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed injection point.
+
+    ``max_occurrences`` is the point's total firing budget across the
+    whole run (``None`` = unlimited): with a finite budget, recovery is
+    *guaranteed* to converge once the budget is spent, which the recovery
+    experiment uses to bound worst-case retry storms.
+    """
+
+    point: FaultPoint
+    probability: float
+    transient: bool = True
+    max_occurrences: Optional[int] = None
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise SimulationError(
+                f"fault probability must be in [0, 1], got {self.probability}"
+            )
+        if self.max_occurrences is not None and self.max_occurrences < 0:
+            raise SimulationError("max_occurrences must be >= 0")
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """Record of one fault the plan actually fired."""
+
+    point: FaultPoint
+    key: str
+    occurrence: int  # 1-based, per point
+    transient: bool
+    message: str
+
+
+class FaultPlan:
+    """Seeded set of :class:`FaultSpec`\\ s with firing bookkeeping."""
+
+    def __init__(self, specs: Iterable[FaultSpec] = (), seed: int = 0) -> None:
+        self._specs: Dict[FaultPoint, FaultSpec] = {}
+        for spec in specs:
+            if spec.point in self._specs:
+                raise SimulationError(f"duplicate fault spec for {spec.point.value}")
+            self._specs[spec.point] = spec
+        self._rng = RngStreams(seed)
+        self._fired: List[InjectedFault] = []
+        self._fired_per_point: Dict[FaultPoint, int] = {}
+        self._checks = 0
+
+    @property
+    def seed(self) -> int:
+        return self._rng.seed
+
+    @property
+    def fired(self) -> Tuple[InjectedFault, ...]:
+        return tuple(self._fired)
+
+    @property
+    def checks(self) -> int:
+        return self._checks
+
+    def spec(self, point: FaultPoint) -> Optional[FaultSpec]:
+        return self._specs.get(point)
+
+    def count(self, point: FaultPoint) -> int:
+        return self._fired_per_point.get(point, 0)
+
+    def summary(self) -> Dict[str, int]:
+        """Fired-fault counts per point value (for reports/experiments)."""
+        return {
+            point.value: count
+            for point, count in sorted(
+                self._fired_per_point.items(), key=lambda kv: kv[0].value
+            )
+        }
+
+    # -- the injection decision ---------------------------------------------
+
+    def check(self, point: FaultPoint, key: str) -> Optional[InjectedFault]:
+        """Draw once for ``(point, key)``; returns the fault if it fires.
+
+        Repeated checks of the same pair (a retry of the same pod) draw
+        the *next* value of that pair's stream, so a transient fault can
+        fire on attempt 1 and pass on attempt 2 — deterministically.
+        """
+        spec = self._specs.get(point)
+        if spec is None or spec.probability <= 0.0:
+            return None
+        self._checks += 1
+        used = self._fired_per_point.get(point, 0)
+        if spec.max_occurrences is not None and used >= spec.max_occurrences:
+            return None
+        draw = float(self._rng.stream(f"fault/{point.value}/{key}").random())
+        if draw >= spec.probability:
+            return None
+        fault = InjectedFault(
+            point=point,
+            key=key,
+            occurrence=used + 1,
+            transient=spec.transient,
+            message=spec.message
+            or f"injected {'transient' if spec.transient else 'permanent'} "
+            f"fault at {point.value}",
+        )
+        self._fired_per_point[point] = used + 1
+        self._fired.append(fault)
+        return fault
+
+    def raise_if_fires(self, point: FaultPoint, key: str) -> None:
+        """Check and raise :class:`FaultInjected` when the point fires."""
+        fault = self.check(point, key)
+        if fault is not None:
+            raise FaultInjected(
+                f"{fault.message} (key={key}, occurrence={fault.occurrence})",
+                point=point.value,
+                transient=fault.transient,
+            )
+
+
+def transient_plan(
+    seed: int = 0,
+    pull_probability: float = 0.3,
+    compile_probability: float = 0.3,
+    budget_per_point: Optional[int] = None,
+) -> FaultPlan:
+    """The recovery experiment's default plan: transient pull + compile
+    failures at the paper-relevant rates (≥30% per attempt)."""
+    return FaultPlan(
+        [
+            FaultSpec(
+                FaultPoint.IMAGE_PULL,
+                probability=pull_probability,
+                transient=True,
+                max_occurrences=budget_per_point,
+            ),
+            FaultSpec(
+                FaultPoint.ENGINE_COMPILE,
+                probability=compile_probability,
+                transient=True,
+                max_occurrences=budget_per_point,
+            ),
+        ],
+        seed=seed,
+    )

@@ -1,0 +1,153 @@
+"""Backoff schedule shape, restart policies, and per-seed determinism."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.k8s.backoff import BackoffPolicy, BackoffTracker
+from repro.k8s.cluster import build_cluster
+from repro.k8s.objects import (
+    PodPhase,
+    REASON_CRASH_LOOP_BACKOFF,
+    REASON_ERROR,
+    REASON_IMAGE_PULL_BACKOFF,
+    RestartPolicy,
+)
+from repro.measure.recovery import run_recovery
+from repro.sim.faults import FaultPlan, FaultPoint, FaultSpec
+from repro.sim.rng import RngStreams
+
+
+# -- policy shape ------------------------------------------------------------
+
+
+def test_base_delay_geometric_then_capped():
+    policy = BackoffPolicy(initial_s=0.5, factor=2.0, max_s=10.0)
+    assert [policy.base_delay(n) for n in range(5)] == [0.5, 1.0, 2.0, 4.0, 8.0]
+    assert policy.base_delay(5) == 10.0  # 16 → capped
+    assert policy.base_delay(50) == 10.0
+
+
+def test_policy_validation():
+    with pytest.raises(SimulationError):
+        BackoffPolicy(initial_s=0.0)
+    with pytest.raises(SimulationError):
+        BackoffPolicy(max_s=-1.0)
+    with pytest.raises(SimulationError):
+        BackoffPolicy(factor=0.5)
+    with pytest.raises(SimulationError):
+        BackoffPolicy().base_delay(-1)
+
+
+def test_tracker_deterministic_per_seed_and_key():
+    policy = BackoffPolicy()
+
+    def schedule(seed, key):
+        tracker = BackoffTracker(policy, RngStreams(seed), key)
+        return [tracker.next_delay() for _ in range(6)]
+
+    assert schedule(3, "pod-a") == schedule(3, "pod-a")
+    assert schedule(3, "pod-a") != schedule(4, "pod-a")
+    assert schedule(3, "pod-a") != schedule(3, "pod-b")
+    # Jitter rides on top of the geometric base, never below it.
+    for n, delay in enumerate(schedule(3, "pod-a")):
+        assert delay >= policy.base_delay(n)
+
+
+def test_tracker_reset_restarts_schedule():
+    tracker = BackoffTracker(BackoffPolicy(jitter_s=0.0), RngStreams(1), "p")
+    first = [tracker.next_delay() for _ in range(3)]
+    tracker.reset()
+    assert [tracker.next_delay() for _ in range(3)] == first
+
+
+# -- restart policies under injected faults ----------------------------------
+
+
+def _one_pod_cluster(plan, seed=7):
+    cluster = build_cluster(seed=seed, fault_plan=plan)
+    return cluster
+
+
+def _sync_one(cluster, restart_policy):
+    pod = cluster.make_pod("crun-wamr", restart_policy=restart_policy)
+    node = cluster.nodes[pod.node_name]
+    cluster.kernel.run_all([node.kubelet.sync_pod(pod)])
+    return pod
+
+
+def test_transient_compile_fault_retried_under_always():
+    plan = FaultPlan(
+        [FaultSpec(FaultPoint.ENGINE_COMPILE, probability=1.0, max_occurrences=1)]
+    )
+    cluster = _one_pod_cluster(plan)
+    pod = _sync_one(cluster, RestartPolicy.ALWAYS)
+    assert pod.phase is PodPhase.RUNNING
+    assert pod.restart_count == 1
+    assert pod.backoff_until is None
+    spans = cluster.node.env.tracer.by_category("recovery.backoff")
+    assert [s.attr("reason") for s in spans] == [REASON_CRASH_LOOP_BACKOFF]
+
+
+def test_transient_compile_fault_terminal_under_never():
+    plan = FaultPlan(
+        [FaultSpec(FaultPoint.ENGINE_COMPILE, probability=1.0, max_occurrences=1)]
+    )
+    cluster = _one_pod_cluster(plan)
+    pod = _sync_one(cluster, RestartPolicy.NEVER)
+    assert pod.phase is PodPhase.FAILED
+    assert pod.reason == REASON_ERROR
+    assert pod.restart_count == 0
+    assert cluster.node.env.tracer.by_category("recovery.backoff") == []
+
+
+def test_image_pull_fault_retried_even_under_never():
+    """The kubelet always retries pulls: ImagePullBackOff, not failure."""
+    plan = FaultPlan(
+        [FaultSpec(FaultPoint.IMAGE_PULL, probability=1.0, max_occurrences=2)]
+    )
+    cluster = _one_pod_cluster(plan)
+    pod = _sync_one(cluster, RestartPolicy.NEVER)
+    assert pod.phase is PodPhase.RUNNING
+    assert pod.restart_count == 2
+    spans = cluster.node.env.tracer.by_category("recovery.backoff")
+    assert [s.attr("reason") for s in spans] == [REASON_IMAGE_PULL_BACKOFF] * 2
+    # Consecutive failures back off geometrically (jitter rides on top).
+    assert spans[1].duration > spans[0].duration
+
+
+def test_retry_budget_caps_crash_looping():
+    plan = FaultPlan([FaultSpec(FaultPoint.ENGINE_COMPILE, probability=1.0)])
+    cluster = _one_pod_cluster(plan)
+    cluster.node.kubelet.max_sync_retries = 3
+    pod = _sync_one(cluster, RestartPolicy.ALWAYS)
+    assert pod.phase is PodPhase.FAILED
+    assert pod.reason == REASON_ERROR
+    assert pod.restart_count == 3
+
+
+# -- whole-experiment determinism --------------------------------------------
+
+
+def _small_recovery(seed):
+    return run_recovery(config="crun-wamr", count=12, seed=seed)
+
+
+def test_same_seed_reproduces_recovery_timeline():
+    a = _small_recovery(5)
+    b = _small_recovery(5)
+    assert a.converged and b.converged
+    assert a.timeline == b.timeline
+    assert a.backoff_events == b.backoff_events
+    assert a.faults_by_point == b.faults_by_point
+    assert a.time_to_all_running == b.time_to_all_running
+
+
+def test_different_seed_differs():
+    a = _small_recovery(5)
+    c = _small_recovery(6)
+    assert c.converged
+    assert (
+        a.timeline != c.timeline
+        or a.backoff_events != c.backoff_events
+        or a.faults_by_point != c.faults_by_point
+    )

@@ -1,0 +1,136 @@
+"""Unit tests for the deterministic fault-injection plan."""
+
+import pytest
+
+from repro.errors import FaultInjected, SimulationError
+from repro.sim.faults import (
+    FaultPlan,
+    FaultPoint,
+    FaultSpec,
+    transient_plan,
+)
+
+
+def test_spec_validation():
+    with pytest.raises(SimulationError):
+        FaultSpec(FaultPoint.IMAGE_PULL, probability=1.5)
+    with pytest.raises(SimulationError):
+        FaultSpec(FaultPoint.IMAGE_PULL, probability=-0.1)
+    with pytest.raises(SimulationError):
+        FaultSpec(FaultPoint.IMAGE_PULL, probability=0.5, max_occurrences=-1)
+    with pytest.raises(SimulationError):
+        FaultPlan(
+            [
+                FaultSpec(FaultPoint.IMAGE_PULL, probability=0.5),
+                FaultSpec(FaultPoint.IMAGE_PULL, probability=0.2),
+            ]
+        )
+
+
+def test_unarmed_points_never_fire():
+    plan = FaultPlan([FaultSpec(FaultPoint.IMAGE_PULL, probability=1.0)])
+    assert plan.check(FaultPoint.ENGINE_COMPILE, "pod-1") is None
+    assert plan.check(FaultPoint.MAIN_EXEC, "pod-1") is None
+    # Unarmed checks don't even count as draws.
+    assert plan.checks == 0
+
+
+def test_probability_edges():
+    always = FaultPlan([FaultSpec(FaultPoint.IMAGE_PULL, probability=1.0)])
+    never = FaultPlan([FaultSpec(FaultPoint.IMAGE_PULL, probability=0.0)])
+    for i in range(20):
+        assert always.check(FaultPoint.IMAGE_PULL, f"pod-{i}") is not None
+        assert never.check(FaultPoint.IMAGE_PULL, f"pod-{i}") is None
+    assert always.count(FaultPoint.IMAGE_PULL) == 20
+    assert never.count(FaultPoint.IMAGE_PULL) == 0
+
+
+def test_budget_limits_total_firings():
+    plan = FaultPlan(
+        [FaultSpec(FaultPoint.IMAGE_PULL, probability=1.0, max_occurrences=3)]
+    )
+    fired = [
+        plan.check(FaultPoint.IMAGE_PULL, f"pod-{i}") for i in range(10)
+    ]
+    assert sum(1 for f in fired if f is not None) == 3
+    # The three that fired have 1-based occurrence numbers.
+    assert [f.occurrence for f in fired if f is not None] == [1, 2, 3]
+    assert plan.count(FaultPoint.IMAGE_PULL) == 3
+    assert plan.summary() == {"image.pull": 3}
+
+
+def test_same_seed_same_pattern():
+    def pattern(seed):
+        plan = transient_plan(seed=seed)
+        return tuple(
+            plan.check(point, f"pod-{i}") is not None
+            for point in (FaultPoint.IMAGE_PULL, FaultPoint.ENGINE_COMPILE)
+            for i in range(50)
+        )
+
+    assert pattern(7) == pattern(7)
+    assert pattern(7) != pattern(8)
+
+
+def test_outcome_independent_of_check_order():
+    """Per-(point, key) streams: interleaving doesn't change outcomes."""
+    keys = [f"pod-{i}" for i in range(30)]
+
+    forward = FaultPlan([FaultSpec(FaultPoint.IMAGE_PULL, probability=0.4)], seed=3)
+    backward = FaultPlan([FaultSpec(FaultPoint.IMAGE_PULL, probability=0.4)], seed=3)
+    got_fwd = {k: forward.check(FaultPoint.IMAGE_PULL, k) is not None for k in keys}
+    got_bwd = {
+        k: backward.check(FaultPoint.IMAGE_PULL, k) is not None
+        for k in reversed(keys)
+    }
+    assert got_fwd == got_bwd
+
+
+def test_retry_draws_next_value_of_same_stream():
+    """Same (point, key) re-checked draws the stream's next value, so a
+    transient fault can clear on a later attempt — deterministically."""
+    plan = FaultPlan([FaultSpec(FaultPoint.IMAGE_PULL, probability=0.5)], seed=11)
+    outcomes = [
+        plan.check(FaultPoint.IMAGE_PULL, "pod-1") is not None for _ in range(64)
+    ]
+    again = FaultPlan([FaultSpec(FaultPoint.IMAGE_PULL, probability=0.5)], seed=11)
+    outcomes2 = [
+        again.check(FaultPoint.IMAGE_PULL, "pod-1") is not None for _ in range(64)
+    ]
+    assert outcomes == outcomes2
+    # With p=0.5 over 64 draws, both outcomes must occur.
+    assert True in outcomes and False in outcomes
+
+
+def test_raise_if_fires_carries_classification():
+    plan = FaultPlan(
+        [
+            FaultSpec(
+                FaultPoint.ENGINE_COMPILE,
+                probability=1.0,
+                transient=False,
+                message="compiler segfault",
+            )
+        ]
+    )
+    with pytest.raises(FaultInjected) as excinfo:
+        plan.raise_if_fires(FaultPoint.ENGINE_COMPILE, "pod-9")
+    exc = excinfo.value
+    assert exc.point == "engine.compile"
+    assert exc.transient is False
+    assert "compiler segfault" in str(exc)
+    assert "pod-9" in str(exc)
+
+
+def test_fired_log_records_every_injection():
+    plan = FaultPlan([FaultSpec(FaultPoint.CRI_RPC, probability=1.0)])
+    with pytest.raises(FaultInjected):
+        plan.raise_if_fires(FaultPoint.CRI_RPC, "RunPodSandbox/p1")
+    with pytest.raises(FaultInjected):
+        plan.raise_if_fires(FaultPoint.CRI_RPC, "CreateContainer/p1")
+    assert [f.key for f in plan.fired] == [
+        "RunPodSandbox/p1",
+        "CreateContainer/p1",
+    ]
+    assert all(f.point is FaultPoint.CRI_RPC for f in plan.fired)
+    assert plan.checks == 2
