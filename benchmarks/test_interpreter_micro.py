@@ -4,13 +4,26 @@ Unlike the figure benchmarks (which time a simulated campaign), these
 time the *real* work this library does: decoding, validation, and
 interpreting guest code. Useful for tracking toolchain performance over
 time; they assert functional correctness, not latency.
+
+The interpreter benchmarks also write ``benchmarks/output/BENCH_interpreter.json``
+— machine-readable instructions/second for the prepared flat interpreter
+vs the reference tree-walker on fib and memory-churn, so the throughput
+trajectory is tracked across PRs (CI uploads it as an artifact).
 """
 
-from conftest import emit
+import json
+import time
+
+from conftest import OUTPUT_DIR, emit
 
 from repro.wasm import assemble_wat, decode_module, encode_module, parse_wat, validate_module
 from repro.wasm.embed import run_wasi
-from repro.wasm.runtime import Interpreter, Store, instantiate
+from repro.wasm.runtime import (
+    Interpreter,
+    ReferenceInterpreter,
+    Store,
+    instantiate,
+)
 from repro.workloads.microservice import MICROSERVICE_WAT, build_microservice_wasm
 
 FIB_WAT = """
@@ -37,11 +50,67 @@ LOOP_WAT = """
 """
 
 
-def _instantiate(src: str):
+def _instantiate(src: str, interpreter_cls=Interpreter):
     module = validate_module(parse_wat(src))
     store = Store()
     inst = instantiate(store, module)
-    return Interpreter(store), inst
+    return interpreter_cls(store), inst
+
+
+def _throughput(interpreter_cls, src, export, args, min_seconds=0.4):
+    """Measured instructions/second for one interpreter on one workload."""
+    interp, inst = _instantiate(src, interpreter_cls)
+    addr = inst.export_addr(export, "func")
+    interp.invoke(addr, args)  # warm up (triggers lazy prepare)
+    rounds = 0
+    instrs_before = interp.instructions_executed
+    t0 = time.perf_counter()
+    while True:
+        interp.invoke(addr, args)
+        rounds += 1
+        elapsed = time.perf_counter() - t0
+        if elapsed >= min_seconds:
+            break
+    instrs = interp.instructions_executed - instrs_before
+    return {
+        "instructions": instrs,
+        "seconds": elapsed,
+        "rounds": rounds,
+        "instr_per_sec": instrs / elapsed,
+    }
+
+
+_WORKLOADS = {
+    "fib": (FIB_WAT, "fib", [15]),
+    "memory_churn": (LOOP_WAT, "churn", [2000]),
+}
+
+
+def test_bench_interpreter_vs_reference_json():
+    """Emit BENCH_interpreter.json and hold the ≥2× speedup floor."""
+    report = {"workloads": {}}
+    for name, (src, export, args) in _WORKLOADS.items():
+        prepared = _throughput(Interpreter, src, export, args)
+        reference = _throughput(ReferenceInterpreter, src, export, args)
+        speedup = prepared["instr_per_sec"] / reference["instr_per_sec"]
+        report["workloads"][name] = {
+            "prepared": prepared,
+            "reference": reference,
+            "speedup": round(speedup, 3),
+        }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_interpreter.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+    lines = [
+        f"[interp] {name}: prepared {w['prepared']['instr_per_sec'] / 1e6:.2f} "
+        f"Minstr/s vs reference {w['reference']['instr_per_sec'] / 1e6:.2f} "
+        f"Minstr/s ({w['speedup']:.2f}x)"
+        for name, w in report["workloads"].items()
+    ]
+    emit("interp_throughput", "\n".join(lines))
+    for name, w in report["workloads"].items():
+        assert w["speedup"] >= 2.0, f"{name}: flat interpreter lost its ≥2x edge"
 
 
 def test_bench_interpreter_fib(benchmark):

@@ -1,31 +1,98 @@
-"""Memoization of deterministic guest runs.
+"""Memoization of deterministic guest work: compiles, runs, prepared code.
 
 The guest is a pure function of (module, argv, environ, stdin, preopens):
 the interpreter has no ambient inputs — WASI clocks and randomness are
 injected and default to constants. Experiments that deploy the same image
-hundreds of times therefore re-run identical computations; this cache
-collapses them to one real execution per distinct input while every
+hundreds of times therefore re-run identical computations; these caches
+collapse them to one real execution per distinct input while every
 container still gets its own memory accounting.
+
+Three layers, all keyed by content digest so the blob is hashed once per
+entry point:
+
+* **compile** — decoded/validated :class:`CompiledModule` per
+  ``(engine, digest)``;
+* **prepared code** — flat executable code (``runtime/compile.py``) per
+  digest. Prepared functions are instance-independent, so one prepared
+  module serves every instantiation and is re-attached to fresh decodes
+  of the same blob;
+* **run** — full :class:`EngineRunResult` per
+  ``(engine, digest, argv, env, stdin)``.
+
+Each layer keeps hit/miss counters (:class:`CacheStats`) and
+:func:`reset_caches` clears state + counters so seeded experiments and
+tests cannot leak across runs.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.engines.base import CompiledModule, EngineRunResult, WasmEngine
 from repro.oci.digest import sha256_digest
+from repro.wasm.runtime.compile import PreparedModule, prepare_module
 
 _COMPILE_CACHE: Dict[Tuple[str, str], CompiledModule] = {}
+_PREPARED_CACHE: Dict[str, PreparedModule] = {}
 _RUN_CACHE: Dict[Tuple, EngineRunResult] = {}
 
 
-def compile_cached(engine: WasmEngine, blob: bytes) -> CompiledModule:
-    key = (engine.name, sha256_digest(blob))
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache layer."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+compile_stats = CacheStats()
+prepare_stats = CacheStats()
+run_stats = CacheStats()
+
+
+def compile_cached(
+    engine: WasmEngine, blob: bytes, digest: Optional[str] = None
+) -> CompiledModule:
+    """Compile ``blob`` once per engine, and prepare its flat code once
+    per digest (shared across engines — prepared code is engine-neutral)."""
+    if digest is None:
+        digest = sha256_digest(blob)
+    key = (engine.name, digest)
     compiled = _COMPILE_CACHE.get(key)
     if compiled is None:
+        compile_stats.misses += 1
         compiled = engine.compile(blob)
         _COMPILE_CACHE[key] = compiled
+    else:
+        compile_stats.hits += 1
+    prepare_cached(compiled.module, digest)
     return compiled
+
+
+def prepare_cached(module, digest: str) -> PreparedModule:
+    """Memoize flat code per (module digest, func index).
+
+    A hit re-attaches the already-lowered functions to ``module`` so a
+    fresh decode of a known blob skips the lowering pass entirely.
+    """
+    pm = _PREPARED_CACHE.get(digest)
+    if pm is None:
+        prepare_stats.misses += 1
+        pm = prepare_module(module)
+        _PREPARED_CACHE[digest] = pm
+    else:
+        prepare_stats.hits += 1
+        pm.attach(module)
+    return pm
 
 
 def run_cached(
@@ -35,21 +102,46 @@ def run_cached(
     env: Optional[Dict[str, str]] = None,
     stdin: bytes = b"",
 ) -> Tuple[CompiledModule, EngineRunResult]:
-    compiled = compile_cached(engine, blob)
+    digest = sha256_digest(blob)  # hashed once: shared by compile + run keys
+    compiled = compile_cached(engine, blob, digest=digest)
     key = (
         engine.name,
-        sha256_digest(blob),
+        digest,
         tuple(args),
         tuple(sorted((env or {}).items())),
         stdin,
     )
     result = _RUN_CACHE.get(key)
     if result is None:
+        run_stats.misses += 1
         result = engine.run(compiled, args=args, env=env, stdin=stdin)
         _RUN_CACHE[key] = result
+    else:
+        run_stats.hits += 1
     return compiled, result
 
 
-def clear_caches() -> None:
+def cache_stats() -> Dict[str, Dict[str, int]]:
+    """Machine-readable snapshot of all layers (for experiment metadata)."""
+    return {
+        name: {"hits": s.hits, "misses": s.misses, "entries": len(store)}
+        for name, s, store in (
+            ("compile", compile_stats, _COMPILE_CACHE),
+            ("prepare", prepare_stats, _PREPARED_CACHE),
+            ("run", run_stats, _RUN_CACHE),
+        )
+    }
+
+
+def reset_caches() -> None:
+    """Drop all cached state and zero the counters."""
     _COMPILE_CACHE.clear()
+    _PREPARED_CACHE.clear()
     _RUN_CACHE.clear()
+    compile_stats.reset()
+    prepare_stats.reset()
+    run_stats.reset()
+
+
+# Pre-existing callers use the old name; keep it as an alias.
+clear_caches = reset_caches

@@ -58,6 +58,10 @@ class Function:
     locals: List[ValType] = field(default_factory=list)
     body: Expr = field(default_factory=list)
     name: Optional[str] = None  # debug name, kept in the custom name section
+    # Flat executable form (runtime/compile.py), attached lazily on first
+    # call and keyed to this exact object — clear it if `body` is mutated
+    # after execution.
+    prepared: Optional[object] = field(default=None, repr=False, compare=False)
 
 
 @dataclass

@@ -41,6 +41,7 @@ def run_wasi(
     fuel: Optional[int] = None,
     clock_ns: Optional[Callable[[], int]] = None,
     entrypoint: str = "_start",
+    interpreter_cls: type = Interpreter,
 ) -> WasiRunResult:
     """Execute a WASI command module to completion.
 
@@ -54,6 +55,8 @@ def run_wasi(
         fuel: optional instruction budget (``ExhaustionError`` beyond it).
         clock_ns: deterministic nanosecond clock for ``clock_time_get``.
         entrypoint: exported function to call (``_start`` for commands).
+        interpreter_cls: interpreter implementation (the differential
+            tests pass ``ReferenceInterpreter`` here).
 
     Returns:
         :class:`WasiRunResult`. ``exit_code`` is 0 when the entrypoint
@@ -73,7 +76,7 @@ def run_wasi(
         clock_ns=clock_ns,
     )
     host = wasi.register(store)
-    interp = Interpreter(store, fuel=fuel)
+    interp = interpreter_cls(store, fuel=fuel)
 
     instance = instantiate(
         store, module, imports=host.import_map(), run_start=False

@@ -1,4 +1,10 @@
-"""Execution engine: store, instances, interpreter, instantiation."""
+"""Execution engine: store, instances, interpreter, instantiation.
+
+Two interpreters share one store model: the production
+:class:`Interpreter` runs flat pre-compiled code (see ``compile.py``),
+while :class:`ReferenceInterpreter` walks the AST and serves as the
+executable specification for differential testing.
+"""
 
 from repro.wasm.runtime.store import (
     FuncInstance,
@@ -8,7 +14,14 @@ from repro.wasm.runtime.store import (
     Store,
     TableInstance,
 )
+from repro.wasm.runtime.compile import (
+    PreparedFunction,
+    PreparedModule,
+    prepare_function,
+    prepare_module,
+)
 from repro.wasm.runtime.interpreter import Interpreter
+from repro.wasm.runtime.reference import ReferenceInterpreter
 from repro.wasm.runtime.instantiate import instantiate
 
 __all__ = [
@@ -19,5 +32,10 @@ __all__ = [
     "MemoryInstance",
     "GlobalInstance",
     "Interpreter",
+    "ReferenceInterpreter",
+    "PreparedFunction",
+    "PreparedModule",
+    "prepare_function",
+    "prepare_module",
     "instantiate",
 ]

@@ -150,6 +150,10 @@ def instantiate(
         # Active segments are dropped after initialization (spec).
         instance.data_addrs.append(store.alloc_data(None))
 
+    # Cache the default memory before any guest code (start function) runs.
+    if instance.mem_addrs:
+        instance.mem0 = store.mems[instance.mem_addrs[0]]
+
     # -- start function ------------------------------------------------------------------
     if run_start and module.start is not None:
         interp = interpreter or Interpreter(store)

@@ -1,262 +1,56 @@
-"""Structured tree-walking interpreter for the module AST.
+"""Flat-code Wasm interpreter: a pc loop over prepared linear code.
 
-Execution state is a value stack (Python list) per function activation;
-control flow inside a function uses two internal exceptions (`_Branch`,
-`_Return`) that unwind to the matching structured block. Calls recurse on
-the Python stack with an explicit depth limit; an optional fuel budget
-bounds total executed instructions (used by engine models to meter work).
+Function bodies are lowered once by :mod:`repro.wasm.runtime.compile`
+into tuples of ``(handler, args, weight)`` triples with branch targets
+resolved to pc values; execution is then a tight loop of
+
+    handler, args, weight = code[pc]
+    pc = handler(self, frame, stack, args, pc)
+
+with no per-step opcode comparison and no exception-driven control flow.
+The public API is byte-compatible with the original tree-walker (kept as
+:class:`~repro.wasm.runtime.reference.ReferenceInterpreter`): ``invoke``
+/ ``invoke_export`` signatures, fuel semantics (debited per source
+instruction *before* it executes; ``ExhaustionError("fuel exhausted")``
+with the exhausting instruction not counted), ``instructions_executed``
+(counts source AST instructions, not flat entries — fused
+superinstructions carry the summed weight of their parts), and all trap
+messages.
+
+Fuel bookkeeping is hoisted out of the common path: when ``fuel`` is
+``None`` the loop accumulates the count in a local and flushes it once
+per activation (a ``try/finally`` keeps the count exact across traps),
+so the unmetered configuration pays no per-instruction conditional.
 """
 
 from __future__ import annotations
 
-import math
+import sys
 from typing import List, Optional, Sequence
 
 from repro.errors import ExhaustionError, WasmTrap
-from repro.wasm.ast import Expr, Instr
-from repro.wasm.runtime import values as V
+from repro.wasm.runtime.compile import prepare_function
 from repro.wasm.runtime.store import FuncInstance, ModuleInstance, Store
-from repro.wasm.types import FuncType, ValType
 
 
-class _Branch(Exception):
-    __slots__ = ("depth",)
+class Frame:
+    """Activation record: locals, owning instance, and its default memory.
 
-    def __init__(self, depth: int) -> None:
-        self.depth = depth
+    The memory is resolved once per call (and cached on the instance):
+    ``MemoryInstance.grow`` extends the bytearray in place, so a cached
+    reference stays valid across ``memory.grow``.
+    """
 
+    __slots__ = ("locals", "instance", "mem")
 
-class _Return(Exception):
-    pass
-
-
-class _Frame:
-    __slots__ = ("locals", "instance")
-
-    def __init__(self, locals_: List[object], instance: ModuleInstance) -> None:
+    def __init__(self, locals_: List[object], instance: ModuleInstance, mem) -> None:
         self.locals = locals_
         self.instance = instance
-
-
-# -- numeric operator tables ---------------------------------------------------
-# Integers arrive unsigned; results are returned unsigned.
-
-_BINOPS = {
-    "i32.add": lambda a, b: V.wrap32(a + b),
-    "i32.sub": lambda a, b: V.wrap32(a - b),
-    "i32.mul": lambda a, b: V.wrap32(a * b),
-    "i32.div_s": lambda a, b: V.idiv_s(a, b, 32),
-    "i32.div_u": lambda a, b: V.idiv_u(a, b, 32),
-    "i32.rem_s": lambda a, b: V.irem_s(a, b, 32),
-    "i32.rem_u": lambda a, b: V.irem_u(a, b, 32),
-    "i32.and": lambda a, b: a & b,
-    "i32.or": lambda a, b: a | b,
-    "i32.xor": lambda a, b: a ^ b,
-    "i32.shl": lambda a, b: V.shl(a, b, 32),
-    "i32.shr_s": lambda a, b: V.shr_s(a, b, 32),
-    "i32.shr_u": lambda a, b: V.shr_u(a, b, 32),
-    "i32.rotl": lambda a, b: V.rotl(a, b, 32),
-    "i32.rotr": lambda a, b: V.rotr(a, b, 32),
-    "i64.add": lambda a, b: V.wrap64(a + b),
-    "i64.sub": lambda a, b: V.wrap64(a - b),
-    "i64.mul": lambda a, b: V.wrap64(a * b),
-    "i64.div_s": lambda a, b: V.idiv_s(a, b, 64),
-    "i64.div_u": lambda a, b: V.idiv_u(a, b, 64),
-    "i64.rem_s": lambda a, b: V.irem_s(a, b, 64),
-    "i64.rem_u": lambda a, b: V.irem_u(a, b, 64),
-    "i64.and": lambda a, b: a & b,
-    "i64.or": lambda a, b: a | b,
-    "i64.xor": lambda a, b: a ^ b,
-    "i64.shl": lambda a, b: V.shl(a, b, 64),
-    "i64.shr_s": lambda a, b: V.shr_s(a, b, 64),
-    "i64.shr_u": lambda a, b: V.shr_u(a, b, 64),
-    "i64.rotl": lambda a, b: V.rotl(a, b, 64),
-    "i64.rotr": lambda a, b: V.rotr(a, b, 64),
-    "f32.add": lambda a, b: V.f32_round(a + b),
-    "f32.sub": lambda a, b: V.f32_round(a - b),
-    "f32.mul": lambda a, b: V.f32_round(a * b),
-    "f32.div": lambda a, b: V.f32_round(_fdiv(a, b)),
-    "f32.min": lambda a, b: V.f32_round(V.fmin(a, b)),
-    "f32.max": lambda a, b: V.f32_round(V.fmax(a, b)),
-    "f32.copysign": lambda a, b: math.copysign(a, b) if a == a else _nan_sign(a, b),
-    "f64.add": lambda a, b: a + b,
-    "f64.sub": lambda a, b: a - b,
-    "f64.mul": lambda a, b: a * b,
-    "f64.div": lambda a, b: _fdiv(a, b),
-    "f64.min": V.fmin,
-    "f64.max": V.fmax,
-    "f64.copysign": lambda a, b: math.copysign(a, b) if a == a else _nan_sign(a, b),
-}
-
-
-def _fdiv(a: float, b: float) -> float:
-    if b == 0.0:
-        if a == 0.0 or math.isnan(a):
-            return math.nan
-        return math.copysign(math.inf, a) * math.copysign(1.0, b)
-    try:
-        return a / b
-    except OverflowError:  # pragma: no cover - huge finite operands
-        return math.copysign(math.inf, a) * math.copysign(1.0, b)
-
-
-def _nan_sign(a: float, b: float) -> float:
-    return math.copysign(math.nan, b)
-
-
-_CMPOPS = {
-    "i32.eq": lambda a, b: a == b,
-    "i32.ne": lambda a, b: a != b,
-    "i32.lt_s": lambda a, b: V.signed32(a) < V.signed32(b),
-    "i32.lt_u": lambda a, b: a < b,
-    "i32.gt_s": lambda a, b: V.signed32(a) > V.signed32(b),
-    "i32.gt_u": lambda a, b: a > b,
-    "i32.le_s": lambda a, b: V.signed32(a) <= V.signed32(b),
-    "i32.le_u": lambda a, b: a <= b,
-    "i32.ge_s": lambda a, b: V.signed32(a) >= V.signed32(b),
-    "i32.ge_u": lambda a, b: a >= b,
-    "i64.eq": lambda a, b: a == b,
-    "i64.ne": lambda a, b: a != b,
-    "i64.lt_s": lambda a, b: V.signed64(a) < V.signed64(b),
-    "i64.lt_u": lambda a, b: a < b,
-    "i64.gt_s": lambda a, b: V.signed64(a) > V.signed64(b),
-    "i64.gt_u": lambda a, b: a > b,
-    "i64.le_s": lambda a, b: V.signed64(a) <= V.signed64(b),
-    "i64.le_u": lambda a, b: a <= b,
-    "i64.ge_s": lambda a, b: V.signed64(a) >= V.signed64(b),
-    "i64.ge_u": lambda a, b: a >= b,
-    "f32.eq": lambda a, b: a == b,
-    "f32.ne": lambda a, b: a != b,
-    "f32.lt": lambda a, b: a < b,
-    "f32.gt": lambda a, b: a > b,
-    "f32.le": lambda a, b: a <= b,
-    "f32.ge": lambda a, b: a >= b,
-    "f64.eq": lambda a, b: a == b,
-    "f64.ne": lambda a, b: a != b,
-    "f64.lt": lambda a, b: a < b,
-    "f64.gt": lambda a, b: a > b,
-    "f64.le": lambda a, b: a <= b,
-    "f64.ge": lambda a, b: a >= b,
-}
-
-_UNOPS = {
-    "i32.clz": lambda a: V.clz(a, 32),
-    "i32.ctz": lambda a: V.ctz(a, 32),
-    "i32.popcnt": V.popcnt,
-    "i32.eqz": lambda a: 1 if a == 0 else 0,
-    "i64.clz": lambda a: V.clz(a, 64),
-    "i64.ctz": lambda a: V.ctz(a, 64),
-    "i64.popcnt": V.popcnt,
-    "i64.eqz": lambda a: 1 if a == 0 else 0,
-    "f32.abs": lambda a: V.f32_round(abs(a)),
-    "f32.neg": lambda a: V.f32_round(-a),
-    "f32.ceil": lambda a: V.f32_round(_fceil(a)),
-    "f32.floor": lambda a: V.f32_round(_ffloor(a)),
-    "f32.trunc": lambda a: V.f32_round(_ftrunc(a)),
-    "f32.nearest": lambda a: V.f32_round(V.fnearest(a)),
-    "f32.sqrt": lambda a: V.f32_round(_fsqrt(a)),
-    "f64.abs": abs,
-    "f64.neg": lambda a: -a,
-    "f64.ceil": lambda a: _fceil(a),
-    "f64.floor": lambda a: _ffloor(a),
-    "f64.trunc": lambda a: _ftrunc(a),
-    "f64.nearest": V.fnearest,
-    "f64.sqrt": lambda a: _fsqrt(a),
-    # Conversions
-    "i32.wrap_i64": V.wrap32,
-    "i32.trunc_f32_s": lambda a: V.trunc_checked(a, 32, True),
-    "i32.trunc_f32_u": lambda a: V.trunc_checked(a, 32, False),
-    "i32.trunc_f64_s": lambda a: V.trunc_checked(a, 32, True),
-    "i32.trunc_f64_u": lambda a: V.trunc_checked(a, 32, False),
-    "i32.trunc_sat_f32_s": lambda a: V.trunc_sat(a, 32, True),
-    "i32.trunc_sat_f32_u": lambda a: V.trunc_sat(a, 32, False),
-    "i32.trunc_sat_f64_s": lambda a: V.trunc_sat(a, 32, True),
-    "i32.trunc_sat_f64_u": lambda a: V.trunc_sat(a, 32, False),
-    "i64.extend_i32_s": lambda a: V.sign_extend(a, 32, 64),
-    "i64.extend_i32_u": lambda a: a & V.MASK32,
-    "i64.trunc_f32_s": lambda a: V.trunc_checked(a, 64, True),
-    "i64.trunc_f32_u": lambda a: V.trunc_checked(a, 64, False),
-    "i64.trunc_f64_s": lambda a: V.trunc_checked(a, 64, True),
-    "i64.trunc_f64_u": lambda a: V.trunc_checked(a, 64, False),
-    "i64.trunc_sat_f32_s": lambda a: V.trunc_sat(a, 64, True),
-    "i64.trunc_sat_f32_u": lambda a: V.trunc_sat(a, 64, False),
-    "i64.trunc_sat_f64_s": lambda a: V.trunc_sat(a, 64, True),
-    "i64.trunc_sat_f64_u": lambda a: V.trunc_sat(a, 64, False),
-    "f32.convert_i32_s": lambda a: V.f32_round(float(V.signed32(a))),
-    "f32.convert_i32_u": lambda a: V.f32_round(float(a & V.MASK32)),
-    "f32.convert_i64_s": lambda a: V.f32_round(float(V.signed64(a))),
-    "f32.convert_i64_u": lambda a: V.f32_round(float(a & V.MASK64)),
-    "f32.demote_f64": V.f32_round,
-    "f64.convert_i32_s": lambda a: float(V.signed32(a)),
-    "f64.convert_i32_u": lambda a: float(a & V.MASK32),
-    "f64.convert_i64_s": lambda a: float(V.signed64(a)),
-    "f64.convert_i64_u": lambda a: float(a & V.MASK64),
-    "f64.promote_f32": lambda a: a,
-    "i32.reinterpret_f32": V.f32_to_bits,
-    "i64.reinterpret_f64": V.f64_to_bits,
-    "f32.reinterpret_i32": V.bits_to_f32,
-    "f64.reinterpret_i64": V.bits_to_f64,
-    "i32.extend8_s": lambda a: V.sign_extend(a, 8, 32),
-    "i32.extend16_s": lambda a: V.sign_extend(a, 16, 32),
-    "i64.extend8_s": lambda a: V.sign_extend(a, 8, 64),
-    "i64.extend16_s": lambda a: V.sign_extend(a, 16, 64),
-    "i64.extend32_s": lambda a: V.sign_extend(a, 32, 64),
-}
-
-
-def _fceil(a: float) -> float:
-    return float(math.ceil(a)) if math.isfinite(a) else a
-
-
-def _ffloor(a: float) -> float:
-    return float(math.floor(a)) if math.isfinite(a) else a
-
-
-def _ftrunc(a: float) -> float:
-    return float(math.trunc(a)) if math.isfinite(a) else a
-
-
-def _fsqrt(a: float) -> float:
-    if a != a:
-        return math.nan
-    if a < 0:
-        return math.nan
-    return math.sqrt(a)
-
-
-# Loads: op -> (width_bytes, signed, valtype kind)
-_LOADS = {
-    "i32.load": (4, False, "i", 32),
-    "i64.load": (8, False, "i", 64),
-    "f32.load": (4, False, "f", 32),
-    "f64.load": (8, False, "f", 64),
-    "i32.load8_s": (1, True, "i", 32),
-    "i32.load8_u": (1, False, "i", 32),
-    "i32.load16_s": (2, True, "i", 32),
-    "i32.load16_u": (2, False, "i", 32),
-    "i64.load8_s": (1, True, "i", 64),
-    "i64.load8_u": (1, False, "i", 64),
-    "i64.load16_s": (2, True, "i", 64),
-    "i64.load16_u": (2, False, "i", 64),
-    "i64.load32_s": (4, True, "i", 64),
-    "i64.load32_u": (4, False, "i", 64),
-}
-
-_STORES = {
-    "i32.store": (4, "i"),
-    "i64.store": (8, "i"),
-    "f32.store": (4, "f32"),
-    "f64.store": (8, "f64"),
-    "i32.store8": (1, "i"),
-    "i32.store16": (2, "i"),
-    "i64.store8": (1, "i"),
-    "i64.store16": (2, "i"),
-    "i64.store32": (4, "i"),
-}
+        self.mem = mem
 
 
 class Interpreter:
-    """Executes functions from a :class:`Store`."""
+    """Executes functions from a :class:`Store` by running prepared flat code."""
 
     def __init__(
         self,
@@ -264,12 +58,13 @@ class Interpreter:
         fuel: Optional[int] = None,
         max_call_depth: int = 400,
     ) -> None:
-        import sys
-
-        # Each guest frame costs a handful of Python frames (call dispatch,
-        # block nesting); make sure the guest limit is reached first so
-        # exhaustion surfaces as a wasm trap, not a RecursionError.
-        needed = 5000 + max_call_depth * 24
+        # A guest call costs 3 Python frames in the flat scheme (the call
+        # handler -> _call_wasm -> _run); budget 6 per guest frame for
+        # headroom (host functions, instantiation nesting) plus a 1000
+        # frame base for the embedder. The limit is raised, never lowered
+        # or restored: it is process-global and other live interpreters
+        # may depend on it.
+        needed = 1000 + max_call_depth * 6
         if sys.getrecursionlimit() < needed:
             sys.setrecursionlimit(needed)
         self.store = store
@@ -296,215 +91,71 @@ class Interpreter:
     def invoke_export(self, instance: ModuleInstance, name: str, args: Sequence[object] = ()):
         return self.invoke(instance.export_addr(name, "func"), args)
 
-    # -- function activation ---------------------------------------------------------
+    # -- function activation ---------------------------------------------------
 
     def _call_wasm(self, fi: FuncInstance, args: List[object]) -> List[object]:
-        assert fi.code is not None and fi.module is not None
         if self._depth >= self.max_call_depth:
             raise ExhaustionError("call stack exhausted")
-        locals_ = args + [V.default_value(t) for t in fi.code.locals]
-        frame = _Frame(locals_, fi.module)
+        code_obj = fi.code
+        prepared = code_obj.prepared
+        if prepared is None:
+            # Lazy prepare for instances outside the engine cache; the
+            # result is keyed to the Function object so it happens once.
+            prepared = prepare_function(fi.module.module, code_obj)
+            code_obj.prepared = prepared
+        if prepared.local_defaults:
+            args.extend(prepared.local_defaults)  # `args` is a fresh list
+        inst = fi.module
+        mem = inst.mem0
+        if mem is None and inst.mem_addrs:
+            mem = inst.mem0 = self.store.mems[inst.mem_addrs[0]]
+        frame = Frame(args, inst, mem)
         stack: List[object] = []
         self._depth += 1
         try:
-            try:
-                self._exec(fi.code.body, frame, stack)
-            except _Return:
-                pass
-            except _Branch:
-                # A branch out of the function body targets the implicit
-                # function block: same as returning.
-                pass
+            self._run(prepared.code, frame, stack)
         finally:
             self._depth -= 1
-        n = len(fi.type.results)
+        n = prepared.n_results
         if n == 0:
             return []
-        results = stack[-n:]
-        return results
+        if len(stack) != n:
+            # A branch to the function label leaves garbage below its
+            # carried values; the epilogue discards it (spec return).
+            return stack[-n:]
+        return stack
 
-    # -- instruction sequence ------------------------------------------------------------
+    # -- dispatch loop ---------------------------------------------------------
 
-    def _exec(self, body: Expr, frame: _Frame, stack: List[object]) -> None:
-        fuel = self.fuel
-        for ins in body:
-            if fuel is not None:
-                self.fuel -= 1  # type: ignore[operator]
-                fuel = self.fuel
-                if fuel < 0:
-                    raise ExhaustionError("fuel exhausted")
-            self.instructions_executed += 1
-            op = ins.op
-
-            # Hot paths first.
-            if op == "local.get":
-                stack.append(frame.locals[ins.args[0]])
-            elif op == "i32.const" or op == "i64.const":
-                # Consts are stored signed; runtime works unsigned.
-                bits = 32 if op[1] == "3" else 64
-                stack.append(ins.args[0] & ((1 << bits) - 1))
-            elif op in _BINOPS:
-                b = stack.pop()
-                a = stack.pop()
-                stack.append(_BINOPS[op](a, b))
-            elif op in _CMPOPS:
-                b = stack.pop()
-                a = stack.pop()
-                stack.append(1 if _CMPOPS[op](a, b) else 0)
-            elif op in _UNOPS:
-                stack.append(_UNOPS[op](stack.pop()))
-            elif op == "local.set":
-                frame.locals[ins.args[0]] = stack.pop()
-            elif op == "local.tee":
-                frame.locals[ins.args[0]] = stack[-1]
-            elif op == "f32.const" or op == "f64.const":
-                stack.append(ins.args[0])
-            elif op == "block":
-                self._exec_block(ins.body, frame, stack, loop=False)
-            elif op == "loop":
-                self._exec_block(ins.body, frame, stack, loop=True)
-            elif op == "if":
-                cond = stack.pop()
-                chosen = ins.body if cond else ins.else_body
-                self._exec_block(chosen, frame, stack, loop=False)
-            elif op == "br":
-                raise _Branch(ins.args[0])
-            elif op == "br_if":
-                if stack.pop():
-                    raise _Branch(ins.args[0])
-            elif op == "br_table":
-                labels, default = ins.args
-                idx = stack.pop()
-                raise _Branch(labels[idx] if idx < len(labels) else default)
-            elif op == "return":
-                raise _Return()
-            elif op == "call":
-                self._do_call(frame.instance.func_addrs[ins.args[0]], stack)
-            elif op == "call_indirect":
-                self._do_call_indirect(ins, frame, stack)
-            elif op == "drop":
-                stack.pop()
-            elif op == "select":
-                c = stack.pop()
-                v2 = stack.pop()
-                v1 = stack.pop()
-                stack.append(v1 if c else v2)
-            elif op == "global.get":
-                stack.append(self.store.globals[frame.instance.global_addrs[ins.args[0]]].value)
-            elif op == "global.set":
-                self.store.globals[frame.instance.global_addrs[ins.args[0]]].set(stack.pop())
-            elif op in _LOADS:
-                self._do_load(ins, frame, stack)
-            elif op in _STORES:
-                self._do_store(ins, frame, stack)
-            elif op == "memory.size":
-                stack.append(self._mem(frame).pages)
-            elif op == "memory.grow":
-                delta = stack.pop()
-                stack.append(self._mem(frame).grow(delta) & V.MASK32)
-            elif op == "memory.fill":
-                n = stack.pop()
-                val = stack.pop()
-                dst = stack.pop()
-                mem = self._mem(frame)
-                if dst + n > len(mem.data):
-                    raise WasmTrap("out of bounds memory access")
-                mem.data[dst : dst + n] = bytes([val & 0xFF]) * n
-            elif op == "memory.copy":
-                n = stack.pop()
-                src = stack.pop()
-                dst = stack.pop()
-                mem = self._mem(frame)
-                if src + n > len(mem.data) or dst + n > len(mem.data):
-                    raise WasmTrap("out of bounds memory access")
-                mem.data[dst : dst + n] = mem.data[src : src + n]
-            elif op == "memory.init":
-                n = stack.pop()
-                src = stack.pop()
-                dst = stack.pop()
-                payload = self.store.datas[frame.instance.data_addrs[ins.args[0]]]
-                if payload is None:
-                    if n or src:
-                        raise WasmTrap("out of bounds memory access")
-                    payload = b""
-                mem = self._mem(frame)
-                if src + n > len(payload) or dst + n > len(mem.data):
-                    raise WasmTrap("out of bounds memory access")
-                mem.data[dst : dst + n] = payload[src : src + n]
-            elif op == "data.drop":
-                self.store.datas[frame.instance.data_addrs[ins.args[0]]] = None
-            elif op == "nop":
-                pass
-            elif op == "unreachable":
-                raise WasmTrap("unreachable executed")
-            else:  # pragma: no cover - validator rejects unknown ops
-                raise WasmTrap(f"unknown instruction {op!r}")
-
-    # -- helpers ----------------------------------------------------------------------
-
-    def _exec_block(self, body: Expr, frame: _Frame, stack: List[object], loop: bool) -> None:
-        while True:
+    def _run(self, code, frame: Frame, stack: List[object]) -> None:
+        pc = 0
+        if self.fuel is None:
+            # Unmetered: count in a local, flush once. The finally keeps
+            # `instructions_executed` exact when a handler traps (the
+            # trapping instruction is charged, as in the reference), and
+            # the deltas commute across the nested activations.
+            n_exec = 0
             try:
-                self._exec(body, frame, stack)
-                return
-            except _Branch as br:
-                if br.depth > 0:
-                    br.depth -= 1
-                    raise
-                if not loop:
-                    return
-                # Branch to a loop label: iterate again.
-                continue
-
-    def _mem(self, frame: _Frame):
-        return self.store.mems[frame.instance.mem_addrs[0]]
-
-    def _do_call(self, func_addr: int, stack: List[object]) -> None:
-        fi = self.store.funcs[func_addr]
-        n = len(fi.type.params)
-        args = stack[len(stack) - n :] if n else []
-        del stack[len(stack) - n :]
-        if fi.is_host:
-            result = fi.host_fn(*args)  # type: ignore[misc]
-            stack.extend(result if result is not None else [])
+                while pc >= 0:
+                    handler, args, weight = code[pc]
+                    n_exec += weight
+                    pc = handler(self, frame, stack, args, pc)
+            finally:
+                self.instructions_executed += n_exec
         else:
-            stack.extend(self._call_wasm(fi, args))
-
-    def _do_call_indirect(self, ins: Instr, frame: _Frame, stack: List[object]) -> None:
-        table = self.store.tables[frame.instance.table_addrs[0]]
-        elem_idx = stack.pop()
-        func_addr = table.get(elem_idx)
-        expected = frame.instance.module.types[ins.args[0]]
-        actual = self.store.funcs[func_addr].type
-        if actual != expected:
-            raise WasmTrap(
-                f"indirect call type mismatch: expected {expected}, got {actual}"
-            )
-        self._do_call(func_addr, stack)
-
-    def _do_load(self, ins: Instr, frame: _Frame, stack: List[object]) -> None:
-        width, signed, kind, bits = _LOADS[ins.op]
-        base = stack.pop()
-        addr = base + ins.args[1]
-        raw = self._mem(frame).read(addr, width)
-        if kind == "i":
-            value = int.from_bytes(raw, "little", signed=False)
-            if signed:
-                value = V.sign_extend(value, width * 8, bits)
-            stack.append(value)
-        else:
-            stack.append(V.bits_to_f32(int.from_bytes(raw, "little")) if bits == 32
-                         else V.bits_to_f64(int.from_bytes(raw, "little")))
-
-    def _do_store(self, ins: Instr, frame: _Frame, stack: List[object]) -> None:
-        width, kind = _STORES[ins.op]
-        value = stack.pop()
-        base = stack.pop()
-        addr = base + ins.args[1]
-        if kind == "i":
-            raw = (value & ((1 << (width * 8)) - 1)).to_bytes(width, "little")
-        elif kind == "f32":
-            raw = V.f32_to_bits(value).to_bytes(4, "little")
-        else:
-            raw = V.f64_to_bits(value).to_bytes(8, "little")
-        self._mem(frame).write(addr, raw)
+            while pc >= 0:
+                handler, args, weight = code[pc]
+                left = self.fuel - weight
+                if left < 0:
+                    # Partial credit for a fused pair straddling the
+                    # limit: the reference charges each component before
+                    # executing it, so `fuel` whole instructions complete
+                    # and the one that exhausts is not counted. Fusion
+                    # candidates are side-effect-free before their last
+                    # component, so stopping the whole entry is exact.
+                    self.instructions_executed += self.fuel
+                    self.fuel = -1
+                    raise ExhaustionError("fuel exhausted")
+                self.fuel = left
+                self.instructions_executed += weight
+                pc = handler(self, frame, stack, args, pc)

@@ -1,0 +1,227 @@
+"""Numeric operator tables shared by the prepared interpreter and the
+reference tree-walker.
+
+Integers arrive unsigned; results are returned unsigned. Each table maps
+an opcode string to a plain callable so prepare-time lowering can bind
+the callable directly into flat code (no per-step table lookup).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.wasm.runtime import values as V
+
+BINOPS = {
+    "i32.add": lambda a, b: V.wrap32(a + b),
+    "i32.sub": lambda a, b: V.wrap32(a - b),
+    "i32.mul": lambda a, b: V.wrap32(a * b),
+    "i32.div_s": lambda a, b: V.idiv_s(a, b, 32),
+    "i32.div_u": lambda a, b: V.idiv_u(a, b, 32),
+    "i32.rem_s": lambda a, b: V.irem_s(a, b, 32),
+    "i32.rem_u": lambda a, b: V.irem_u(a, b, 32),
+    "i32.and": lambda a, b: a & b,
+    "i32.or": lambda a, b: a | b,
+    "i32.xor": lambda a, b: a ^ b,
+    "i32.shl": lambda a, b: V.shl(a, b, 32),
+    "i32.shr_s": lambda a, b: V.shr_s(a, b, 32),
+    "i32.shr_u": lambda a, b: V.shr_u(a, b, 32),
+    "i32.rotl": lambda a, b: V.rotl(a, b, 32),
+    "i32.rotr": lambda a, b: V.rotr(a, b, 32),
+    "i64.add": lambda a, b: V.wrap64(a + b),
+    "i64.sub": lambda a, b: V.wrap64(a - b),
+    "i64.mul": lambda a, b: V.wrap64(a * b),
+    "i64.div_s": lambda a, b: V.idiv_s(a, b, 64),
+    "i64.div_u": lambda a, b: V.idiv_u(a, b, 64),
+    "i64.rem_s": lambda a, b: V.irem_s(a, b, 64),
+    "i64.rem_u": lambda a, b: V.irem_u(a, b, 64),
+    "i64.and": lambda a, b: a & b,
+    "i64.or": lambda a, b: a | b,
+    "i64.xor": lambda a, b: a ^ b,
+    "i64.shl": lambda a, b: V.shl(a, b, 64),
+    "i64.shr_s": lambda a, b: V.shr_s(a, b, 64),
+    "i64.shr_u": lambda a, b: V.shr_u(a, b, 64),
+    "i64.rotl": lambda a, b: V.rotl(a, b, 64),
+    "i64.rotr": lambda a, b: V.rotr(a, b, 64),
+    "f32.add": lambda a, b: V.f32_round(a + b),
+    "f32.sub": lambda a, b: V.f32_round(a - b),
+    "f32.mul": lambda a, b: V.f32_round(a * b),
+    "f32.div": lambda a, b: V.f32_round(fdiv(a, b)),
+    "f32.min": lambda a, b: V.f32_round(V.fmin(a, b)),
+    "f32.max": lambda a, b: V.f32_round(V.fmax(a, b)),
+    "f32.copysign": lambda a, b: math.copysign(a, b) if a == a else _nan_sign(a, b),
+    "f64.add": lambda a, b: a + b,
+    "f64.sub": lambda a, b: a - b,
+    "f64.mul": lambda a, b: a * b,
+    "f64.div": lambda a, b: fdiv(a, b),
+    "f64.min": V.fmin,
+    "f64.max": V.fmax,
+    "f64.copysign": lambda a, b: math.copysign(a, b) if a == a else _nan_sign(a, b),
+}
+
+
+def fdiv(a: float, b: float) -> float:
+    if b == 0.0:
+        if a == 0.0 or math.isnan(a):
+            return math.nan
+        return math.copysign(math.inf, a) * math.copysign(1.0, b)
+    try:
+        return a / b
+    except OverflowError:  # pragma: no cover - huge finite operands
+        return math.copysign(math.inf, a) * math.copysign(1.0, b)
+
+
+def _nan_sign(a: float, b: float) -> float:
+    return math.copysign(math.nan, b)
+
+
+CMPOPS = {
+    "i32.eq": lambda a, b: a == b,
+    "i32.ne": lambda a, b: a != b,
+    "i32.lt_s": lambda a, b: V.signed32(a) < V.signed32(b),
+    "i32.lt_u": lambda a, b: a < b,
+    "i32.gt_s": lambda a, b: V.signed32(a) > V.signed32(b),
+    "i32.gt_u": lambda a, b: a > b,
+    "i32.le_s": lambda a, b: V.signed32(a) <= V.signed32(b),
+    "i32.le_u": lambda a, b: a <= b,
+    "i32.ge_s": lambda a, b: V.signed32(a) >= V.signed32(b),
+    "i32.ge_u": lambda a, b: a >= b,
+    "i64.eq": lambda a, b: a == b,
+    "i64.ne": lambda a, b: a != b,
+    "i64.lt_s": lambda a, b: V.signed64(a) < V.signed64(b),
+    "i64.lt_u": lambda a, b: a < b,
+    "i64.gt_s": lambda a, b: V.signed64(a) > V.signed64(b),
+    "i64.gt_u": lambda a, b: a > b,
+    "i64.le_s": lambda a, b: V.signed64(a) <= V.signed64(b),
+    "i64.le_u": lambda a, b: a <= b,
+    "i64.ge_s": lambda a, b: V.signed64(a) >= V.signed64(b),
+    "i64.ge_u": lambda a, b: a >= b,
+    "f32.eq": lambda a, b: a == b,
+    "f32.ne": lambda a, b: a != b,
+    "f32.lt": lambda a, b: a < b,
+    "f32.gt": lambda a, b: a > b,
+    "f32.le": lambda a, b: a <= b,
+    "f32.ge": lambda a, b: a >= b,
+    "f64.eq": lambda a, b: a == b,
+    "f64.ne": lambda a, b: a != b,
+    "f64.lt": lambda a, b: a < b,
+    "f64.gt": lambda a, b: a > b,
+    "f64.le": lambda a, b: a <= b,
+    "f64.ge": lambda a, b: a >= b,
+}
+
+UNOPS = {
+    "i32.clz": lambda a: V.clz(a, 32),
+    "i32.ctz": lambda a: V.ctz(a, 32),
+    "i32.popcnt": V.popcnt,
+    "i32.eqz": lambda a: 1 if a == 0 else 0,
+    "i64.clz": lambda a: V.clz(a, 64),
+    "i64.ctz": lambda a: V.ctz(a, 64),
+    "i64.popcnt": V.popcnt,
+    "i64.eqz": lambda a: 1 if a == 0 else 0,
+    "f32.abs": lambda a: V.f32_round(abs(a)),
+    "f32.neg": lambda a: V.f32_round(-a),
+    "f32.ceil": lambda a: V.f32_round(fceil(a)),
+    "f32.floor": lambda a: V.f32_round(ffloor(a)),
+    "f32.trunc": lambda a: V.f32_round(ftrunc(a)),
+    "f32.nearest": lambda a: V.f32_round(V.fnearest(a)),
+    "f32.sqrt": lambda a: V.f32_round(fsqrt(a)),
+    "f64.abs": abs,
+    "f64.neg": lambda a: -a,
+    "f64.ceil": lambda a: fceil(a),
+    "f64.floor": lambda a: ffloor(a),
+    "f64.trunc": lambda a: ftrunc(a),
+    "f64.nearest": V.fnearest,
+    "f64.sqrt": lambda a: fsqrt(a),
+    # Conversions
+    "i32.wrap_i64": V.wrap32,
+    "i32.trunc_f32_s": lambda a: V.trunc_checked(a, 32, True),
+    "i32.trunc_f32_u": lambda a: V.trunc_checked(a, 32, False),
+    "i32.trunc_f64_s": lambda a: V.trunc_checked(a, 32, True),
+    "i32.trunc_f64_u": lambda a: V.trunc_checked(a, 32, False),
+    "i32.trunc_sat_f32_s": lambda a: V.trunc_sat(a, 32, True),
+    "i32.trunc_sat_f32_u": lambda a: V.trunc_sat(a, 32, False),
+    "i32.trunc_sat_f64_s": lambda a: V.trunc_sat(a, 32, True),
+    "i32.trunc_sat_f64_u": lambda a: V.trunc_sat(a, 32, False),
+    "i64.extend_i32_s": lambda a: V.sign_extend(a, 32, 64),
+    "i64.extend_i32_u": lambda a: a & V.MASK32,
+    "i64.trunc_f32_s": lambda a: V.trunc_checked(a, 64, True),
+    "i64.trunc_f32_u": lambda a: V.trunc_checked(a, 64, False),
+    "i64.trunc_f64_s": lambda a: V.trunc_checked(a, 64, True),
+    "i64.trunc_f64_u": lambda a: V.trunc_checked(a, 64, False),
+    "i64.trunc_sat_f32_s": lambda a: V.trunc_sat(a, 64, True),
+    "i64.trunc_sat_f32_u": lambda a: V.trunc_sat(a, 64, False),
+    "i64.trunc_sat_f64_s": lambda a: V.trunc_sat(a, 64, True),
+    "i64.trunc_sat_f64_u": lambda a: V.trunc_sat(a, 64, False),
+    "f32.convert_i32_s": lambda a: V.f32_round(float(V.signed32(a))),
+    "f32.convert_i32_u": lambda a: V.f32_round(float(a & V.MASK32)),
+    "f32.convert_i64_s": lambda a: V.f32_round(float(V.signed64(a))),
+    "f32.convert_i64_u": lambda a: V.f32_round(float(a & V.MASK64)),
+    "f32.demote_f64": V.f32_round,
+    "f64.convert_i32_s": lambda a: float(V.signed32(a)),
+    "f64.convert_i32_u": lambda a: float(a & V.MASK32),
+    "f64.convert_i64_s": lambda a: float(V.signed64(a)),
+    "f64.convert_i64_u": lambda a: float(a & V.MASK64),
+    "f64.promote_f32": lambda a: a,
+    "i32.reinterpret_f32": V.f32_to_bits,
+    "i64.reinterpret_f64": V.f64_to_bits,
+    "f32.reinterpret_i32": V.bits_to_f32,
+    "f64.reinterpret_i64": V.bits_to_f64,
+    "i32.extend8_s": lambda a: V.sign_extend(a, 8, 32),
+    "i32.extend16_s": lambda a: V.sign_extend(a, 16, 32),
+    "i64.extend8_s": lambda a: V.sign_extend(a, 8, 64),
+    "i64.extend16_s": lambda a: V.sign_extend(a, 16, 64),
+    "i64.extend32_s": lambda a: V.sign_extend(a, 32, 64),
+}
+
+
+def fceil(a: float) -> float:
+    return float(math.ceil(a)) if math.isfinite(a) else a
+
+
+def ffloor(a: float) -> float:
+    return float(math.floor(a)) if math.isfinite(a) else a
+
+
+def ftrunc(a: float) -> float:
+    return float(math.trunc(a)) if math.isfinite(a) else a
+
+
+def fsqrt(a: float) -> float:
+    if a != a:
+        return math.nan
+    if a < 0:
+        return math.nan
+    return math.sqrt(a)
+
+
+# Loads: op -> (width_bytes, signed, valtype kind, result bits)
+LOADS = {
+    "i32.load": (4, False, "i", 32),
+    "i64.load": (8, False, "i", 64),
+    "f32.load": (4, False, "f", 32),
+    "f64.load": (8, False, "f", 64),
+    "i32.load8_s": (1, True, "i", 32),
+    "i32.load8_u": (1, False, "i", 32),
+    "i32.load16_s": (2, True, "i", 32),
+    "i32.load16_u": (2, False, "i", 32),
+    "i64.load8_s": (1, True, "i", 64),
+    "i64.load8_u": (1, False, "i", 64),
+    "i64.load16_s": (2, True, "i", 64),
+    "i64.load16_u": (2, False, "i", 64),
+    "i64.load32_s": (4, True, "i", 64),
+    "i64.load32_u": (4, False, "i", 64),
+}
+
+# Stores: op -> (width_bytes, value kind)
+STORES = {
+    "i32.store": (4, "i"),
+    "i64.store": (8, "i"),
+    "f32.store": (4, "f32"),
+    "f64.store": (8, "f64"),
+    "i32.store8": (1, "i"),
+    "i32.store16": (2, "i"),
+    "i64.store8": (1, "i"),
+    "i64.store16": (2, "i"),
+    "i64.store32": (4, "i"),
+}

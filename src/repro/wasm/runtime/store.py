@@ -134,6 +134,9 @@ class ModuleInstance:
     global_addrs: List[int] = field(default_factory=list)
     data_addrs: List[int] = field(default_factory=list)  # bulk-memory segments
     exports: Dict[str, Tuple[str, int]] = field(default_factory=dict)  # name -> (kind, addr)
+    # Cached default memory (mem_addrs[0]); resolved by instantiate() or on
+    # first call. Safe to cache: MemoryInstance.grow mutates in place.
+    mem0: Optional[MemoryInstance] = field(default=None, repr=False, compare=False)
 
     def export_addr(self, name: str, kind: str) -> int:
         entry = self.exports.get(name)

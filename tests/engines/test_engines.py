@@ -4,7 +4,16 @@ import pytest
 
 from repro.engines import available_engines, get_engine
 from repro.engines.base import WasmEngine
-from repro.engines.cache import clear_caches, compile_cached, run_cached
+from repro.engines.cache import (
+    cache_stats,
+    clear_caches,
+    compile_cached,
+    compile_stats,
+    prepare_stats,
+    reset_caches,
+    run_cached,
+    run_stats,
+)
 from repro.engines.profiles import ALL_PROFILES, STACK_VERSIONS
 from repro.errors import EngineError
 from repro.sim.memory import MIB
@@ -148,3 +157,35 @@ class TestCache:
         c1, _ = run_cached(get_engine("wamr"), blob, args=["x"])
         c2, _ = run_cached(get_engine("wasmtime"), blob, args=["x"])
         assert c1.artifact_bytes != c2.artifact_bytes
+
+    def test_hit_miss_counters(self, blob):
+        reset_caches()
+        engine = get_engine("wamr")
+        run_cached(engine, blob, args=["svc"])
+        assert (compile_stats.misses, compile_stats.hits) == (1, 0)
+        assert (run_stats.misses, run_stats.hits) == (1, 0)
+        run_cached(engine, blob, args=["svc"])
+        assert (compile_stats.misses, compile_stats.hits) == (1, 1)
+        assert (run_stats.misses, run_stats.hits) == (1, 1)
+
+    def test_prepare_cached_shared_across_engines(self, blob):
+        # Flat code is engine-neutral: the second engine's decode re-uses
+        # the prepared functions keyed by blob digest.
+        reset_caches()
+        c1 = compile_cached(get_engine("wamr"), blob)
+        c2 = compile_cached(get_engine("wasmtime"), blob)
+        assert prepare_stats.misses == 1 and prepare_stats.hits == 1
+        assert (
+            c1.module.funcs[0].prepared is c2.module.funcs[0].prepared is not None
+        )
+
+    def test_reset_caches_zeroes_state(self, blob):
+        engine = get_engine("wamr")
+        run_cached(engine, blob, args=["svc"])
+        reset_caches()
+        stats = cache_stats()
+        for layer in ("compile", "prepare", "run"):
+            assert stats[layer] == {"hits": 0, "misses": 0, "entries": 0}
+
+    def test_clear_caches_is_reset_alias(self):
+        assert clear_caches is reset_caches

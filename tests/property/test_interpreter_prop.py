@@ -1,11 +1,19 @@
-"""Property tests: interpreter numeric semantics vs Python reference."""
+"""Property tests: interpreter numeric semantics vs Python reference,
+plus differential properties (flat interpreter vs reference tree-walker)
+over randomly generated straight-line/loop programs and fuel budgets."""
 
 import math
 
 from hypothesis import given, settings, strategies as st
 
+from repro.errors import ExhaustionError, WasmTrap
 from repro.wasm import parse_wat, validate_module
-from repro.wasm.runtime import Interpreter, Store, instantiate
+from repro.wasm.runtime import (
+    Interpreter,
+    ReferenceInterpreter,
+    Store,
+    instantiate,
+)
 from repro.wasm.runtime import values as V
 
 i32s = st.integers(min_value=-(2**31), max_value=2**31 - 1)
@@ -121,3 +129,69 @@ def test_trunc_sat_total(x):
     for bits, signed in ((32, True), (32, False), (64, True), (64, False)):
         v = V.trunc_sat(x, bits, signed)
         assert 0 <= v < 2**bits
+
+
+# -- differential: prepared flat code vs reference tree-walker -----------------
+
+_FOLD_OPS = ("i32.add", "i32.sub", "i32.mul", "i32.and", "i32.or", "i32.xor",
+             "i32.shl", "i32.shr_u", "i32.rotl")
+
+
+def _gen_module(ops):
+    """A loop that folds `ops` (op, constant) pairs over both params each
+    iteration, storing intermediate state through memory — shaped to hit
+    the fused superinstruction patterns and branch repairs."""
+    folds = "\n".join(
+        f"(local.set $acc ({op} (local.get $acc) (i32.const {k})))"
+        for op, k in ops
+    )
+    return f"""
+    (module (memory 1)
+      (func (export "run") (param $n i32) (param $seed i32) (result i32)
+        (local $acc i32) (local $i i32)
+        (local.set $acc (local.get $seed))
+        (block $out
+          (loop $top
+            (br_if $out (i32.ge_u (local.get $i) (local.get $n)))
+            {folds}
+            (i32.store (i32.and (local.get $acc) (i32.const 0xfffc))
+                       (i32.add (local.get $acc) (local.get $i)))
+            (local.set $acc (i32.add (local.get $acc)
+              (i32.load (i32.and (local.get $i) (i32.const 0xfffc)))))
+            (local.set $i (i32.add (local.get $i) (i32.const 1)))
+            (br $top)))
+        (local.get $acc)))
+    """
+
+
+def _observe(cls, src, args, fuel):
+    module = validate_module(parse_wat(src))
+    store = Store()
+    inst = instantiate(store, module)
+    interp = cls(store, fuel=fuel)
+    try:
+        outcome = ("ok", interp.invoke_export(inst, "run", list(args)))
+    except ExhaustionError as e:
+        outcome = ("exhausted", str(e))
+    except WasmTrap as e:
+        outcome = ("trap", str(e))
+    mem = bytes(store.mems[inst.mem_addrs[0]].data) if inst.mem_addrs else b""
+    return outcome, interp.instructions_executed, interp.fuel, mem
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(_FOLD_OPS), st.integers(0, 2**32 - 1)),
+        min_size=1,
+        max_size=5,
+    ),
+    st.integers(min_value=0, max_value=40),
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.one_of(st.none(), st.integers(min_value=0, max_value=600)),
+)
+def test_differential_random_programs(ops, n, seed, fuel):
+    src = _gen_module(ops)
+    flat = _observe(Interpreter, src, (n, seed), fuel)
+    ref = _observe(ReferenceInterpreter, src, (n, seed), fuel)
+    assert flat == ref
