@@ -1,0 +1,123 @@
+"""Campaign throughput: incremental accounting + parallel scheduling.
+
+Writes ``benchmarks/output/BENCH_campaign.json`` (the trajectory artifact
+CI uploads, following the ``BENCH_interpreter.json`` precedent):
+
+* the 400-pod deployment experiment timed under incremental vs reference
+  (full-scan) accounting — the algorithmic speedup this PR's ledger
+  delivers, asserted against a ≥2× floor;
+* the full 27-experiment campaign timed sequentially vs through the
+  process-pool scheduler (speedup is hardware-dependent: ~1× on 1 core,
+  grows with ``--jobs`` on multicore runners), with byte-identity of the
+  rendered summaries asserted;
+* the pinned pre-PR baseline wall times for trajectory context.
+
+Everything here runs with the measurement cache disabled — these tests
+exist to time simulation, not cache reads.
+"""
+
+import json
+import os
+import time
+
+from conftest import OUTPUT_DIR, SEED, emit
+
+from repro.measure.campaign import render_campaign, run_campaign
+from repro.measure.experiment import ExperimentRunner
+
+#: Pre-PR wall times measured at the seed of this PR (commit 286a99a,
+#: single-core container): the recompute-the-world accountant.
+PINNED_BASELINE = {
+    "commit": "286a99a",
+    "experiment_400pod_seconds": 1.15,
+    "campaign_sequential_seconds": 10.7,
+    "note": "wall times are machine-dependent; speedup ratios are the "
+    "tracked quantity",
+}
+
+#: Algorithmic floor: incremental ledger vs full-scan reference accounting
+#: on the 400-pod experiment. Ratio of two same-machine runs, so it is
+#: stable across hardware.
+ACCOUNTING_SPEEDUP_FLOOR = 2.0
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def _run_400pod(accounting: str) -> float:
+    os.environ["REPRO_MEMORY_ACCOUNTING"] = accounting
+    try:
+        m, seconds = _timed(lambda: ExperimentRunner(seed=SEED).run("crun-wamr", 400))
+        assert m.count == 400
+        return seconds
+    finally:
+        del os.environ["REPRO_MEMORY_ACCOUNTING"]
+
+
+def test_bench_campaign_json():
+    """Emit BENCH_campaign.json and hold the accounting-speedup floor."""
+    incremental_s = _run_400pod("incremental")
+    reference_s = _run_400pod("reference")
+    accounting_speedup = reference_s / incremental_s
+
+    sequential, sequential_s = _timed(
+        lambda: run_campaign(seed=SEED, jobs=1, cache=None)
+    )
+    jobs = min(os.cpu_count() or 1, 4)
+    parallel, parallel_s = _timed(
+        lambda: run_campaign(seed=SEED, jobs=jobs, cache=None)
+    )
+    render_identical = render_campaign(sequential) == render_campaign(parallel)
+
+    report = {
+        "pinned_baseline": PINNED_BASELINE,
+        "experiment_400pod": {
+            "incremental_seconds": round(incremental_s, 4),
+            "reference_seconds": round(reference_s, 4),
+            "accounting_speedup": round(accounting_speedup, 3),
+            "speedup_vs_pinned_baseline": round(
+                PINNED_BASELINE["experiment_400pod_seconds"] / incremental_s, 3
+            ),
+        },
+        "campaign": {
+            "jobs": jobs,
+            "sequential_seconds": round(sequential_s, 4),
+            "parallel_seconds": round(parallel_s, 4),
+            "parallel_speedup": round(sequential_s / parallel_s, 3),
+            "speedup_vs_pinned_baseline": round(
+                PINNED_BASELINE["campaign_sequential_seconds"] / sequential_s, 3
+            ),
+            "render_identical": render_identical,
+        },
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_campaign.json").write_text(json.dumps(report, indent=2) + "\n")
+
+    e = report["experiment_400pod"]
+    c = report["campaign"]
+    emit(
+        "campaign_perf",
+        "\n".join(
+            [
+                f"[campaign] 400-pod experiment: {e['incremental_seconds']:.3f} s "
+                f"incremental vs {e['reference_seconds']:.3f} s reference "
+                f"({e['accounting_speedup']:.2f}x accounting speedup)",
+                f"[campaign] full matrix: {c['sequential_seconds']:.3f} s sequential "
+                f"vs {c['parallel_seconds']:.3f} s with {c['jobs']} workers "
+                f"({c['parallel_speedup']:.2f}x)",
+                f"[campaign] vs pinned seed baseline: 400-pod "
+                f"{e['speedup_vs_pinned_baseline']:.2f}x, campaign "
+                f"{c['speedup_vs_pinned_baseline']:.2f}x",
+            ]
+        ),
+    )
+
+    assert sequential.all_hold() and parallel.all_hold()
+    assert render_identical, "parallel campaign summary drifted from sequential"
+    assert accounting_speedup >= ACCOUNTING_SPEEDUP_FLOOR, (
+        f"incremental accounting lost its ≥{ACCOUNTING_SPEEDUP_FLOOR}x edge: "
+        f"{accounting_speedup:.2f}x"
+    )

@@ -145,9 +145,17 @@ def _cmd_recover(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.measure.cache import MeasurementCache
     from repro.measure.campaign import render_campaign, run_campaign
 
-    result = run_campaign(seed=args.seed)
+    if args.no_cache:
+        cache = None
+    elif args.cache_dir:
+        cache = MeasurementCache(pathlib.Path(args.cache_dir))
+    else:
+        from repro.measure.parallel import DEFAULT_CACHE as cache
+
+    result = run_campaign(seed=args.seed, jobs=args.jobs, cache=cache)
     print(render_campaign(result))
     return 0 if result.all_hold() else 1
 
@@ -237,6 +245,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("campaign", help="run the full §IV campaign and summary")
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "-j", "--jobs", type=int, default=0,
+        help="experiment worker processes (0 = auto-detect CPU count)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="measurement cache directory (default: $REPRO_MEASURE_CACHE "
+             "or <repo>/.repro-cache/measurements)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="simulate every experiment even if cached",
+    )
     p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser("figures", help="regenerate paper tables/figures")

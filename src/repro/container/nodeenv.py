@@ -88,13 +88,17 @@ class NodeEnv:
         self.memory.add_kernel_overhead(C.KERNEL_PER_POD)
         assert self.containerd_proc is not None and self._containerd_heap_key
         seg = self.containerd_proc.segments[self._containerd_heap_key]
-        seg.size += C.CONTAINERD_GROWTH_PER_POD
+        self.containerd_proc.resize_segment(
+            self._containerd_heap_key, seg.size + C.CONTAINERD_GROWTH_PER_POD
+        )
 
     def note_pod_removed(self) -> None:
         self.memory.remove_kernel_overhead(C.KERNEL_PER_POD)
         assert self.containerd_proc is not None and self._containerd_heap_key
         seg = self.containerd_proc.segments[self._containerd_heap_key]
-        seg.size = max(0, seg.size - C.CONTAINERD_GROWTH_PER_POD)
+        self.containerd_proc.resize_segment(
+            self._containerd_heap_key, max(0, seg.size - C.CONTAINERD_GROWTH_PER_POD)
+        )
 
     def inject(self, point: FaultPoint, key: str) -> None:
         """Fault-injection hook: raises ``FaultInjected`` when armed & firing."""
@@ -102,9 +106,10 @@ class NodeEnv:
             self.faults.raise_if_fires(point, key)
 
     def pressure(self) -> float:
-        """Current startup-work pressure multiplier."""
-        live = sum(1 for _ in self.memory.processes())
-        return self.cpu.pressure_factor(live, self.memory.node_working_set())
+        """Current startup-work pressure multiplier (O(1) on the ledger)."""
+        return self.cpu.pressure_factor(
+            self.memory.process_count(), self.memory.node_working_set()
+        )
 
     def clock_ns(self) -> int:
         return int(self.kernel.now * 1e9)

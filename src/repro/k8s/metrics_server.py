@@ -28,12 +28,19 @@ class MetricsServer:
         self._containerd = containerd
 
     def scrape(self) -> List[PodMetrics]:
-        """One metrics pass over every pod on the node."""
-        out = []
-        for pod_uid, handle in sorted(self._containerd.pods.items()):
-            ws = self._memory.cgroup_working_set(handle.cgroup)
-            out.append(PodMetrics(pod_uid=pod_uid, working_set_bytes=ws))
-        return out
+        """One metrics pass over every pod on the node.
+
+        Batched: one ledger pass answers all pod cgroups instead of one
+        full accounting query per pod.
+        """
+        pods = sorted(self._containerd.pods.items())
+        working_sets = self._memory.cgroup_working_sets(
+            handle.cgroup for _, handle in pods
+        )
+        return [
+            PodMetrics(pod_uid=pod_uid, working_set_bytes=working_sets[handle.cgroup])
+            for pod_uid, handle in pods
+        ]
 
     def pod_working_sets(self) -> Dict[str, int]:
         return {m.pod_uid: m.working_set_bytes for m in self.scrape()}

@@ -18,7 +18,8 @@ from repro.core.integration import (
     RUNTIME_CONFIGS,
     RUNWASI_CONFIGS,
 )
-from repro.measure.experiment import DENSITIES, DeploymentMeasurement, measure
+from repro.measure.experiment import DENSITIES, DeploymentMeasurement
+from repro.measure.parallel import DEFAULT_CACHE, run_matrix
 from repro.measure.stats import percent_lower
 
 
@@ -51,13 +52,20 @@ class CampaignResult:
         return all(c.holds for c in self.claims)
 
 
-def run_campaign(seed: int = 1) -> CampaignResult:
-    """Execute the full matrix and evaluate the §IV-F headline claims."""
-    measurements = {
-        (config, n): measure(config, n, seed=seed)
-        for config in RUNTIME_CONFIGS
-        for n in DENSITIES
-    }
+def run_campaign(seed: int = 1, jobs: int = 1, cache=DEFAULT_CACHE) -> CampaignResult:
+    """Execute the full matrix and evaluate the §IV-F headline claims.
+
+    ``jobs`` > 1 fans the 27 independent experiments out over worker
+    processes (0 = auto-detect); results merge deterministically, so the
+    summary is byte-identical at any worker count. ``cache=None`` bypasses
+    the persistent measurement cache.
+    """
+    measurements = run_matrix(
+        [(config, n) for config in RUNTIME_CONFIGS for n in DENSITIES],
+        seed=seed,
+        jobs=jobs,
+        cache=cache,
+    )
     result = CampaignResult(measurements=measurements)
     ours = CRUN_WAMR_CONFIG
 

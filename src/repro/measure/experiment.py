@@ -41,7 +41,7 @@ class DeploymentMeasurement:
     ready_fraction: float  # containers whose stdout shows readiness
     #: mean simulated seconds per startup phase ("startup.pipeline",
     #: "startup.serialized", "startup.parallel", "startup.exec", ...)
-    phase_means: Dict[str, float] = None  # type: ignore[assignment]
+    phase_means: Dict[str, float] = field(default_factory=dict)
 
     @property
     def metrics_mib(self) -> float:
@@ -135,12 +135,26 @@ DENSITIES = (10, 100, 400)
 
 @lru_cache(maxsize=None)
 def _cached_measurement(seed: int, config: str, count: int) -> DeploymentMeasurement:
-    return ExperimentRunner(seed=seed).run(config, count)
+    from repro.measure.cache import default_cache  # deferred: avoids cycle
+
+    store = default_cache()
+    if store is not None:
+        hit = store.get(seed, config, count)
+        if hit is not None:
+            return hit
+    m = ExperimentRunner(seed=seed).run(config, count)
+    if store is not None:
+        store.put(seed, config, count, m)
+    return m
 
 
 def measure(config: str, count: int, seed: int = 1) -> DeploymentMeasurement:
     """Module-level cached experiment (figures share bars; e.g. crun-wamr
-    appears in Figs 3–7 and 10 at the same densities)."""
+    appears in Figs 3–7 and 10 at the same densities).
+
+    Layered over the persistent on-disk cache (:mod:`repro.measure.cache`):
+    warm invocations of figures/tests skip simulation entirely. Set
+    ``REPRO_MEASURE_CACHE=off`` to force fresh simulation."""
     return _cached_measurement(seed, config, count)
 
 

@@ -1,0 +1,94 @@
+"""Experiment scheduling: fan a measurement matrix out over worker processes.
+
+The §IV campaign is 9 configurations × 3 densities = 27 *independent*
+seeded experiments; nothing about them shares state (each builds its own
+cluster), so they parallelize embarrassingly. :func:`run_matrix` runs a
+(config, density) work list across a process pool, merges results
+deterministically by key (workers race, the merge order never does), and
+reads/writes the persistent :mod:`repro.measure.cache` so warm re-runs
+skip simulation entirely.
+
+``jobs=1`` stays fully in-process and shares the module-level experiment
+memo (`repro.measure.experiment.measure`) with the figure generators —
+the default for library callers and tests. The CLI auto-detects
+``--jobs`` from the CPU count.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.measure.cache import MeasurementCache, default_cache
+from repro.measure.experiment import DeploymentMeasurement, ExperimentRunner, measure
+
+#: sentinel: "use the ambient default cache" (an explicit None disables)
+DEFAULT_CACHE = object()
+
+MatrixKey = Tuple[str, int]
+
+
+def auto_jobs() -> int:
+    """Worker count when the caller asks for auto-detection."""
+    return os.cpu_count() or 1
+
+
+def _run_one(task: Tuple[int, str, int]) -> DeploymentMeasurement:
+    """Pool worker: one full deployment experiment (top-level for pickling)."""
+    seed, config, count = task
+    return ExperimentRunner(seed=seed).run(config, count)
+
+
+def run_matrix(
+    pairs: Iterable[MatrixKey],
+    seed: int = 1,
+    jobs: int = 1,
+    cache=DEFAULT_CACHE,
+) -> Dict[MatrixKey, DeploymentMeasurement]:
+    """Measure every (config, density) pair, in parallel when ``jobs > 1``.
+
+    Results are keyed by pair and merged in the caller's pair order
+    regardless of worker completion order. Cache hits (same source tree,
+    seed, config, density) are returned without simulating; misses are
+    simulated and written back.
+    """
+    pairs = list(dict.fromkeys(pairs))
+    if jobs <= 0:
+        jobs = auto_jobs()
+    store: Optional[MeasurementCache] = (
+        default_cache() if cache is DEFAULT_CACHE else cache
+    )
+
+    results: Dict[MatrixKey, DeploymentMeasurement] = {}
+    misses: List[MatrixKey] = []
+    if jobs == 1:
+        # In-process path: measure() already layers the lru memo over the
+        # disk cache, so just respect an explicit cache=None override.
+        if store is None:
+            return {
+                (config, count): ExperimentRunner(seed=seed).run(config, count)
+                for config, count in pairs
+            }
+        return {(config, count): measure(config, count, seed=seed) for config, count in pairs}
+
+    if store is not None:
+        for config, count in pairs:
+            hit = store.get(seed, config, count)
+            if hit is not None:
+                results[(config, count)] = hit
+            else:
+                misses.append((config, count))
+    else:
+        misses = list(pairs)
+
+    if misses:
+        workers = min(jobs, len(misses))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            fresh = pool.map(_run_one, [(seed, c, n) for c, n in misses])
+            for key, m in zip(misses, fresh):
+                results[key] = m
+                if store is not None:
+                    store.put(seed, key[0], key[1], m)
+
+    return {key: results[key] for key in pairs}

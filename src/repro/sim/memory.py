@@ -12,10 +12,28 @@ ask (§IV-B):
 The difference between the two (paper: ``free`` reports up to 42% more) is
 not a fudge factor here: it emerges because shim processes, the containerd
 daemon's growth, and kernel per-pod structures live *outside* pod cgroups.
+
+Accounting is **incremental**: the model keeps running totals (node private
+bytes, distinct shared-file bytes, page cache) and a per-cgroup ledger,
+updated on every segment mutation via the :class:`~repro.sim.process.SimProcess`
+observer hooks. ``map_private`` admission, ``free_report()``,
+``node_working_set()`` are O(1); ``cgroup_working_set()`` is O(cgroups +
+files) instead of O(processes × segments). The pre-incremental full-scan
+implementations survive as :class:`ReferenceAccountant`, and the model can
+run in three modes (``REPRO_MEMORY_ACCOUNTING`` or the ``accounting``
+constructor argument):
+
+* ``incremental`` — running counters only (default, fast path),
+* ``reference``   — answer every query with a full scan (the old behavior;
+  used to benchmark the speedup),
+* ``audit``       — compute both and raise :class:`SimulationError` on any
+  byte-level disagreement (mirrors the PR 2 ``ReferenceInterpreter``
+  differential-testing pattern; exercised by the hypothesis suite).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
@@ -25,6 +43,11 @@ from repro.sim.process import MemorySegment, SegmentKind, SimProcess
 KIB = 1024
 MIB = 1024 * 1024
 GIB = 1024 * 1024 * 1024
+
+ACCOUNTING_MODES = ("incremental", "reference", "audit")
+
+#: environment knob consulted when the constructor gets no explicit mode
+ACCOUNTING_ENV = "REPRO_MEMORY_ACCOUNTING"
 
 
 @dataclass(frozen=True)
@@ -48,12 +71,91 @@ class FreeReport:
         return self.used + self.buff_cache
 
 
+class ReferenceAccountant:
+    """Full-scan accounting over a model's ground-truth structures.
+
+    This is the pre-incremental implementation, retained verbatim as the
+    oracle: it derives every answer by walking ``_procs`` /
+    ``_file_mappers`` / ``_page_cache``, never consulting the running
+    counters. Audit mode and the property suite compare it byte-for-byte
+    against the incremental ledger.
+    """
+
+    def __init__(self, model: "SystemMemoryModel") -> None:
+        self._m = model
+
+    def _proc_private(self, proc: SimProcess) -> int:
+        # Recompute from raw segments: the cached SimProcess.private_bytes
+        # is itself under test, so the oracle must not consult it.
+        return sum(
+            s.size for s in proc.segments.values() if s.kind is SegmentKind.PRIVATE
+        )
+
+    def private_total(self) -> int:
+        return sum(self._proc_private(p) for p in self._m._procs.values())
+
+    def distinct_file_bytes(self) -> int:
+        total = 0
+        for file_key, mappers in self._m._file_mappers.items():
+            first = self._m._procs.get(mappers[0])
+            if first is None:
+                continue
+            for seg in first.file_segments():
+                if seg.file_key == file_key:
+                    total += seg.size
+                    break
+        return total
+
+    def node_working_set(self) -> int:
+        return self.private_total() + self.distinct_file_bytes()
+
+    def page_cache_bytes(self) -> int:
+        return sum(self._m._page_cache.values())
+
+    def charged_cgroup(self, file_key: str) -> Optional[str]:
+        """Cgroup paying for a shared file: the first *live* mapper's."""
+        for pid in self._m._file_mappers.get(file_key, ()):
+            proc = self._m._procs.get(pid)
+            if proc is not None and proc.alive:
+                return proc.cgroup
+        return None
+
+    def cgroup_working_set(self, cgroup_prefix: str) -> int:
+        total = 0
+        for proc in self._m._procs.values():
+            if proc.cgroup.startswith(cgroup_prefix):
+                total += self._proc_private(proc)
+        for file_key in self._m._file_mappers:
+            owner = self.charged_cgroup(file_key)
+            if owner is not None and owner.startswith(cgroup_prefix):
+                first = self._m._procs.get(self._m._file_mappers[file_key][0])
+                if first is None:
+                    continue
+                for seg in first.file_segments():
+                    if seg.file_key == file_key:
+                        total += seg.size
+                        break
+        return total
+
+
 class SystemMemoryModel:
     """Tracks processes, shared file residency, page cache, kernel overhead."""
 
-    def __init__(self, total_bytes: int = 256 * GIB, kernel_base: int = 600 * MIB) -> None:
+    def __init__(
+        self,
+        total_bytes: int = 256 * GIB,
+        kernel_base: int = 600 * MIB,
+        accounting: Optional[str] = None,
+    ) -> None:
         if total_bytes <= 0:
             raise SimulationError("total_bytes must be positive")
+        if accounting is None:
+            accounting = os.environ.get(ACCOUNTING_ENV, "incremental")
+        if accounting not in ACCOUNTING_MODES:
+            raise SimulationError(
+                f"unknown accounting mode {accounting!r}; pick one of {ACCOUNTING_MODES}"
+            )
+        self.accounting = accounting
         self.total_bytes = total_bytes
         # Kernel text/slab base plus per-pod kernel overhead added later.
         self.kernel_bytes = kernel_base
@@ -63,6 +165,16 @@ class SystemMemoryModel:
         self._file_mappers: Dict[str, List[int]] = {}
         # file_key -> resident page-cache bytes (image layers, etc.)
         self._page_cache: Dict[str, int] = {}
+        # -- incremental ledger -------------------------------------------
+        # Every entry below is derivable from the structures above; the
+        # observer hooks keep them in lockstep so queries are O(1)/O(pods).
+        self._private_total = 0
+        self._cgroup_private: Dict[str, int] = {}
+        self._file_sizes: Dict[str, int] = {}  # accounted size (first mapper's)
+        self._file_owner: Dict[str, Optional[str]] = {}  # charged cgroup
+        self._file_total = 0
+        self._cache_total = 0
+        self.reference = ReferenceAccountant(self)
 
     # -- process lifecycle ---------------------------------------------------
 
@@ -70,6 +182,7 @@ class SystemMemoryModel:
         pid = self._next_pid
         self._next_pid += 1
         proc = SimProcess(pid=pid, name=name, cgroup=cgroup, start_time=start_time)
+        proc._observer = self
         self._procs[pid] = proc
         return proc
 
@@ -81,12 +194,73 @@ class SystemMemoryModel:
         for seg in list(proc.file_segments()):
             self._unmap_file(proc.pid, seg.file_key)  # type: ignore[arg-type]
         del self._procs[proc.pid]
+        proc._observer = None
+        self._add_cgroup_private(proc.cgroup, -proc.private_bytes())
 
     def processes(self) -> Iterable[SimProcess]:
         return self._procs.values()
 
+    def process_count(self) -> int:
+        return len(self._procs)
+
     def find(self, name_prefix: str) -> List[SimProcess]:
         return [p for p in self._procs.values() if p.name.startswith(name_prefix)]
+
+    # -- segment observer hooks (called by SimProcess mutators) ---------------
+
+    def _add_cgroup_private(self, cgroup: str, delta: int) -> None:
+        self._private_total += delta
+        updated = self._cgroup_private.get(cgroup, 0) + delta
+        if updated:
+            self._cgroup_private[cgroup] = updated
+        else:
+            self._cgroup_private.pop(cgroup, None)
+
+    def segment_added(self, proc: SimProcess, seg: MemorySegment) -> None:
+        # FILE_TEXT registration happens in map_file (a bare add_segment of
+        # a file mapping is invisible node-wide, as in the reference scan).
+        if seg.kind is SegmentKind.PRIVATE and proc.pid in self._procs:
+            self._add_cgroup_private(proc.cgroup, seg.size)
+
+    def segment_removed(self, proc: SimProcess, seg: MemorySegment) -> None:
+        if proc.pid not in self._procs:
+            return
+        if seg.kind is SegmentKind.PRIVATE:
+            self._add_cgroup_private(proc.cgroup, -seg.size)
+        else:
+            # munmap semantics: dropping a file mapping releases the
+            # process's claim on the shared pages.
+            self._unmap_file(proc.pid, seg.file_key)  # type: ignore[arg-type]
+
+    def segment_resized(self, proc: SimProcess, seg: MemorySegment, old_size: int) -> None:
+        if proc.pid not in self._procs:
+            return
+        if seg.kind is SegmentKind.PRIVATE:
+            self._add_cgroup_private(proc.cgroup, seg.size - old_size)
+        elif seg.file_key in self._file_mappers:
+            # Node-wide size follows the first mapper's mapping.
+            self._refresh_file_size(seg.file_key)  # type: ignore[arg-type]
+
+    def _refresh_file_size(self, file_key: str) -> None:
+        """Re-derive one file's accounted size from its first mapper."""
+        size = 0
+        first = self._procs.get(self._file_mappers[file_key][0])
+        if first is not None:
+            for seg in first.file_segments():
+                if seg.file_key == file_key:
+                    size = seg.size
+                    break
+        self._file_total += size - self._file_sizes.get(file_key, 0)
+        self._file_sizes[file_key] = size
+
+    def _refresh_file_owner(self, file_key: str) -> None:
+        owner = None
+        for pid in self._file_mappers.get(file_key, ()):
+            proc = self._procs.get(pid)
+            if proc is not None and proc.alive:
+                owner = proc.cgroup
+                break
+        self._file_owner[file_key] = owner
 
     # -- segments -------------------------------------------------------------
 
@@ -110,29 +284,39 @@ class SystemMemoryModel:
         """Map a shared file into ``proc``; physical pages shared node-wide.
 
         All mappings of one ``file_key`` must agree on ``size`` — they model
-        the text of one artifact on disk.
+        the text of one artifact on disk. Validation uses the tracked file
+        size, so it holds even after the first mapper exits or unmaps.
         """
-        existing = self._file_mappers.get(file_key)
-        if existing:
-            first = self._procs.get(existing[0])
-            if first is not None:
-                for seg in first.file_segments():
-                    if seg.file_key == file_key and seg.size != size:
-                        raise SimulationError(
-                            f"file {file_key!r} mapped with size {seg.size}, now {size}"
-                        )
+        if file_key in self._file_mappers:
+            tracked = self._file_sizes[file_key]
+            if size != tracked:
+                raise SimulationError(
+                    f"file {file_key!r} mapped with size {tracked}, now {size}"
+                )
         key = proc.add_segment(
             MemorySegment(SegmentKind.FILE_TEXT, size, file_key=file_key, label=label or file_key)
         )
-        self._file_mappers.setdefault(file_key, []).append(proc.pid)
+        mappers = self._file_mappers.setdefault(file_key, [])
+        mappers.append(proc.pid)
+        if len(mappers) == 1:
+            self._file_sizes[file_key] = size
+            self._file_total += size
+            self._file_owner[file_key] = proc.cgroup if proc.alive else None
         return key
 
     def _unmap_file(self, pid: int, file_key: str) -> None:
         mappers = self._file_mappers.get(file_key)
         if mappers and pid in mappers:
+            was_first = mappers[0] == pid
             mappers.remove(pid)
             if not mappers:
                 del self._file_mappers[file_key]
+                self._file_total -= self._file_sizes.pop(file_key)
+                self._file_owner.pop(file_key)
+                return
+            if was_first:
+                self._refresh_file_size(file_key)
+            self._refresh_file_owner(file_key)
 
     def file_mapper_count(self, file_key: str) -> int:
         return len(self._file_mappers.get(file_key, ()))
@@ -141,13 +325,17 @@ class SystemMemoryModel:
 
     def touch_page_cache(self, file_key: str, size: int) -> None:
         """Record ``size`` resident cache bytes for a file (max of touches)."""
-        self._page_cache[file_key] = max(self._page_cache.get(file_key, 0), size)
+        current = self._page_cache.get(file_key, 0)
+        if size > current:
+            self._page_cache[file_key] = size
+            self._cache_total += size - current
 
     def drop_page_cache(self, file_key: Optional[str] = None) -> None:
         if file_key is None:
             self._page_cache.clear()
+            self._cache_total = 0
         else:
-            self._page_cache.pop(file_key, None)
+            self._cache_total -= self._page_cache.pop(file_key, 0)
 
     def add_kernel_overhead(self, size: int) -> None:
         """Per-pod kernel cost: netns, veth, cgroup and conntrack structures."""
@@ -158,25 +346,81 @@ class SystemMemoryModel:
         if self.kernel_bytes < 0:
             raise SimulationError("kernel overhead went negative")
 
+    # -- audit plumbing ----------------------------------------------------------
+
+    def _checked(self, what, incremental, reference_fn):
+        """Route one query through the active accounting mode.
+
+        ``incremental`` is the ledger answer; ``reference_fn`` produces the
+        full-scan answer and is only evaluated outside incremental mode.
+        """
+        if self.accounting == "incremental":
+            return incremental
+        reference = reference_fn()
+        if self.accounting == "audit" and incremental != reference:
+            raise SimulationError(
+                f"accounting drift in {what}: incremental={incremental} "
+                f"reference={reference}"
+            )
+        return reference
+
+    def verify_accounting(self) -> None:
+        """Cross-check every ledger entry against the reference accountant.
+
+        Raises :class:`SimulationError` on the first drifted counter. Audit
+        mode does this per query; this walks the whole ledger at once (the
+        property suite calls it after every step).
+        """
+        ref = self.reference
+        checks = [
+            ("private_total", self._private_total, ref.private_total()),
+            ("file_total", self._file_total, ref.distinct_file_bytes()),
+            ("cache_total", self._cache_total, ref.page_cache_bytes()),
+        ]
+        for what, inc, expected in checks:
+            if inc != expected:
+                raise SimulationError(
+                    f"accounting drift in {what}: incremental={inc} reference={expected}"
+                )
+        for proc in self._procs.values():
+            if proc.private_bytes() != ref._proc_private(proc):
+                raise SimulationError(
+                    f"accounting drift in pid {proc.pid} private_bytes: "
+                    f"cached={proc.private_bytes()} reference={ref._proc_private(proc)}"
+                )
+        cgroups = {p.cgroup for p in self._procs.values()}
+        cgroups.update(self._cgroup_private)
+        cgroups.update(o for o in self._file_owner.values() if o is not None)
+        for cgroup in sorted(cgroups):
+            inc = self._cgroup_working_set_incremental(cgroup)
+            expected = ref.cgroup_working_set(cgroup)
+            if inc != expected:
+                raise SimulationError(
+                    f"accounting drift in cgroup_working_set({cgroup!r}): "
+                    f"incremental={inc} reference={expected}"
+                )
+        for file_key in self._file_mappers:
+            if self._file_owner.get(file_key) != ref.charged_cgroup(file_key):
+                raise SimulationError(
+                    f"accounting drift in charged cgroup of {file_key!r}"
+                )
+
     # -- accounting: free(1) ----------------------------------------------------
 
     def _distinct_file_bytes(self) -> int:
-        total = 0
-        for file_key, mappers in self._file_mappers.items():
-            first = self._procs.get(mappers[0])
-            if first is None:
-                continue
-            for seg in first.file_segments():
-                if seg.file_key == file_key:
-                    total += seg.size
-                    break
-        return total
+        return self._checked(
+            "distinct_file_bytes", self._file_total, self.reference.distinct_file_bytes
+        )
 
     def free_report(self) -> FreeReport:
-        private = sum(p.private_bytes() for p in self._procs.values())
+        private = self._checked(
+            "private_total", self._private_total, self.reference.private_total
+        )
         shared_files = self._distinct_file_bytes()
         used = private + shared_files + self.kernel_bytes
-        buff_cache = sum(self._page_cache.values())
+        buff_cache = self._checked(
+            "cache_total", self._cache_total, self.reference.page_cache_bytes
+        )
         free = self.total_bytes - used - buff_cache
         if free < 0:
             raise SimulationError(
@@ -196,11 +440,22 @@ class SystemMemoryModel:
 
     def _charged_cgroup(self, file_key: str) -> Optional[str]:
         """Cgroup paying for a shared file: the first *live* mapper's."""
-        for pid in self._file_mappers.get(file_key, ()):
-            proc = self._procs.get(pid)
-            if proc is not None and proc.alive:
-                return proc.cgroup
-        return None
+        if self.accounting == "incremental":
+            return self._file_owner.get(file_key)
+        reference = self.reference.charged_cgroup(file_key)
+        if self.accounting == "audit" and self._file_owner.get(file_key) != reference:
+            raise SimulationError(f"accounting drift in charged cgroup of {file_key!r}")
+        return reference
+
+    def _cgroup_working_set_incremental(self, cgroup_prefix: str) -> int:
+        total = 0
+        for cgroup, private in self._cgroup_private.items():
+            if cgroup.startswith(cgroup_prefix):
+                total += private
+        for file_key, owner in self._file_owner.items():
+            if owner is not None and owner.startswith(cgroup_prefix):
+                total += self._file_sizes[file_key]
+        return total
 
     def cgroup_working_set(self, cgroup_prefix: str) -> int:
         """Working set of a cgroup subtree, kernel first-touch style.
@@ -208,23 +463,43 @@ class SystemMemoryModel:
         Private memory of member processes plus shared files charged to a
         member cgroup. This is what the metrics server aggregates per pod.
         """
-        total = 0
-        for proc in self._procs.values():
-            if proc.cgroup.startswith(cgroup_prefix):
-                total += proc.private_bytes()
-        for file_key in self._file_mappers:
-            owner = self._charged_cgroup(file_key)
-            if owner is not None and owner.startswith(cgroup_prefix):
-                first = self._procs.get(self._file_mappers[file_key][0])
-                if first is None:
-                    continue
-                for seg in first.file_segments():
-                    if seg.file_key == file_key:
-                        total += seg.size
-                        break
-        return total
+        return self._checked(
+            f"cgroup_working_set({cgroup_prefix!r})",
+            self._cgroup_working_set_incremental(cgroup_prefix),
+            lambda: self.reference.cgroup_working_set(cgroup_prefix),
+        )
+
+    def cgroup_working_sets(self, cgroup_prefixes: Iterable[str]) -> Dict[str, int]:
+        """Batched :meth:`cgroup_working_set` — one ledger pass for all prefixes.
+
+        Equivalent to calling ``cgroup_working_set`` per prefix (including
+        overlap behavior: a byte charged under two matching prefixes counts
+        toward both), but visits each ledger entry once, testing only the
+        entry's own string truncations against the prefix set.
+        """
+        prefixes = set(cgroup_prefixes)
+        if self.accounting != "incremental":
+            return {p: self.cgroup_working_set(p) for p in sorted(prefixes)}
+        totals = {p: 0 for p in prefixes}
+
+        def credit(cgroup: str, amount: int) -> None:
+            # Every prefix matching `cgroup` is one of its truncations.
+            for k in range(len(cgroup) + 1):
+                p = cgroup[:k]
+                if p in prefixes:
+                    totals[p] += amount
+
+        for cgroup, private in self._cgroup_private.items():
+            credit(cgroup, private)
+        for file_key, owner in self._file_owner.items():
+            if owner is not None:
+                credit(owner, self._file_sizes[file_key])
+        return totals
 
     def node_working_set(self) -> int:
         """Sum of all process private memory + each shared file once."""
-        private = sum(p.private_bytes() for p in self._procs.values())
-        return private + self._distinct_file_bytes()
+        return self._checked(
+            "node_working_set",
+            self._private_total + self._file_total,
+            self.reference.node_working_set,
+        )

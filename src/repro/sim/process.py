@@ -11,13 +11,20 @@ how the node-level accountant (:mod:`repro.sim.memory`) attributes it:
   for it once, and a cgroup is charged only if it faulted the file first.
 * ``PAGE_CACHE`` contributions are not segments; they live on the node
   model directly (image layer reads populate them).
+
+Private bytes are maintained incrementally: every segment mutation goes
+through :meth:`SimProcess.add_segment` / :meth:`SimProcess.drop_segment` /
+:meth:`SimProcess.resize_segment`, which update a cached total and notify
+the owning memory model (the *observer*) so node- and cgroup-level
+counters stay O(1) per mutation. Never assign ``segment.size`` directly —
+the accountants would drift (audit mode catches this).
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Optional, Protocol
 
 
 class SegmentKind(enum.Enum):
@@ -49,6 +56,18 @@ class MemorySegment:
             raise ValueError("FILE_TEXT segment requires a file_key")
 
 
+class SegmentObserver(Protocol):
+    """What a node-level accountant hears about segment mutations."""
+
+    def segment_added(self, proc: "SimProcess", seg: MemorySegment) -> None: ...
+
+    def segment_removed(self, proc: "SimProcess", seg: MemorySegment) -> None: ...
+
+    def segment_resized(
+        self, proc: "SimProcess", seg: MemorySegment, old_size: int
+    ) -> None: ...
+
+
 @dataclass
 class SimProcess:
     """A simulated process: identity, cgroup membership, and its segments."""
@@ -60,6 +79,15 @@ class SimProcess:
     start_time: float = 0.0
     segments: Dict[str, MemorySegment] = field(default_factory=dict)
     _seq: int = 0
+    _private_cached: int = field(default=0, init=False, repr=False, compare=False)
+    _observer: Optional[SegmentObserver] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        self._private_cached = sum(
+            s.size for s in self.segments.values() if s.kind is SegmentKind.PRIVATE
+        )
 
     def add_segment(self, seg: MemorySegment, key: Optional[str] = None) -> str:
         """Attach a segment; returns the key it is stored under."""
@@ -69,22 +97,37 @@ class SimProcess:
         if key in self.segments:
             raise KeyError(f"duplicate segment key {key!r} in pid {self.pid}")
         self.segments[key] = seg
+        if seg.kind is SegmentKind.PRIVATE:
+            self._private_cached += seg.size
+        if self._observer is not None:
+            self._observer.segment_added(self, seg)
         return key
 
     def drop_segment(self, key: str) -> MemorySegment:
-        return self.segments.pop(key)
+        seg = self.segments.pop(key)
+        if seg.kind is SegmentKind.PRIVATE:
+            self._private_cached -= seg.size
+        if self._observer is not None:
+            self._observer.segment_removed(self, seg)
+        return seg
 
     def resize_segment(self, key: str, new_size: int) -> None:
         if new_size < 0:
             raise ValueError(f"segment size must be >= 0, got {new_size}")
-        self.segments[key].size = new_size
+        seg = self.segments[key]
+        old_size = seg.size
+        seg.size = new_size
+        if seg.kind is SegmentKind.PRIVATE:
+            self._private_cached += new_size - old_size
+        if self._observer is not None:
+            self._observer.segment_resized(self, seg, old_size)
 
     def private_bytes(self) -> int:
-        return sum(s.size for s in self.segments.values() if s.kind is SegmentKind.PRIVATE)
+        return self._private_cached
 
     def file_segments(self) -> Iterator[MemorySegment]:
         return (s for s in self.segments.values() if s.kind is SegmentKind.FILE_TEXT)
 
     def rss(self) -> int:
         """Linux-style RSS: private + full size of every mapped file."""
-        return self.private_bytes() + sum(s.size for s in self.file_segments())
+        return self._private_cached + sum(s.size for s in self.file_segments())

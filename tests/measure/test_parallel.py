@@ -1,0 +1,97 @@
+"""Parallel experiment scheduler + persistent measurement cache."""
+
+import json
+
+import pytest
+
+from repro.measure.cache import (
+    MeasurementCache,
+    measurement_from_dict,
+    measurement_to_dict,
+    source_tree_digest,
+)
+from repro.measure.experiment import ExperimentRunner, measure
+from repro.measure.parallel import auto_jobs, run_matrix
+
+PAIRS = [("crun-wamr", 10), ("crun-python", 10)]
+
+
+@pytest.fixture(scope="module")
+def sequential():
+    return run_matrix(PAIRS, seed=1, jobs=1)
+
+
+class TestRunMatrix:
+    def test_sequential_matches_measure(self, sequential):
+        for config, count in PAIRS:
+            assert sequential[(config, count)] == measure(config, count, seed=1)
+
+    def test_parallel_results_identical(self, sequential, tmp_path):
+        parallel = run_matrix(
+            PAIRS, seed=1, jobs=2, cache=MeasurementCache(tmp_path / "cache")
+        )
+        assert parallel == sequential
+
+    def test_merge_order_is_caller_order(self, sequential):
+        reversed_result = run_matrix(list(reversed(PAIRS)), seed=1, jobs=1)
+        assert list(reversed_result) == list(reversed(PAIRS))
+        assert dict(reversed_result) == dict(sequential)
+
+    def test_no_cache_recomputes(self, sequential):
+        fresh = run_matrix(PAIRS, seed=1, jobs=1, cache=None)
+        assert fresh == sequential
+
+    def test_auto_jobs_positive(self):
+        assert auto_jobs() >= 1
+
+
+class TestMeasurementCache:
+    def test_roundtrip_is_exact(self, sequential, tmp_path):
+        cache = MeasurementCache(tmp_path / "cache")
+        m = sequential[("crun-wamr", 10)]
+        cache.put(1, "crun-wamr", 10, m)
+        assert cache.get(1, "crun-wamr", 10) == m
+
+    def test_miss_returns_none(self, tmp_path):
+        cache = MeasurementCache(tmp_path / "cache")
+        assert cache.get(99, "crun-wamr", 10) is None
+
+    def test_json_serialization_is_lossless(self, sequential):
+        m = sequential[("crun-python", 10)]
+        data = json.loads(json.dumps(measurement_to_dict(m)))
+        assert measurement_from_dict(data) == m
+
+    def test_entries_keyed_by_source_digest(self, sequential, tmp_path):
+        cache = MeasurementCache(tmp_path / "cache")
+        m = sequential[("crun-wamr", 10)]
+        cache.put(1, "crun-wamr", 10, m)
+        (entry,) = (tmp_path / "cache").glob("*.json")
+        assert entry.name.startswith(source_tree_digest()[:16])
+        # A source-tree change produces a different digest prefix — the
+        # stale entry is simply never read again.
+        payload = json.loads(entry.read_text())
+        assert payload["source_digest"] == source_tree_digest()
+
+    def test_warm_run_skips_simulation(self, sequential, tmp_path, monkeypatch):
+        cache = MeasurementCache(tmp_path / "cache")
+        for (config, count), m in sequential.items():
+            cache.put(1, config, count, m)
+
+        def boom(self, *a, **k):  # pragma: no cover - must not run
+            raise AssertionError("cache miss: simulation ran on a warm cache")
+
+        monkeypatch.setattr(ExperimentRunner, "run", boom)
+        warm = run_matrix(PAIRS, seed=1, jobs=2, cache=cache)
+        assert warm == sequential
+
+
+class TestAuditModeExperiments:
+    def test_audit_measurement_identical_to_default(self, sequential, monkeypatch):
+        monkeypatch.setenv("REPRO_MEMORY_ACCOUNTING", "audit")
+        audited = ExperimentRunner(seed=1).run("crun-wamr", 10)
+        assert audited == sequential[("crun-wamr", 10)]
+
+    def test_reference_measurement_identical_to_default(self, sequential, monkeypatch):
+        monkeypatch.setenv("REPRO_MEMORY_ACCOUNTING", "reference")
+        referenced = ExperimentRunner(seed=1).run("crun-wamr", 10)
+        assert referenced == sequential[("crun-wamr", 10)]

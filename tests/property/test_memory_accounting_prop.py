@@ -1,0 +1,108 @@
+"""Differential property test: incremental ledger vs reference accountant.
+
+Drives random spawn / map_private / map_file / resize_segment /
+drop_segment / exit / touch_page_cache / drop_page_cache sequences
+against a model in **audit** mode (every query already cross-checks) and
+additionally calls ``verify_accounting()`` after every step, which
+compares the running counters byte-for-byte against full recomputation:
+free-report components, node working set, every cgroup working set, and
+every shared file's charge owner.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+from hypothesis import strategies as st
+
+from repro.sim.memory import MIB, SystemMemoryModel
+from repro.sim.process import SegmentKind
+
+CGROUPS = ["/", "/kubepods/pod-a", "/kubepods/pod-b", "/system.slice/containerd"]
+#: fixed size per shared file — mappings of one key must agree on size
+FILES = {"libA.so": 3 * MIB, "libB.so": 5 * MIB, "app.aot": 1 * MIB}
+
+
+class AccountingMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.model = SystemMemoryModel(
+            total_bytes=1 << 50, kernel_base=0, accounting="audit"
+        )
+        self.procs = []
+
+    def _pick_proc(self, data):
+        if not self.procs:
+            return None
+        return data.draw(st.sampled_from(self.procs), label="proc")
+
+    @rule(data=st.data(), cgroup=st.sampled_from(CGROUPS))
+    def spawn(self, data, cgroup):
+        self.procs.append(self.model.spawn("proc", cgroup=cgroup))
+
+    @rule(data=st.data(), size=st.integers(min_value=0, max_value=8 * MIB))
+    def map_private(self, data, size):
+        proc = self._pick_proc(data)
+        if proc is not None:
+            self.model.map_private(proc, size)
+
+    @rule(data=st.data(), file_key=st.sampled_from(sorted(FILES)))
+    def map_file(self, data, file_key):
+        proc = self._pick_proc(data)
+        if proc is not None:
+            self.model.map_file(proc, file_key, FILES[file_key])
+
+    @rule(data=st.data(), size=st.integers(min_value=0, max_value=8 * MIB))
+    def resize_private(self, data, size):
+        proc = self._pick_proc(data)
+        if proc is None:
+            return
+        keys = [
+            k for k, s in proc.segments.items() if s.kind is SegmentKind.PRIVATE
+        ]
+        if keys:
+            proc.resize_segment(data.draw(st.sampled_from(keys), label="key"), size)
+
+    @rule(data=st.data())
+    def drop_segment(self, data):
+        proc = self._pick_proc(data)
+        if proc is None or not proc.segments:
+            return
+        proc.drop_segment(data.draw(st.sampled_from(sorted(proc.segments)), label="key"))
+
+    @rule(data=st.data())
+    def exit(self, data):
+        proc = self._pick_proc(data)
+        if proc is not None:
+            self.model.exit(proc)
+            self.procs.remove(proc)
+
+    @rule(
+        file_key=st.sampled_from(["layer1", "layer2"]),
+        size=st.integers(min_value=0, max_value=16 * MIB),
+    )
+    def touch_page_cache(self, file_key, size):
+        self.model.touch_page_cache(file_key, size)
+
+    @rule(file_key=st.sampled_from(["layer1", "layer2", None]))
+    def drop_page_cache(self, file_key):
+        self.model.drop_page_cache(file_key)
+
+    @invariant()
+    def counters_match_reference(self):
+        if not hasattr(self, "model"):
+            return
+        self.model.verify_accounting()
+        # Exercise the audit-checked query paths too (each re-verifies).
+        self.model.node_working_set()
+        report = self.model.free_report()
+        assert report.used + report.free + report.buff_cache == report.total
+        for cgroup in CGROUPS:
+            assert self.model.cgroup_working_set(cgroup) >= 0
+        batch = self.model.cgroup_working_sets(CGROUPS)
+        for cgroup in CGROUPS:
+            assert batch[cgroup] == self.model.cgroup_working_set(cgroup)
+
+
+TestAccountingDifferential = AccountingMachine.TestCase
+TestAccountingDifferential.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

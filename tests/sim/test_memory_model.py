@@ -155,3 +155,137 @@ class TestFreeReport:
         assert memory.free_report().used == before
         with pytest.raises(SimulationError):
             memory.remove_kernel_overhead(10 * GIB)
+
+
+class TestFileSizeValidation:
+    """map_file validates against the tracked size, not the first mapper's
+    segments — the old scan silently skipped the check once the first
+    mapper's segment was gone."""
+
+    def test_mismatch_rejected_after_first_mapper_drops_mapping(self, memory):
+        p1 = memory.spawn("a")
+        p2 = memory.spawn("b")
+        k1 = memory.map_file(p1, "lib.so", 4 * MIB)
+        memory.map_file(p2, "lib.so", 4 * MIB)
+        p1.drop_segment(k1)
+        p3 = memory.spawn("c")
+        with pytest.raises(SimulationError, match="lib.so"):
+            memory.map_file(p3, "lib.so", 8 * MIB)
+
+    def test_mismatch_rejected_after_first_mapper_exits(self, memory):
+        p1 = memory.spawn("a")
+        p2 = memory.spawn("b")
+        memory.map_file(p1, "lib.so", 4 * MIB)
+        memory.map_file(p2, "lib.so", 4 * MIB)
+        memory.exit(p1)
+        p3 = memory.spawn("c")
+        with pytest.raises(SimulationError, match="lib.so"):
+            memory.map_file(p3, "lib.so", 8 * MIB)
+
+    def test_fully_unmapped_file_can_remap_with_new_size(self, memory):
+        p1 = memory.spawn("a")
+        k1 = memory.map_file(p1, "lib.so", 4 * MIB)
+        p1.drop_segment(k1)
+        assert memory.file_mapper_count("lib.so") == 0
+        p2 = memory.spawn("b")
+        memory.map_file(p2, "lib.so", 8 * MIB)
+        assert memory.node_working_set() == 8 * MIB
+
+
+class TestMunmapSemantics:
+    def test_drop_segment_releases_file_claim(self, memory):
+        p1 = memory.spawn("a", cgroup="/pods/a")
+        p2 = memory.spawn("b", cgroup="/pods/b")
+        k1 = memory.map_file(p1, "lib.so", 4 * MIB)
+        k2 = memory.map_file(p2, "lib.so", 4 * MIB)
+        p1.drop_segment(k1)
+        # Node still pays once (p2 maps it); charge migrated to p2.
+        assert memory.file_mapper_count("lib.so") == 1
+        assert memory.node_working_set() == 4 * MIB
+        assert memory.cgroup_working_set("/pods/a") == 0
+        assert memory.cgroup_working_set("/pods/b") == 4 * MIB
+        p2.drop_segment(k2)
+        assert memory.node_working_set() == 0
+        assert memory.file_mapper_count("lib.so") == 0
+
+    def test_drop_private_segment_updates_ledger(self, memory):
+        p = memory.spawn("a", cgroup="/pods/a")
+        key = memory.map_private(p, 10 * MIB)
+        p.drop_segment(key)
+        assert p.private_bytes() == 0
+        assert memory.node_working_set() == 0
+        assert memory.cgroup_working_set("/pods/a") == 0
+
+    def test_resize_private_segment_updates_ledger(self, memory):
+        p = memory.spawn("a", cgroup="/pods/a")
+        key = memory.map_private(p, 10 * MIB)
+        p.resize_segment(key, 4 * MIB)
+        assert p.private_bytes() == 4 * MIB
+        assert memory.cgroup_working_set("/pods/a") == 4 * MIB
+        assert memory.free_report().used == 100 * MIB + 4 * MIB
+
+
+class TestAccountingModes:
+    def _scenario(self, m: SystemMemoryModel) -> tuple:
+        p1 = m.spawn("a", cgroup="/pods/a")
+        p2 = m.spawn("b", cgroup="/pods/b")
+        m.map_private(p1, 7 * MIB)
+        m.map_file(p1, "lib.so", 4 * MIB)
+        m.map_file(p2, "lib.so", 4 * MIB)
+        m.touch_page_cache("layer", 9 * MIB)
+        m.exit(p1)
+        return (
+            m.node_working_set(),
+            m.free_report(),
+            m.cgroup_working_set("/pods/a"),
+            m.cgroup_working_set("/pods/b"),
+        )
+
+    def test_reference_and_audit_agree_with_incremental(self):
+        answers = {
+            mode: self._scenario(
+                SystemMemoryModel(total_bytes=8 * GIB, kernel_base=0, accounting=mode)
+            )
+            for mode in ("incremental", "reference", "audit")
+        }
+        assert answers["incremental"] == answers["reference"] == answers["audit"]
+
+    def test_audit_mode_detects_untracked_mutation(self):
+        m = SystemMemoryModel(total_bytes=8 * GIB, kernel_base=0, accounting="audit")
+        p = m.spawn("a")
+        key = m.map_private(p, 4 * MIB)
+        # Bypassing resize_segment desyncs the ledger; audit must catch it.
+        p.segments[key].size = 5 * MIB
+        with pytest.raises(SimulationError, match="drift"):
+            m.node_working_set()
+
+    def test_verify_accounting_passes_on_clean_model(self, memory):
+        self._scenario(memory)
+        memory.verify_accounting()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SimulationError, match="accounting"):
+            SystemMemoryModel(accounting="sloppy")
+
+    def test_env_var_selects_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MEMORY_ACCOUNTING", "audit")
+        assert SystemMemoryModel().accounting == "audit"
+
+
+class TestBatchedCgroupWorkingSets:
+    def test_batch_matches_individual_queries(self, memory):
+        p1 = memory.spawn("a", cgroup="/kubepods/pod1")
+        p2 = memory.spawn("b", cgroup="/kubepods/pod2")
+        p3 = memory.spawn("c", cgroup="/system/daemon")
+        memory.map_private(p1, 1 * MIB)
+        memory.map_private(p2, 2 * MIB)
+        memory.map_private(p3, 4 * MIB)
+        memory.map_file(p1, "lib.so", 8 * MIB)
+        # Overlapping prefixes must double-count exactly like single queries.
+        prefixes = ["/kubepods", "/kubepods/pod1", "/kubepods/pod2", "/system", "/none"]
+        batch = memory.cgroup_working_sets(prefixes)
+        assert batch == {
+            p: memory.cgroup_working_set(p) for p in prefixes
+        }
+        assert batch["/kubepods"] == 11 * MIB
+        assert batch["/none"] == 0
