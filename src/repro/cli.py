@@ -6,7 +6,12 @@ Subcommands mirror the tools a user of the real system would reach for:
 * ``run`` — execute a module under WASI (the engines' code path),
 * ``deploy`` — a deployment experiment on the simulated testbed,
 * ``recover`` — a fault-injection recovery experiment,
-* ``figures`` — regenerate the paper's tables/figures.
+* ``figures`` — regenerate the paper's tables/figures,
+* ``inspect`` — per-phase/per-layer breakdown of an exported trace file.
+
+The experiment subcommands accept ``--trace-out FILE`` and
+``--metrics-out FILE`` to export the run's telemetry (Chrome trace-event
+JSON / JSONL spans, Prometheus text metrics).
 
 Usable as ``python -m repro <cmd>`` or the ``repro`` console script.
 """
@@ -112,9 +117,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return result.exit_code
 
 
+def _wants_telemetry(args: argparse.Namespace) -> bool:
+    return bool(getattr(args, "trace_out", None) or getattr(args, "metrics_out", None))
+
+
+def _enable_telemetry(args: argparse.Namespace) -> bool:
+    """Turn the telemetry subsystem on when an export flag was given.
+
+    Must run before any cluster is built: metric handles and tracer sinks
+    bind at component construction.
+    """
+    if not _wants_telemetry(args):
+        return False
+    from repro import obs
+
+    obs.set_enabled(True)
+    return True
+
+
+def _export_telemetry(args: argparse.Namespace) -> None:
+    from repro.obs.export import write_outputs
+
+    for path in write_outputs(args.trace_out, args.metrics_out):
+        print(f"wrote {path}")
+
+
 def _cmd_deploy(args: argparse.Namespace) -> int:
     from repro.measure.experiment import ExperimentRunner
 
+    telemetry = _enable_telemetry(args)
     m = ExperimentRunner(seed=args.seed).run(args.config, args.count)
     print(f"config:            {m.config}")
     print(f"containers:        {m.count} (ready: {m.ready_fraction:.0%})")
@@ -125,6 +156,8 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
         print("phase means:")
         for phase, seconds in sorted(m.phase_means.items()):
             print(f"  {phase:22s} {seconds * 1000:8.1f} ms")
+    if telemetry:
+        _export_telemetry(args)
     return 0
 
 
@@ -132,6 +165,7 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     from repro.measure.recovery import render_recovery, run_recovery
     from repro.sim.faults import transient_plan
 
+    telemetry = _enable_telemetry(args)
     plan = transient_plan(
         seed=args.seed,
         pull_probability=args.pull_probability,
@@ -141,6 +175,8 @@ def _cmd_recover(args: argparse.Namespace) -> int:
         config=args.config, count=args.count, seed=args.seed, plan=plan
     )
     print(render_recovery(m))
+    if telemetry:
+        _export_telemetry(args)
     return 0 if m.converged and m.failed_pods == 0 else 1
 
 
@@ -148,6 +184,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.measure.cache import MeasurementCache
     from repro.measure.campaign import render_campaign, run_campaign
 
+    telemetry = _enable_telemetry(args)
     if args.no_cache:
         cache = None
     elif args.cache_dir:
@@ -155,9 +192,30 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     else:
         from repro.measure.parallel import DEFAULT_CACHE as cache
 
-    result = run_campaign(seed=args.seed, jobs=args.jobs, cache=cache)
+    jobs = args.jobs
+    if telemetry and jobs != 1:
+        # Worker processes would keep their telemetry to themselves; run
+        # experiments in-process so the exported trace covers all of them.
+        print("telemetry export: forcing --jobs 1 (in-process experiments)")
+        jobs = 1
+    if telemetry and cache is not None:
+        # Cache hits skip simulation — and with it the telemetry the
+        # export is supposed to capture.
+        print("telemetry export: bypassing the measurement cache")
+        cache = None
+    result = run_campaign(seed=args.seed, jobs=jobs, cache=cache)
     print(render_campaign(result))
+    if telemetry:
+        _export_telemetry(args)
     return 0 if result.all_hold() else 1
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.obs.export import load_trace_events, render_breakdown
+
+    records = load_trace_events(pathlib.Path(args.trace))
+    print(render_breakdown(records, category=args.category))
+    return 0
 
 
 _FIGURES = {
@@ -191,6 +249,18 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         print(renderer(data))
         print()
     return 0
+
+
+def _add_telemetry_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="export spans: Chrome trace-event JSON (Perfetto-loadable), "
+             "or JSONL when FILE ends in .jsonl",
+    )
+    p.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="export metrics in Prometheus text exposition format",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -233,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", "--count", type=int, default=10)
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--phases", action="store_true", help="show phase breakdown")
+    _add_telemetry_flags(p)
     p.set_defaults(func=_cmd_deploy)
 
     p = sub.add_parser("recover", help="run a fault-injection recovery experiment")
@@ -241,6 +312,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--pull-probability", type=float, default=0.3)
     p.add_argument("--compile-probability", type=float, default=0.3)
+    _add_telemetry_flags(p)
     p.set_defaults(func=_cmd_recover)
 
     p = sub.add_parser("campaign", help="run the full §IV campaign and summary")
@@ -258,7 +330,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="simulate every experiment even if cached",
     )
+    _add_telemetry_flags(p)
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "inspect", help="per-phase/per-layer breakdown of an exported trace"
+    )
+    p.add_argument("trace", help="trace file from --trace-out (.json or .jsonl)")
+    p.add_argument(
+        "--category", default=None, metavar="PREFIX",
+        help="only spans whose category starts with PREFIX (e.g. 'startup')",
+    )
+    p.set_defaults(func=_cmd_inspect)
 
     p = sub.add_parser("figures", help="regenerate paper tables/figures")
     p.add_argument("ids", nargs="*", metavar="FIG", help="e.g. fig3 fig9 (default: all)")

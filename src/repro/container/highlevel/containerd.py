@@ -14,6 +14,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.container import constants as C
 from repro.container.highlevel.runwasi import RunwasiShim
 from repro.container.highlevel.shim import spawn_pause, spawn_runc_shim
@@ -56,6 +57,11 @@ class Containerd:
         self.env = env
         self._counter = itertools.count(1)
         self.pods: Dict[str, PodHandle] = {}
+        self._m_tasks = obs.counter(
+            "repro_containerd_tasks_total",
+            "containerd sandbox/container lifecycle events",
+            ("event",),
+        )
         # Low-level runtimes, one per crun-based config (each deployment
         # in the paper configures a single handler per runtime).
         self._runtimes: Dict[str, OCIRuntimeBase] = {
@@ -87,6 +93,7 @@ class Containerd:
         handle.pause = spawn_pause(self.env, pod_uid, cgroup)
         self.env.note_pod_created()
         self.pods[pod_uid] = handle
+        self._m_tasks.labels("sandbox_created").inc()
         return handle
 
     def remove_pod_sandbox(self, pod_uid: str) -> None:
@@ -100,6 +107,7 @@ class Containerd:
         if handle.shim is not None:
             self.env.memory.exit(handle.shim)
         self.env.note_pod_removed()
+        self._m_tasks.labels("sandbox_removed").inc()
 
     @staticmethod
     def _config(config_id: str) -> Optional[RuntimeConfig]:
@@ -114,6 +122,7 @@ class Containerd:
             self._runtimes[container.runtime_config].kill_and_delete(self.env, container)
         if container in handle.containers:
             handle.containers.remove(container)
+        self._m_tasks.labels("container_removed").inc()
 
     # -- container creation (simulated activity) ----------------------------------
 
@@ -215,6 +224,7 @@ class Containerd:
         container.started_at = env.kernel.now
         container.exec_started_at = env.kernel.now  # first guest instruction
         handle.containers.append(container)
+        self._m_tasks.labels("container_started").inc()
         if exec_seconds:
             yield Timeout(exec_seconds)
         env.tracer.record(

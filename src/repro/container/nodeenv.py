@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import obs
 from repro.oci.store import ImageStore
 from repro.sim.cpu import CpuModel
 from repro.sim.faults import FaultPlan, FaultPoint
@@ -57,7 +58,9 @@ class NodeEnv:
             serial_lock=Resource(1, name="node-serial"),
             rng=rng or RngStreams(0),
             images=images or ImageStore(memory=memory),
-            tracer=Tracer(),
+            # With telemetry on, the node tracer mirrors every span into
+            # the process-wide trace (tagged with the current context).
+            tracer=Tracer(sink=obs.span_sink() if obs.enabled() else None),
             faults=faults,
         )
         env._boot_daemons()

@@ -19,16 +19,19 @@ entry point:
 * **run** — full :class:`EngineRunResult` per
   ``(engine, digest, argv, env, stdin)``.
 
-Each layer keeps hit/miss counters (:class:`CacheStats`) and
-:func:`reset_caches` clears state + counters so seeded experiments and
-tests cannot leak across runs.
+Each layer keeps hit/miss counters (:class:`CacheStats`, backed by the
+``repro_engine_cache_requests_total`` registry family so they appear in
+Prometheus exports) and :func:`reset_caches` clears state + counters so
+seeded experiments and tests cannot leak across runs. The counters are
+registered ``always=True``: they collect even with telemetry disabled,
+because experiment metadata and tests consume them functionally.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.engines.base import CompiledModule, EngineRunResult, WasmEngine
 from repro.oci.digest import sha256_digest
 from repro.wasm.runtime.compile import PreparedModule, prepare_module
@@ -37,26 +40,49 @@ _COMPILE_CACHE: Dict[Tuple[str, str], CompiledModule] = {}
 _PREPARED_CACHE: Dict[str, PreparedModule] = {}
 _RUN_CACHE: Dict[Tuple, EngineRunResult] = {}
 
+_CACHE_REQUESTS = obs.counter(
+    "repro_engine_cache_requests_total",
+    "guest-work cache lookups by layer and outcome",
+    ("layer", "outcome"),
+    always=True,
+)
 
-@dataclass
+
 class CacheStats:
-    """Hit/miss counters for one cache layer."""
+    """Hit/miss counters for one cache layer (registry-backed)."""
 
-    hits: int = 0
-    misses: int = 0
+    __slots__ = ("_hits", "_misses")
+
+    def __init__(self, layer: str) -> None:
+        self._hits = _CACHE_REQUESTS.labels(layer, "hit")
+        self._misses = _CACHE_REQUESTS.labels(layer, "miss")
+
+    @property
+    def hits(self) -> int:
+        return int(self._hits.value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._misses.value)
 
     @property
     def total(self) -> int:
         return self.hits + self.misses
 
+    def hit(self) -> None:
+        self._hits.inc()
+
+    def miss(self) -> None:
+        self._misses.inc()
+
     def reset(self) -> None:
-        self.hits = 0
-        self.misses = 0
+        self._hits.reset()
+        self._misses.reset()
 
 
-compile_stats = CacheStats()
-prepare_stats = CacheStats()
-run_stats = CacheStats()
+compile_stats = CacheStats("compile")
+prepare_stats = CacheStats("prepare")
+run_stats = CacheStats("run")
 
 
 def compile_cached(
@@ -69,11 +95,11 @@ def compile_cached(
     key = (engine.name, digest)
     compiled = _COMPILE_CACHE.get(key)
     if compiled is None:
-        compile_stats.misses += 1
+        compile_stats.miss()
         compiled = engine.compile(blob)
         _COMPILE_CACHE[key] = compiled
     else:
-        compile_stats.hits += 1
+        compile_stats.hit()
     prepare_cached(compiled.module, digest)
     return compiled
 
@@ -86,11 +112,11 @@ def prepare_cached(module, digest: str) -> PreparedModule:
     """
     pm = _PREPARED_CACHE.get(digest)
     if pm is None:
-        prepare_stats.misses += 1
+        prepare_stats.miss()
         pm = prepare_module(module)
         _PREPARED_CACHE[digest] = pm
     else:
-        prepare_stats.hits += 1
+        prepare_stats.hit()
         pm.attach(module)
     return pm
 
@@ -113,11 +139,11 @@ def run_cached(
     )
     result = _RUN_CACHE.get(key)
     if result is None:
-        run_stats.misses += 1
+        run_stats.miss()
         result = engine.run(compiled, args=args, env=env, stdin=stdin)
         _RUN_CACHE[key] = result
     else:
-        run_stats.hits += 1
+        run_stats.hit()
     return compiled, result
 
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.container.highlevel.cri import (
     ContainerConfig,
     CRIService,
@@ -68,6 +69,22 @@ class Kubelet:
     eviction_threshold_frac: float = 0.01
     _backoffs: Dict[str, BackoffTracker] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        self._m_syncs = obs.counter(
+            "repro_kubelet_pod_syncs_total",
+            "pod sync activities finished, by outcome",
+            ("result",),
+        )
+        self._m_backoffs = obs.counter(
+            "repro_kubelet_backoffs_total",
+            "backoff periods waited out, by reason",
+            ("reason",),
+        )
+        self._m_evictions = obs.counter(
+            "repro_kubelet_evictions_total",
+            "pods evicted to relieve node memory pressure",
+        )
+
     # -- pod sync (self-healing activity) -----------------------------------
 
     def sync_pod(self, pod: Pod):
@@ -87,19 +104,31 @@ class Kubelet:
                 "an explicit runtime configuration per pod"
             )
         profile = startup_profile(handler)
+        t_admit = self.env.kernel.now
 
         while True:
             # The pod may have been evicted or deleted while backing off.
             if pod.uid not in self.api.pods or pod.phase is PodPhase.FAILED:
+                self._m_syncs.labels("abandoned").inc()
                 return pod
             try:
                 yield from self._sync_attempt(pod, handler, profile)
                 self._backoffs.pop(pod.uid, None)
+                self._m_syncs.labels("ok").inc()
+                self.env.tracer.record(
+                    "pod.sync",
+                    pod.uid,
+                    t_admit,
+                    self.env.kernel.now,
+                    config=handler,
+                    attempts=str(pod.restart_count + 1),
+                )
                 return pod
             except (ContainerError, EngineError, OutOfMemory) as exc:
                 self._cleanup_attempt(pod)
                 reason = self._failure_action(pod, exc)
                 if reason is None:
+                    self._m_syncs.labels("failed").inc()
                     self.api.set_phase(
                         pod,
                         PodPhase.FAILED,
@@ -193,6 +222,7 @@ class Kubelet:
             tracker = BackoffTracker(self.backoff_policy, self.env.rng, pod.uid)
             self._backoffs[pod.uid] = tracker
         delay = tracker.next_delay()
+        self._m_backoffs.labels(reason).inc()
         pod.restart_count += 1
         t0 = self.env.kernel.now
         pod.backoff_until = t0 + delay
@@ -242,6 +272,7 @@ class Kubelet:
             or "node memory exhausted: evicted newest pod to relieve pressure",
             reason=REASON_EVICTED,
         )
+        self._m_evictions.inc()
         now = self.env.kernel.now
         self.env.tracer.record(
             "recovery.eviction", pod.uid, now, now, reason=REASON_EVICTED

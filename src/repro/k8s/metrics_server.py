@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+from repro import obs
 from repro.container.highlevel.containerd import Containerd
 from repro.sim.memory import SystemMemoryModel
 
@@ -26,6 +27,14 @@ class MetricsServer:
     def __init__(self, memory: SystemMemoryModel, containerd: Containerd) -> None:
         self._memory = memory
         self._containerd = containerd
+        self._m_scrapes = obs.counter(
+            "repro_metrics_server_scrapes_total",
+            "metrics-server scrape passes over the node",
+        )
+        self._m_pods_scraped = obs.counter(
+            "repro_metrics_server_pods_scraped_total",
+            "pod working-set samples returned across all scrapes",
+        )
 
     def scrape(self) -> List[PodMetrics]:
         """One metrics pass over every pod on the node.
@@ -34,6 +43,8 @@ class MetricsServer:
         full accounting query per pod.
         """
         pods = sorted(self._containerd.pods.items())
+        self._m_scrapes.inc()
+        self._m_pods_scraped.inc(len(pods))
         working_sets = self._memory.cgroup_working_sets(
             handle.cgroup for _, handle in pods
         )

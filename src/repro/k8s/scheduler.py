@@ -7,11 +7,18 @@ scoring = least-pods spreading. Deterministic tie-break on node name.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import List, Optional
 
+from repro import obs
 from repro.errors import SchedulingError
 from repro.k8s.apiserver import APIServer
 from repro.k8s.objects import NodeInfo, Pod
+
+#: wall-clock decision latency buckets: scheduling is microseconds here
+_DECISION_BUCKETS = (
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 1e-2,
+)
 
 
 class Scheduler:
@@ -19,6 +26,19 @@ class Scheduler:
         self.api = api
         api.watch_pods(self._on_pod_event)
         self.scheduled_count = 0
+        self._obs_on = obs.enabled()
+        self._m_placements = obs.counter(
+            "repro_scheduler_placements_total", "pods bound to nodes", ("node",)
+        )
+        self._m_failures = obs.counter(
+            "repro_scheduler_placement_failures_total",
+            "scheduling attempts that found no feasible node",
+        )
+        self._m_latency = obs.histogram(
+            "repro_scheduler_decision_seconds",
+            "wall-clock latency of one scheduling decision",
+            buckets=_DECISION_BUCKETS,
+        )
 
     def _on_pod_event(self, pod: Pod) -> None:
         # Event-driven scheduling: try to place newly pending pods.
@@ -40,8 +60,10 @@ class Scheduler:
         ]
 
     def schedule(self, pod: Pod) -> NodeInfo:
+        t0 = perf_counter() if self._obs_on else 0.0
         candidates = self.feasible_nodes(pod)
         if not candidates:
+            self._m_failures.inc()
             raise SchedulingError(
                 f"0/{len(self.api.nodes)} nodes available for pod {pod.name} "
                 f"(handler={self.api.resolve_handler(pod)!r})"
@@ -49,6 +71,9 @@ class Scheduler:
         best = min(candidates, key=lambda n: (n.pod_count, n.name))
         self.api.bind_pod(pod, best.name)
         self.scheduled_count += 1
+        self._m_placements.labels(best.name).inc()
+        if self._obs_on:
+            self._m_latency.observe(perf_counter() - t0)
         return best
 
     def sweep(self) -> int:

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.k8s.cluster import Cluster, build_cluster
 from repro.measure.free import FreeSampler
 from repro.measure.stats import summarize, Summary
@@ -72,6 +73,10 @@ class ExperimentRunner:
         env: Optional[Dict[str, str]] = None,
         image: Optional[str] = None,
     ) -> DeploymentMeasurement:
+        if obs.enabled():
+            # Each experiment gets its own trace context (one Chrome-trace
+            # process row per deployment).
+            obs.new_context(f"deploy {config} n={count}")
         cluster = build_cluster(seed=self.seed)
         node = cluster.node
         for extra in self.extra_images:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro import obs
 from repro.errors import KubernetesError
 from repro.k8s.cluster import build_cluster
 from repro.k8s.objects import PodPhase, RestartPolicy
@@ -84,6 +85,8 @@ def run_recovery(
     that failed permanently or were evicted.
     """
     plan = plan if plan is not None else transient_plan(seed=seed)
+    if obs.enabled():
+        obs.new_context(f"recover {config} n={count}")
     kwargs = {} if memory_bytes is None else {"memory_bytes": memory_bytes}
     cluster = build_cluster(seed=seed, fault_plan=plan, **kwargs)
     deployment_name = f"recover-{config}"
@@ -113,6 +116,15 @@ def run_recovery(
         raise KubernetesError("recovery bookkeeping drift: ready != running")
 
     tracer = cluster.node.env.tracer
+    tracer.record(
+        "recovery.converge",
+        deployment_name,
+        t0,
+        cluster.kernel.now,
+        config=config,
+        converged=str(status["ready"] >= count),
+        rounds=str(rounds),
+    )
     backoffs = tuple(
         sorted(
             (

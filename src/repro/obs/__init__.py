@@ -1,0 +1,166 @@
+"""``repro.obs`` — cluster-wide telemetry: metrics, spans, exporters.
+
+The observability layer the paper's analysis needs: every subsystem
+(scheduler, kubelet, containerd, fault plan, memory accountant, engine
+caches, interpreter, WASI host) records into a **process-wide default
+registry** and every node tracer can mirror its spans into a
+**process-wide trace**, which the exporters in :mod:`repro.obs.export`
+turn into Prometheus text, Chrome trace-event JSON, or JSONL.
+
+Telemetry is off by default and **zero-cost when disabled**: call sites
+bind metric handles at component construction time, and with telemetry
+off they get :data:`~repro.obs.registry.NULL_METRIC` (no-op methods, no
+allocation). Flip it with :func:`set_enabled` *before* building a
+cluster/plan, or set ``REPRO_TELEMETRY=on`` in the environment. The one
+exception is metrics registered with ``always=True`` (the engine cache
+hit/miss counters), which collect regardless so existing cache-stats
+semantics survive.
+
+Span collection: each :class:`~repro.sim.trace.Tracer` built while
+telemetry is enabled gets a sink tagging its spans with the **current
+trace context** (one per experiment/cluster, labelled by
+:func:`new_context`), so a 27-experiment campaign exports as 27 separate
+tracks instead of one interleaved soup.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    MetricFamily,
+    MetricsRegistry,
+    NULL_METRIC,
+    NullMetric,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_METRIC",
+    "NullMetric",
+    "enabled",
+    "set_enabled",
+    "default_registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "new_context",
+    "current_context",
+    "context_labels",
+    "span_sink",
+    "tagged_spans",
+    "reset",
+]
+
+#: environment knob: ``REPRO_TELEMETRY=on`` enables telemetry at import
+TELEMETRY_ENV = "REPRO_TELEMETRY"
+
+_enabled = os.environ.get(TELEMETRY_ENV, "").lower() in ("1", "on", "true", "yes")
+_registry = MetricsRegistry()
+
+# -- global trace: (context id, Span) pairs ------------------------------------
+_contexts: Dict[int, str] = {}
+_spans: List[Tuple[int, "object"]] = []
+_current_context: int = 0
+
+
+def enabled() -> bool:
+    """Is telemetry collection on for components built from now on?"""
+    return _enabled
+
+
+def set_enabled(on: bool) -> None:
+    """Toggle telemetry. Affects components *constructed afterwards*."""
+    global _enabled
+    _enabled = bool(on)
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry every exporter and CLI flag reads."""
+    return _registry
+
+
+def counter(
+    name: str, help: str = "", labelnames: Sequence[str] = (), always: bool = False
+):
+    """A counter family from the default registry, or the null metric.
+
+    ``always=True`` registers and collects even with telemetry disabled —
+    for counters other code depends on functionally (engine cache stats).
+    """
+    if _enabled or always:
+        return _registry.counter(name, help, labelnames)
+    return NULL_METRIC
+
+
+def gauge(name: str, help: str = "", labelnames: Sequence[str] = (), always: bool = False):
+    if _enabled or always:
+        return _registry.gauge(name, help, labelnames)
+    return NULL_METRIC
+
+
+def histogram(
+    name: str,
+    help: str = "",
+    labelnames: Sequence[str] = (),
+    buckets=None,
+    always: bool = False,
+):
+    if _enabled or always:
+        return _registry.histogram(name, help, labelnames, buckets)
+    return NULL_METRIC
+
+
+# -- trace contexts ------------------------------------------------------------
+
+
+def new_context(label: str) -> int:
+    """Open a trace context (one experiment/cluster) and make it current."""
+    global _current_context
+    cid = len(_contexts) + 1
+    _contexts[cid] = label
+    _current_context = cid
+    return cid
+
+
+def current_context() -> int:
+    """The context id tracers built now should tag spans with (0 = none)."""
+    return _current_context
+
+
+def context_labels() -> Dict[int, str]:
+    return dict(_contexts)
+
+
+def span_sink(cid: Optional[int] = None) -> Callable[[object], None]:
+    """A Tracer sink appending (context, span) to the process-wide trace."""
+    if cid is None:
+        cid = _current_context or new_context("default")
+
+    def sink(span: object, _cid: int = cid) -> None:
+        _spans.append((_cid, span))
+
+    return sink
+
+
+def tagged_spans() -> List[Tuple[int, "object"]]:
+    """Every span mirrored into the global trace, in record order."""
+    return list(_spans)
+
+
+def reset() -> None:
+    """Zero all metric values and drop the global trace.
+
+    Family registrations (and handles components already bound) stay
+    valid — only values and spans are cleared, so experiments and the
+    overhead benchmark can isolate runs within one process.
+    """
+    global _current_context
+    _registry.reset()
+    _contexts.clear()
+    _spans.clear()
+    _current_context = 0

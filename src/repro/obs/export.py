@@ -1,0 +1,417 @@
+"""Telemetry exporters: Prometheus text, Chrome trace JSON, JSONL.
+
+Three standard formats, so the simulated cluster can be inspected with
+the same tools as a real one:
+
+* :func:`prometheus_text` — the text exposition format (`# HELP` /
+  `# TYPE` / sample lines); :func:`parse_prometheus_text` is the matching
+  line-format checker CI round-trips the output through.
+* :func:`chrome_trace` — trace-event JSON loadable in Perfetto or
+  ``chrome://tracing``: one *process* track per trace context (one
+  experiment/cluster) and one *thread* track per node component
+  (category prefix: ``startup``, ``pod``, ``recovery``, …), complete
+  ("X") events in simulated microseconds.
+* :func:`jsonl_events` — a structured event log, one JSON object per
+  line, monotonically ordered by simulated start timestamp.
+
+:func:`load_trace_events` reads either trace format back and
+:func:`render_breakdown` turns it into the per-layer/per-phase table
+``repro inspect`` prints.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import re
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.obs.registry import CounterChild, GaugeChild, HistogramChild, MetricsRegistry
+from repro.sim.trace import Span
+
+# -- Prometheus text exposition ------------------------------------------------
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, bool):  # bools are ints; be explicit anyway
+        return str(int(value))
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+
+
+def _label_str(labelnames: Tuple[str, ...], labelvalues: Tuple[str, ...], extra: str = "") -> str:
+    pairs = [
+        f'{name}="{_escape_label(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    ]
+    if extra:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render every family in the text exposition format (name-sorted)."""
+    lines: List[str] = []
+    for family in registry.collect():
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labelvalues, child in family.samples():
+            if isinstance(child, (CounterChild, GaugeChild)):
+                label_str = _label_str(family.labelnames, labelvalues)
+                lines.append(f"{family.name}{label_str} {_fmt_value(child.value)}")
+            elif isinstance(child, HistogramChild):
+                cumulative = child.cumulative_buckets()
+                for upper, count in zip(family.buckets, cumulative):
+                    le = _label_str(
+                        family.labelnames, labelvalues, extra=f'le="{_fmt_value(upper)}"'
+                    )
+                    lines.append(f"{family.name}_bucket{le} {count}")
+                inf = _label_str(family.labelnames, labelvalues, extra='le="+Inf"')
+                lines.append(f"{family.name}_bucket{inf} {child.count}")
+                label_str = _label_str(family.labelnames, labelvalues)
+                lines.append(f"{family.name}_sum{label_str} {_fmt_value(child.sum)}")
+                lines.append(f"{family.name}_count{label_str} {child.count}")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[+-]?(?:[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?|Inf)|NaN)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape_label(value: str) -> str:
+    return value.replace(r"\"", '"').replace(r"\n", "\n").replace(r"\\", "\\")
+
+
+def parse_prometheus_text(text: str) -> Dict[str, dict]:
+    """Line-format checker: parse exposition text back into families.
+
+    Returns ``{family: {"help": str, "type": str, "samples":
+    {(sample_name, ((label, value), ...)): float}}}`` and raises
+    :class:`ValueError` on any malformed line, duplicate sample, or
+    sample without a preceding ``# TYPE``.
+    """
+    families: Dict[str, dict] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP ") :].split(" ", 1)
+            families.setdefault(parts[0], {"help": "", "type": None, "samples": {}})[
+                "help"
+            ] = parts[1] if len(parts) > 1 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE ") :].split(" ", 1)
+            if len(parts) != 2 or parts[1] not in ("counter", "gauge", "histogram"):
+                raise ValueError(f"line {lineno}: bad TYPE line {line!r}")
+            families.setdefault(parts[0], {"help": "", "type": None, "samples": {}})[
+                "type"
+            ] = parts[1]
+            continue
+        if line.startswith("#"):
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        sample_name = m.group("name")
+        family_name = re.sub(r"_(bucket|sum|count)$", "", sample_name)
+        family = families.get(sample_name) or families.get(family_name)
+        if family is None or family["type"] is None:
+            raise ValueError(f"line {lineno}: sample {sample_name!r} has no # TYPE")
+        raw_labels = m.group("labels") or ""
+        labels = tuple(
+            (name, _unescape_label(value)) for name, value in _LABEL_RE.findall(raw_labels)
+        )
+        if raw_labels and not labels and raw_labels.strip():
+            raise ValueError(f"line {lineno}: malformed labels {raw_labels!r}")
+        value_str = m.group("value")
+        value = float("nan") if value_str == "NaN" else float(value_str.replace("Inf", "inf"))
+        key = (sample_name, labels)
+        if key in family["samples"]:
+            raise ValueError(f"line {lineno}: duplicate sample {key!r}")
+        family["samples"][key] = value
+    return families
+
+
+def metric_families(text: str) -> List[str]:
+    """Family names present in exposition text (validated)."""
+    return sorted(parse_prometheus_text(text))
+
+
+# -- Chrome trace-event JSON ---------------------------------------------------
+
+
+def _component(category: str) -> str:
+    """Node component owning a span: the category's first dotted segment."""
+    return category.split(".", 1)[0]
+
+
+def chrome_trace(
+    tagged_spans: Iterable[Tuple[int, Span]],
+    context_labels: Optional[Mapping[int, str]] = None,
+) -> dict:
+    """Trace-event JSON: pid = trace context, tid = node component.
+
+    Simulated seconds land on the trace timeline as microseconds, so a
+    4-second deployment reads as 4 s in Perfetto.
+    """
+    context_labels = dict(context_labels or {})
+    events: List[dict] = []
+    tids: Dict[Tuple[int, str], int] = {}
+    seen_pids: Dict[int, bool] = {}
+
+    def tid_for(pid: int, component: str) -> int:
+        key = (pid, component)
+        tid = tids.get(key)
+        if tid is None:
+            tid = len([k for k in tids if k[0] == pid]) + 1
+            tids[key] = tid
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": component},
+                }
+            )
+        return tid
+
+    for cid, span in tagged_spans:
+        pid = cid or 1
+        if pid not in seen_pids:
+            seen_pids[pid] = True
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "args": {"name": context_labels.get(pid, f"context-{pid}")},
+                }
+            )
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.category,
+                "ts": round(span.start * 1e6, 3),
+                "dur": round(span.duration * 1e6, 3),
+                "pid": pid,
+                "tid": tid_for(pid, _component(span.category)),
+                "args": {k: v for k, v in span.attrs},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(obj: object) -> int:
+    """Assert trace-event schema; returns the number of complete events.
+
+    Checks what Perfetto/``chrome://tracing`` require to load the file:
+    a ``traceEvents`` list whose entries carry a phase, and whose "X"
+    events have numeric ``ts``/``dur`` and integer ``pid``/``tid``.
+    """
+    if not isinstance(obj, dict) or not isinstance(obj.get("traceEvents"), list):
+        raise ValueError("not a Chrome trace: missing traceEvents list")
+    complete = 0
+    for i, event in enumerate(obj["traceEvents"]):
+        if not isinstance(event, dict) or "ph" not in event:
+            raise ValueError(f"traceEvents[{i}]: not an event object")
+        ph = event["ph"]
+        if ph == "X":
+            for field in ("name", "cat"):
+                if not isinstance(event.get(field), str):
+                    raise ValueError(f"traceEvents[{i}]: missing {field!r}")
+            for field in ("ts", "dur"):
+                value = event.get(field)
+                if not isinstance(value, (int, float)) or not math.isfinite(value):
+                    raise ValueError(f"traceEvents[{i}]: bad {field!r}: {value!r}")
+            if event["dur"] < 0:
+                raise ValueError(f"traceEvents[{i}]: negative dur")
+            for field in ("pid", "tid"):
+                if not isinstance(event.get(field), int):
+                    raise ValueError(f"traceEvents[{i}]: bad {field!r}")
+            complete += 1
+        elif ph == "M":
+            if not isinstance(event.get("args"), dict):
+                raise ValueError(f"traceEvents[{i}]: metadata event without args")
+        else:
+            raise ValueError(f"traceEvents[{i}]: unexpected phase {ph!r}")
+    return complete
+
+
+# -- JSONL event log -----------------------------------------------------------
+
+
+def jsonl_events(
+    tagged_spans: Iterable[Tuple[int, Span]],
+    context_labels: Optional[Mapping[int, str]] = None,
+) -> str:
+    """One JSON object per line, sorted by simulated start timestamp."""
+    context_labels = dict(context_labels or {})
+    rows = sorted(
+        tagged_spans,
+        key=lambda pair: (pair[1].start, pair[0], pair[1].end, pair[1].category, pair[1].name),
+    )
+    lines = [
+        json.dumps(
+            {
+                "ts": span.start,
+                "dur": span.duration,
+                "category": span.category,
+                "name": span.name,
+                "ctx": context_labels.get(cid, f"context-{cid}"),
+                "attrs": {k: v for k, v in span.attrs},
+            },
+            sort_keys=True,
+        )
+        for cid, span in rows
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- reading traces back (repro inspect) ---------------------------------------
+
+
+def load_trace_events(path: pathlib.Path) -> List[dict]:
+    """Read a Chrome trace JSON or JSONL file into normalized records.
+
+    Records: ``{"category", "name", "ctx", "ts_s", "dur_s"}``.
+    """
+    text = pathlib.Path(path).read_text()
+    records: List[dict] = []
+    # A Chrome trace is one JSON document; JSONL is one object *per line*
+    # (a multi-line JSONL file fails the whole-document parse).
+    obj: object = None
+    if pathlib.Path(path).suffix != ".jsonl":
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError:
+            obj = None
+    if isinstance(obj, dict):
+        validate_chrome_trace(obj)
+        names = {
+            event["pid"]: event["args"].get("name", str(event["pid"]))
+            for event in obj["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "process_name"
+        }
+        for event in obj["traceEvents"]:
+            if event["ph"] != "X":
+                continue
+            records.append(
+                {
+                    "category": event["cat"],
+                    "name": event["name"],
+                    "ctx": names.get(event["pid"], str(event["pid"])),
+                    "ts_s": event["ts"] / 1e6,
+                    "dur_s": event["dur"] / 1e6,
+                }
+            )
+        return records
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        row = json.loads(line)
+        records.append(
+            {
+                "category": row["category"],
+                "name": row["name"],
+                "ctx": row.get("ctx", ""),
+                "ts_s": row["ts"],
+                "dur_s": row["dur"],
+            }
+        )
+    return records
+
+
+def render_breakdown(records: List[dict], category: Optional[str] = None) -> str:
+    """Per-layer/per-phase table over trace records.
+
+    One row per span category, grouped under its component (category
+    prefix), with span counts and total/mean/max simulated time —
+    the causal decomposition the paper's figures assert but never show.
+    """
+    if category is not None:
+        records = [r for r in records if r["category"].startswith(category)]
+    if not records:
+        return "trace: no spans" + (f" matching {category!r}" if category else "")
+
+    by_cat: Dict[str, List[dict]] = defaultdict(list)
+    for record in records:
+        by_cat[record["category"]].append(record)
+
+    layers: Dict[str, List[str]] = defaultdict(list)
+    for cat in by_cat:
+        layers[_component(cat)].append(cat)
+
+    def total(cat: str) -> float:
+        return sum(r["dur_s"] for r in by_cat[cat])
+
+    t_min = min(r["ts_s"] for r in records)
+    t_max = max(r["ts_s"] + r["dur_s"] for r in records)
+    contexts = sorted({r["ctx"] for r in records})
+
+    lines = [
+        f"trace: {len(records)} spans, {len(by_cat)} categories, "
+        f"{len(contexts)} context(s), simulated window "
+        f"{t_min:.3f}s .. {t_max:.3f}s",
+        "",
+        f"{'layer':12s} {'phase':28s} {'spans':>7s} {'total (s)':>11s} "
+        f"{'mean (ms)':>11s} {'max (ms)':>11s}",
+    ]
+    for layer in sorted(layers, key=lambda l: -sum(total(c) for c in layers[l])):
+        for i, cat in enumerate(sorted(layers[layer], key=lambda c: -total(c))):
+            durations = [r["dur_s"] for r in by_cat[cat]]
+            lines.append(
+                f"{layer if i == 0 else '':12s} {cat:28s} {len(durations):>7d} "
+                f"{sum(durations):>11.3f} "
+                f"{1000 * sum(durations) / len(durations):>11.3f} "
+                f"{1000 * max(durations):>11.3f}"
+            )
+    return "\n".join(lines)
+
+
+# -- CLI glue ------------------------------------------------------------------
+
+
+def write_outputs(
+    trace_out: Optional[str] = None, metrics_out: Optional[str] = None
+) -> List[str]:
+    """Write the process-wide telemetry to files; returns paths written.
+
+    ``trace_out`` ending in ``.jsonl`` selects the JSONL event log,
+    anything else the Chrome trace JSON. ``metrics_out`` gets the default
+    registry in Prometheus text format.
+    """
+    from repro import obs
+
+    written: List[str] = []
+    if trace_out:
+        spans = obs.tagged_spans()
+        labels = obs.context_labels()
+        path = pathlib.Path(trace_out)
+        if path.suffix == ".jsonl":
+            path.write_text(jsonl_events(spans, labels))
+        else:
+            path.write_text(json.dumps(chrome_trace(spans, labels)) + "\n")
+        written.append(str(path))
+    if metrics_out:
+        path = pathlib.Path(metrics_out)
+        path.write_text(prometheus_text(obs.default_registry()))
+        written.append(str(path))
+    return written

@@ -1,0 +1,273 @@
+"""Metrics primitives: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` owns metric *families* keyed by name; a family
+with label names fans out into per-label-value children on first use
+(``family.labels(...)``), mirroring the Prometheus client model. Values
+are plain Python numbers — an increment is one attribute add — so the
+collecting path stays cheap enough to leave on during full campaigns.
+
+Two properties matter to the rest of the stack:
+
+* **get-or-create registration** — instrumented components call
+  ``registry.counter(name, ...)`` from their constructors; the first call
+  registers the family, later calls (a second cluster in the same
+  process) return the same family, so values aggregate process-wide.
+* **null metrics** — :data:`NULL_METRIC` absorbs the full metric API as
+  no-ops. Components bind it instead of a live child when telemetry is
+  disabled, which is what makes instrumentation zero-cost-when-disabled
+  (see ``benchmarks/test_obs_overhead.py`` for the measured contract).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+
+#: Default histogram buckets: tuned for simulated/wall latencies in
+#: seconds — spans from sub-millisecond decisions to multi-second phases.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class NullMetric:
+    """No-op stand-in bound by call sites when telemetry is off.
+
+    Implements the union of the child APIs (counter/gauge/histogram) so
+    one shared instance serves every site. ``labels`` returns itself, so
+    ``handle.labels(x).inc()`` is two no-op calls and no allocation.
+    """
+
+    __slots__ = ()
+
+    def labels(self, *values: str, **kv: str) -> "NullMetric":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+
+NULL_METRIC = NullMetric()
+
+
+class _Child:
+    """One (family, label-values) time series."""
+
+    __slots__ = ("_family",)
+
+    def __init__(self, family: "MetricFamily") -> None:
+        self._family = family
+
+
+class CounterChild(_Child):
+    __slots__ = ("value",)
+
+    def __init__(self, family: "MetricFamily") -> None:
+        super().__init__(family)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise SimulationError("counters only go up; use a gauge")
+        self.value += amount
+        self._family.registry.events += 1
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class GaugeChild(_Child):
+    __slots__ = ("value",)
+
+    def __init__(self, family: "MetricFamily") -> None:
+        super().__init__(family)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self._family.registry.events += 1
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+        self._family.registry.events += 1
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class HistogramChild(_Child):
+    __slots__ = ("bucket_counts", "sum", "count")
+
+    def __init__(self, family: "MetricFamily") -> None:
+        super().__init__(family)
+        self.bucket_counts = [0] * len(family.buckets)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        buckets = self._family.buckets
+        for i, upper in enumerate(buckets):
+            if value <= upper:
+                self.bucket_counts[i] += 1
+                break
+        self.sum += value
+        self.count += 1
+        self._family.registry.events += 1
+
+    def cumulative_buckets(self) -> List[int]:
+        """Cumulative per-``le`` counts, Prometheus exposition style."""
+        out, running = [], 0
+        for n in self.bucket_counts:
+            running += n
+            out.append(running)
+        return out
+
+    def reset(self) -> None:
+        self.bucket_counts = [0] * len(self._family.buckets)
+        self.sum = 0.0
+        self.count = 0
+
+
+_CHILD_TYPES = {"counter": CounterChild, "gauge": GaugeChild, "histogram": HistogramChild}
+
+
+class MetricFamily:
+    """One named metric family; children keyed by label values."""
+
+    __slots__ = ("registry", "name", "kind", "help", "labelnames", "buckets", "_children")
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: Tuple[str, ...],
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.registry = registry
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = labelnames
+        self.buckets = tuple(sorted(buckets))
+        self._children: Dict[Tuple[str, ...], _Child] = {}
+        if not labelnames:
+            self.labels()  # materialize the single series at 0
+
+    def labels(self, *values: str, **kv: str) -> _Child:
+        """Child for one label-value combination (created on first use)."""
+        if kv:
+            if values:
+                raise SimulationError("pass label values positionally or by name, not both")
+            values = tuple(kv[name] for name in self.labelnames)
+        if len(values) != len(self.labelnames):
+            raise SimulationError(
+                f"{self.name}: expected labels {self.labelnames}, got {values!r}"
+            )
+        key = tuple(str(v) for v in values)
+        child = self._children.get(key)
+        if child is None:
+            child = _CHILD_TYPES[self.kind](self)
+            self._children[key] = child
+        return child
+
+    # Labelless convenience: family doubles as its single child.
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)  # type: ignore[union-attr]
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)  # type: ignore[union-attr]
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)  # type: ignore[union-attr]
+
+    @property
+    def value(self) -> float:
+        return self.labels().value  # type: ignore[union-attr]
+
+    def samples(self) -> List[Tuple[Tuple[str, ...], _Child]]:
+        """Children in sorted label order (deterministic export)."""
+        return sorted(self._children.items())
+
+    def reset(self) -> None:
+        for child in self._children.values():
+            child.reset()
+
+
+class MetricsRegistry:
+    """A named set of metric families with get-or-create registration."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+        #: total metric observations recorded (for the overhead contract)
+        self.events = 0
+
+    def _get_or_create(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: Sequence[str],
+        buckets: Optional[Iterable[float]] = None,
+    ) -> MetricFamily:
+        family = self._families.get(name)
+        if family is not None:
+            if family.kind != kind or family.labelnames != tuple(labelnames):
+                raise SimulationError(
+                    f"metric {name!r} re-registered as {kind}{tuple(labelnames)}, "
+                    f"was {family.kind}{family.labelnames}"
+                )
+            return family
+        family = MetricFamily(
+            self,
+            name,
+            kind,
+            help,
+            tuple(labelnames),
+            tuple(buckets) if buckets is not None else DEFAULT_BUCKETS,
+        )
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> MetricFamily:
+        return self._get_or_create(name, "counter", help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> MetricFamily:
+        return self._get_or_create(name, "gauge", help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Iterable[float]] = None,
+    ) -> MetricFamily:
+        return self._get_or_create(name, "histogram", help, labelnames, buckets)
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        return self._families.get(name)
+
+    def collect(self) -> List[MetricFamily]:
+        """All families, name-sorted (the exporters' iteration order)."""
+        return [self._families[name] for name in sorted(self._families)]
+
+    def reset(self) -> None:
+        """Zero every series, keeping registrations and bound handles valid."""
+        for family in self._families.values():
+            family.reset()
+        self.events = 0

@@ -23,6 +23,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro import obs
 from repro.errors import FaultInjected, SimulationError
 from repro.sim.rng import RngStreams
 
@@ -88,6 +89,15 @@ class FaultPlan:
         self._fired: List[InjectedFault] = []
         self._fired_per_point: Dict[FaultPoint, int] = {}
         self._checks = 0
+        self._m_checks = obs.counter(
+            "repro_faults_checks_total",
+            "armed injection-point checks performed",
+        )
+        self._m_injected = obs.counter(
+            "repro_faults_injected_total",
+            "faults actually fired, by injection point",
+            ("point",),
+        )
 
     @property
     def seed(self) -> int:
@@ -129,6 +139,7 @@ class FaultPlan:
         if spec is None or spec.probability <= 0.0:
             return None
         self._checks += 1
+        self._m_checks.inc()
         used = self._fired_per_point.get(point, 0)
         if spec.max_occurrences is not None and used >= spec.max_occurrences:
             return None
@@ -146,6 +157,7 @@ class FaultPlan:
         )
         self._fired_per_point[point] = used + 1
         self._fired.append(fault)
+        self._m_injected.labels(point.value).inc()
         return fault
 
     def raise_if_fires(self, point: FaultPoint, key: str) -> None:

@@ -37,6 +37,7 @@ import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
+from repro import obs
 from repro.errors import OutOfMemory, SimulationError
 from repro.sim.process import MemorySegment, SegmentKind, SimProcess
 
@@ -175,6 +176,22 @@ class SystemMemoryModel:
         self._file_total = 0
         self._cache_total = 0
         self.reference = ReferenceAccountant(self)
+        # Query/audit telemetry, children pre-bound (hot path).
+        _m_queries = obs.counter(
+            "repro_memory_queries_total",
+            "memory-accounting queries answered, by query kind",
+            ("query",),
+        )
+        self._q_free = _m_queries.labels("free_report")
+        self._q_node = _m_queries.labels("node_working_set")
+        self._q_cgroup = _m_queries.labels("cgroup_working_set")
+        _m_audit = obs.counter(
+            "repro_memory_audit_total",
+            "audit-mode incremental-vs-reference cross-checks, by result",
+            ("result",),
+        )
+        self._a_ok = _m_audit.labels("ok")
+        self._a_drift = _m_audit.labels("drift")
 
     # -- process lifecycle ---------------------------------------------------
 
@@ -357,11 +374,14 @@ class SystemMemoryModel:
         if self.accounting == "incremental":
             return incremental
         reference = reference_fn()
-        if self.accounting == "audit" and incremental != reference:
-            raise SimulationError(
-                f"accounting drift in {what}: incremental={incremental} "
-                f"reference={reference}"
-            )
+        if self.accounting == "audit":
+            if incremental != reference:
+                self._a_drift.inc()
+                raise SimulationError(
+                    f"accounting drift in {what}: incremental={incremental} "
+                    f"reference={reference}"
+                )
+            self._a_ok.inc()
         return reference
 
     def verify_accounting(self) -> None:
@@ -413,6 +433,7 @@ class SystemMemoryModel:
         )
 
     def free_report(self) -> FreeReport:
+        self._q_free.inc()
         private = self._checked(
             "private_total", self._private_total, self.reference.private_total
         )
@@ -463,6 +484,7 @@ class SystemMemoryModel:
         Private memory of member processes plus shared files charged to a
         member cgroup. This is what the metrics server aggregates per pod.
         """
+        self._q_cgroup.inc()
         return self._checked(
             f"cgroup_working_set({cgroup_prefix!r})",
             self._cgroup_working_set_incremental(cgroup_prefix),
@@ -480,6 +502,7 @@ class SystemMemoryModel:
         prefixes = set(cgroup_prefixes)
         if self.accounting != "incremental":
             return {p: self.cgroup_working_set(p) for p in sorted(prefixes)}
+        self._q_cgroup.inc(len(prefixes))
         totals = {p: 0 for p in prefixes}
 
         def credit(cgroup: str, amount: int) -> None:
@@ -498,6 +521,7 @@ class SystemMemoryModel:
 
     def node_working_set(self) -> int:
         """Sum of all process private memory + each shared file once."""
+        self._q_node.inc()
         return self._checked(
             "node_working_set",
             self._private_total + self._file_total,

@@ -2,15 +2,28 @@
 
 Components record named spans (``category``, ``name``, start/end in
 simulated seconds, free-form attributes); the measurement layer
-aggregates them into per-phase startup breakdowns — the observability
-needed to *explain* Figs 8/9 rather than just reproduce them.
+aggregates them into per-phase breakdowns — the observability needed to
+*explain* Figs 8/9 rather than just reproduce them. Beyond startup, the
+control plane records ``pod.sync`` (admission → Running),
+``recovery.backoff`` / ``recovery.eviction``, and ``recovery.converge``
+spans, so a whole fault-recovery timeline exports as one trace.
+
+Queries are indexed: ``record()`` maintains a per-category and a
+per-attribute index, so ``by_category``/``filtered`` touch only matching
+spans instead of scanning the full log (the 400-pod experiment records
+thousands of spans; recovery post-processing reads categories holding a
+few dozen).
+
+A tracer can mirror everything it records into a ``sink`` callable —
+:mod:`repro.obs` uses this to collect spans process-wide for the Chrome
+trace / JSONL exporters without the simulation layer knowing about them.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -34,10 +47,27 @@ class Span:
 
 @dataclass
 class Tracer:
-    """Append-only span log."""
+    """Append-only span log with category/attribute indexes."""
 
     spans: List[Span] = field(default_factory=list)
     enabled: bool = True
+    #: optional mirror for every recorded span (process-wide collection)
+    sink: Optional[Callable[[Span], None]] = None
+    _by_category: Dict[str, List[Span]] = field(
+        default_factory=dict, init=False, repr=False
+    )
+    _by_attr: Dict[Tuple[str, str], List[Span]] = field(
+        default_factory=dict, init=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        for span in self.spans:
+            self._index(span)
+
+    def _index(self, span: Span) -> None:
+        self._by_category.setdefault(span.category, []).append(span)
+        for pair in span.attrs:
+            self._by_attr.setdefault(pair, []).append(span)
 
     def record(
         self, category: str, name: str, start: float, end: float, **attrs: str
@@ -46,16 +76,32 @@ class Tracer:
             return
         if end < start:
             raise ValueError(f"span {category}/{name} ends before it starts")
-        self.spans.append(
-            Span(category, name, start, end, tuple(sorted(attrs.items())))
-        )
+        span = Span(category, name, start, end, tuple(sorted(attrs.items())))
+        self.spans.append(span)
+        self._index(span)
+        if self.sink is not None:
+            self.sink(span)
 
     def by_category(self, category: str) -> List[Span]:
-        return [s for s in self.spans if s.category == category]
+        return list(self._by_category.get(category, ()))
+
+    def categories(self) -> List[str]:
+        return sorted(self._by_category)
 
     def filtered(self, **attrs: str) -> List[Span]:
+        """Spans carrying every given attribute value.
+
+        Scans only the smallest matching attribute bucket, then verifies
+        the remaining attrs — O(best bucket), not O(all spans).
+        """
+        if not attrs:
+            return list(self.spans)
+        buckets = [self._by_attr.get(pair, []) for pair in attrs.items()]
+        smallest = min(buckets, key=len)
+        if len(attrs) == 1:
+            return list(smallest)
         return [
-            s for s in self.spans if all(s.attr(k) == v for k, v in attrs.items())
+            s for s in smallest if all(s.attr(k) == v for k, v in attrs.items())
         ]
 
     def phase_totals(self, **attrs: str) -> Dict[str, float]:
@@ -76,3 +122,5 @@ class Tracer:
 
     def clear(self) -> None:
         self.spans.clear()
+        self._by_category.clear()
+        self._by_attr.clear()

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence, Union
 
+from repro import obs
 from repro.errors import WasiExit, WasmError
 from repro.wasm.ast import Module
 from repro.wasm.decoder import decode_module
@@ -95,6 +96,18 @@ def run_wasi(
             raise WasmError(f"module has no {entrypoint!r} export and no start section")
     except WasiExit as stop:
         exit_code = stop.code
+
+    if obs.enabled():
+        obs.counter(
+            "repro_wasm_instructions_total",
+            "guest instructions retired across all interpreter runs",
+        ).inc(interp.instructions_executed)
+        remaining = getattr(interp, "fuel", None)
+        if fuel is not None and remaining is not None:
+            obs.counter(
+                "repro_wasm_fuel_consumed_total",
+                "fuel consumed by fuel-limited guest runs",
+            ).inc(fuel - max(remaining, 0))
 
     return WasiRunResult(
         exit_code=exit_code,

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.errors import WasiExit, WasmTrap
 from repro.wasm.runtime.host import HostModule, sig
 from repro.wasm.runtime.store import MemoryInstance, Store
@@ -84,34 +85,52 @@ class WasiEnv:
     def register(self, store: Store) -> HostModule:
         """Create the ``wasi_snapshot_preview1`` host module in ``store``."""
         hm = HostModule(store, MODULE_NAME)
-        hm.func("args_sizes_get", sig("ii", "i"), self.args_sizes_get)
-        hm.func("args_get", sig("ii", "i"), self.args_get)
-        hm.func("environ_sizes_get", sig("ii", "i"), self.environ_sizes_get)
-        hm.func("environ_get", sig("ii", "i"), self.environ_get)
-        hm.func("clock_time_get", sig("iIi", "i"), self.clock_time_get)
-        hm.func("clock_res_get", sig("ii", "i"), self.clock_res_get)
-        hm.func("fd_write", sig("iiii", "i"), self.fd_write)
-        hm.func("fd_read", sig("iiii", "i"), self.fd_read)
-        hm.func("fd_close", sig("i", "i"), self.fd_close)
-        hm.func("fd_seek", sig("iIii", "i"), self.fd_seek)
-        hm.func("fd_fdstat_get", sig("ii", "i"), self.fd_fdstat_get)
-        hm.func("fd_fdstat_set_flags", sig("ii", "i"), lambda fd, flags: [E.SUCCESS])
-        hm.func("fd_prestat_get", sig("ii", "i"), self.fd_prestat_get)
-        hm.func("fd_prestat_dir_name", sig("iii", "i"), self.fd_prestat_dir_name)
-        hm.func("fd_filestat_get", sig("ii", "i"), self.fd_filestat_get)
-        hm.func("path_open", sig("iiiiiIIii", "i"), self.path_open)
-        hm.func("path_filestat_get", sig("iiiii", "i"), self.path_filestat_get)
-        hm.func("path_create_directory", sig("iii", "i"), self.path_create_directory)
-        hm.func("path_unlink_file", sig("iii", "i"), self.path_unlink_file)
-        hm.func("path_remove_directory", sig("iii", "i"), self.path_remove_directory)
-        hm.func("fd_tell", sig("ii", "i"), self.fd_tell)
-        hm.func("fd_readdir", sig("iiiIi", "i"), self.fd_readdir)
-        hm.func("fd_sync", sig("i", "i"), lambda fd: [E.SUCCESS])
-        hm.func("fd_datasync", sig("i", "i"), lambda fd: [E.SUCCESS])
-        hm.func("random_get", sig("ii", "i"), self.random_get)
-        hm.func("proc_exit", sig("i"), self.proc_exit)
-        hm.func("sched_yield", sig("", "i"), lambda: [E.SUCCESS])
-        hm.func("poll_oneoff", sig("iiii", "i"), self.poll_oneoff)
+        if obs.enabled():
+            calls = obs.counter(
+                "repro_wasi_calls_total",
+                "WASI preview1 host calls, by import name",
+                ("func",),
+            )
+
+            def add(name: str, signature, fn) -> None:
+                child = calls.labels(name)
+
+                def wrapped(*args, _fn=fn, _child=child):
+                    _child.inc()
+                    return _fn(*args)
+
+                hm.func(name, signature, wrapped)
+
+        else:
+            add = hm.func
+        add("args_sizes_get", sig("ii", "i"), self.args_sizes_get)
+        add("args_get", sig("ii", "i"), self.args_get)
+        add("environ_sizes_get", sig("ii", "i"), self.environ_sizes_get)
+        add("environ_get", sig("ii", "i"), self.environ_get)
+        add("clock_time_get", sig("iIi", "i"), self.clock_time_get)
+        add("clock_res_get", sig("ii", "i"), self.clock_res_get)
+        add("fd_write", sig("iiii", "i"), self.fd_write)
+        add("fd_read", sig("iiii", "i"), self.fd_read)
+        add("fd_close", sig("i", "i"), self.fd_close)
+        add("fd_seek", sig("iIii", "i"), self.fd_seek)
+        add("fd_fdstat_get", sig("ii", "i"), self.fd_fdstat_get)
+        add("fd_fdstat_set_flags", sig("ii", "i"), lambda fd, flags: [E.SUCCESS])
+        add("fd_prestat_get", sig("ii", "i"), self.fd_prestat_get)
+        add("fd_prestat_dir_name", sig("iii", "i"), self.fd_prestat_dir_name)
+        add("fd_filestat_get", sig("ii", "i"), self.fd_filestat_get)
+        add("path_open", sig("iiiiiIIii", "i"), self.path_open)
+        add("path_filestat_get", sig("iiiii", "i"), self.path_filestat_get)
+        add("path_create_directory", sig("iii", "i"), self.path_create_directory)
+        add("path_unlink_file", sig("iii", "i"), self.path_unlink_file)
+        add("path_remove_directory", sig("iii", "i"), self.path_remove_directory)
+        add("fd_tell", sig("ii", "i"), self.fd_tell)
+        add("fd_readdir", sig("iiiIi", "i"), self.fd_readdir)
+        add("fd_sync", sig("i", "i"), lambda fd: [E.SUCCESS])
+        add("fd_datasync", sig("i", "i"), lambda fd: [E.SUCCESS])
+        add("random_get", sig("ii", "i"), self.random_get)
+        add("proc_exit", sig("i"), self.proc_exit)
+        add("sched_yield", sig("", "i"), lambda: [E.SUCCESS])
+        add("poll_oneoff", sig("iiii", "i"), self.poll_oneoff)
         return hm
 
     # -- memory helpers --------------------------------------------------------

@@ -1,0 +1,38 @@
+"""MetricsServer.scrape: empty node, steady state, and post-eviction."""
+
+from repro.sim.memory import MIB
+
+
+class TestScrape:
+    def test_empty_node_scrapes_empty(self, cluster):
+        assert cluster.node.metrics.scrape() == []
+        assert cluster.node.metrics.total_pod_bytes() == 0
+
+    def test_scrape_covers_every_running_pod(self, cluster):
+        pods = cluster.deploy_and_wait("crun-wamr", 3)
+        samples = cluster.node.metrics.scrape()
+        assert {m.pod_uid for m in samples} == {p.uid for p in pods}
+        for m in samples:
+            assert 0 < m.working_set_bytes < 64 * MIB
+
+    def test_eviction_drops_pod_from_scrape(self, cluster):
+        pods = cluster.deploy_and_wait("crun-wamr", 3)
+        before = cluster.node.metrics.pod_working_sets()
+        total_before = cluster.node.metrics.total_pod_bytes()
+
+        victim = pods[-1]
+        cluster.node.kubelet.evict_pod(victim)
+
+        after = cluster.node.metrics.pod_working_sets()
+        assert victim.uid in before and victim.uid not in after
+        assert set(after) == {p.uid for p in pods[:-1]}
+        # The freed working set comes off the node total (not a stale cache).
+        assert cluster.node.metrics.total_pod_bytes() == (
+            total_before - before[victim.uid]
+        )
+
+    def test_scrape_is_stable_between_events(self, cluster):
+        cluster.deploy_and_wait("crun-wamr", 2)
+        assert cluster.node.metrics.pod_working_sets() == (
+            cluster.node.metrics.pod_working_sets()
+        )

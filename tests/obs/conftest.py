@@ -1,0 +1,18 @@
+"""Telemetry test fixtures: enable obs and isolate global state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture()
+def telemetry():
+    """Telemetry on, clean slate; restores the prior state afterwards."""
+    was_enabled = obs.enabled()
+    obs.set_enabled(True)
+    obs.reset()
+    yield obs
+    obs.reset()
+    obs.set_enabled(was_enabled)

@@ -1,0 +1,169 @@
+"""Exporter tests: Prometheus text, Chrome trace JSON, JSONL, inspect."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace,
+    jsonl_events,
+    load_trace_events,
+    metric_families,
+    parse_prometheus_text,
+    prometheus_text,
+    render_breakdown,
+    validate_chrome_trace,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.sim.trace import Span
+
+
+def _sample_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    c = reg.counter("repro_requests_total", "requests by outcome", ("outcome",))
+    c.labels("ok").inc(3)
+    c.labels("err").inc()
+    reg.gauge("repro_inflight", "current in-flight").set(2)
+    h = reg.histogram("repro_latency_seconds", "latency", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(5.0)
+    return reg
+
+
+def _spans():
+    return [
+        (1, Span("startup.pull", "img", 0.0, 0.5, (("config", "crun-wamr"),))),
+        (1, Span("startup.exec", "c-1", 0.5, 1.5, ())),
+        (2, Span("recovery.backoff", "pod-1", 0.2, 1.2, (("reason", "CrashLoopBackOff"),))),
+    ]
+
+
+class TestPrometheusRoundTrip:
+    def test_round_trip(self):
+        text = prometheus_text(_sample_registry())
+        fams = parse_prometheus_text(text)
+        assert set(fams) == {
+            "repro_requests_total",
+            "repro_inflight",
+            "repro_latency_seconds",
+        }
+        assert fams["repro_requests_total"]["type"] == "counter"
+        samples = fams["repro_requests_total"]["samples"]
+        assert samples[("repro_requests_total", (("outcome", "ok"),))] == 3.0
+        assert samples[("repro_requests_total", (("outcome", "err"),))] == 1.0
+
+    def test_histogram_exposition(self):
+        text = prometheus_text(_sample_registry())
+        samples = parse_prometheus_text(text)["repro_latency_seconds"]["samples"]
+        # Cumulative buckets: 0.05 ≤ 0.1; 0.5 ≤ 1.0; 5.0 only under +Inf.
+        assert samples[("repro_latency_seconds_bucket", (("le", "0.1"),))] == 1.0
+        assert samples[("repro_latency_seconds_bucket", (("le", "1"),))] == 2.0
+        assert samples[("repro_latency_seconds_bucket", (("le", "+Inf"),))] == 3.0
+        assert samples[("repro_latency_seconds_count", ())] == 3.0
+        assert samples[("repro_latency_seconds_sum", ())] == pytest.approx(5.55)
+
+    def test_label_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", labelnames=("k",)).labels('a"b\\c\nd').inc()
+        fams = parse_prometheus_text(prometheus_text(reg))
+        ((_, labels),) = list(fams["c_total"]["samples"])
+        assert labels == (("k", 'a"b\\c\nd'),)
+
+    def test_metric_families_helper(self):
+        assert metric_families(prometheus_text(_sample_registry())) == [
+            "repro_inflight",
+            "repro_latency_seconds",
+            "repro_requests_total",
+        ]
+
+
+class TestPrometheusChecker:
+    def test_malformed_sample_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_prometheus_text("# TYPE x counter\nx{ oops\n")
+
+    def test_sample_without_type_rejected(self):
+        with pytest.raises(ValueError, match="no # TYPE"):
+            parse_prometheus_text("x_total 1\n")
+
+    def test_duplicate_sample_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_prometheus_text("# TYPE x counter\nx 1\nx 2\n")
+
+    def test_bad_type_line_rejected(self):
+        with pytest.raises(ValueError, match="bad TYPE"):
+            parse_prometheus_text("# TYPE x summary\n")
+
+
+class TestChromeTrace:
+    def test_schema_and_tracks(self):
+        obj = chrome_trace(_spans(), {1: "deploy crun-wamr n=2", 2: "recover"})
+        assert validate_chrome_trace(obj) == 3
+        events = obj["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        # One process_name per context + one thread_name per component.
+        assert {e["name"] for e in meta} == {"process_name", "thread_name"}
+        procs = {e["pid"]: e["args"]["name"] for e in meta if e["name"] == "process_name"}
+        assert procs == {1: "deploy crun-wamr n=2", 2: "recover"}
+        threads = {
+            (e["pid"], e["args"]["name"]) for e in meta if e["name"] == "thread_name"
+        }
+        assert threads == {(1, "startup"), (2, "recovery")}
+
+    def test_simulated_seconds_become_microseconds(self):
+        obj = chrome_trace(_spans())
+        pull = next(e for e in obj["traceEvents"] if e.get("name") == "img")
+        assert pull["ts"] == 0.0
+        assert pull["dur"] == 500_000.0
+        assert pull["args"] == {"config": "crun-wamr"}
+
+    def test_validator_rejects_junk(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"notTraceEvents": []})
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [{"ph": "X", "name": "n"}]})
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [{"ph": "Q"}]})
+
+
+class TestJsonl:
+    def test_monotonic_and_parseable(self):
+        text = jsonl_events(_spans(), {1: "a", 2: "b"})
+        rows = [json.loads(line) for line in text.splitlines()]
+        assert len(rows) == 3
+        starts = [r["ts"] for r in rows]
+        assert starts == sorted(starts)
+        assert rows[0]["ctx"] == "a"
+        assert rows[1]["category"] == "recovery.backoff"
+        assert rows[1]["attrs"] == {"reason": "CrashLoopBackOff"}
+
+    def test_empty(self):
+        assert jsonl_events([]) == ""
+
+
+class TestLoadAndInspect:
+    def test_load_chrome_json(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps(chrome_trace(_spans(), {1: "ctx-a", 2: "ctx-b"})))
+        records = load_trace_events(path)
+        assert len(records) == 3
+        assert {r["ctx"] for r in records} == {"ctx-a", "ctx-b"}
+        assert records[0]["dur_s"] == pytest.approx(0.5)
+
+    def test_load_jsonl(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(jsonl_events(_spans()))
+        records = load_trace_events(path)
+        assert len(records) == 3
+        assert records[0]["ts_s"] == 0.0
+
+    def test_render_breakdown(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(jsonl_events(_spans()))
+        table = render_breakdown(load_trace_events(path))
+        assert "3 spans, 3 categories" in table
+        assert "startup.exec" in table and "recovery.backoff" in table
+        filtered = render_breakdown(load_trace_events(path), category="startup")
+        assert "recovery.backoff" not in filtered
+        assert render_breakdown([], category="nope").startswith("trace: no spans")

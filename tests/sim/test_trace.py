@@ -43,6 +43,57 @@ class TestTracer:
         assert t.spans == []
 
 
+class TestTracerIndex:
+    """by_category/filtered are index-backed; clear() resets the index."""
+
+    def test_by_category_uses_index(self):
+        t = Tracer()
+        for i in range(5):
+            t.record("a", f"s{i}", float(i), float(i) + 0.5)
+        t.record("b", "x", 0.0, 1.0)
+        assert len(t.by_category("a")) == 5
+        assert [s.name for s in t.by_category("b")] == ["x"]
+        assert t.by_category("missing") == []
+        assert t.categories() == ["a", "b"]
+
+    def test_clear_resets_index(self):
+        t = Tracer()
+        t.record("a", "x", 0.0, 1.0, config="c")
+        t.clear()
+        assert t.by_category("a") == []
+        assert t.filtered(config="c") == []
+        assert t.categories() == []
+        # The tracer still works after a clear.
+        t.record("a", "y", 0.0, 1.0)
+        assert [s.name for s in t.by_category("a")] == ["y"]
+
+    def test_filtered_multiple_attrs(self):
+        t = Tracer()
+        t.record("p", "a", 0.0, 1.0, config="c1", reason="r1")
+        t.record("p", "b", 0.0, 1.0, config="c1", reason="r2")
+        t.record("p", "c", 0.0, 1.0, config="c2", reason="r1")
+        assert [s.name for s in t.filtered(config="c1", reason="r1")] == ["a"]
+        assert [s.name for s in t.filtered(reason="r1")] == ["a", "c"]
+        assert t.filtered(config="c3") == []
+
+    def test_presupplied_spans_are_indexed(self):
+        spans = [Span("a", "x", 0.0, 1.0, (("k", "v"),))]
+        t = Tracer(spans=spans)
+        assert t.by_category("a") == spans
+        assert t.filtered(k="v") == spans
+
+    def test_sink_mirrors_records(self):
+        seen = []
+        t = Tracer(sink=seen.append)
+        t.record("a", "x", 0.0, 1.0)
+        t.record("b", "y", 1.0, 2.0)
+        assert seen == t.spans
+        # Disabled tracers don't feed the sink either.
+        quiet = Tracer(enabled=False, sink=seen.append)
+        quiet.record("c", "z", 0.0, 1.0)
+        assert len(seen) == 2
+
+
 class TestStartupSpans:
     def test_deployment_produces_phase_spans(self, cluster):
         pods = cluster.deploy_and_wait("crun-wamr", 4)

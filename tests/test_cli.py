@@ -130,6 +130,57 @@ class TestDeployCommand:
         assert main(["deploy", "--config", "docker-v8", "-n", "2"]) == 1
 
 
+class TestTelemetryExport:
+    @pytest.fixture()
+    def restore_obs(self):
+        from repro import obs
+
+        was = obs.enabled()
+        yield
+        obs.reset()
+        obs.set_enabled(was)
+
+    def test_deploy_exports_trace_and_metrics(self, tmp_path, capsys, restore_obs):
+        import json
+
+        from repro.obs.export import parse_prometheus_text, validate_chrome_trace
+
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.prom"
+        assert main([
+            "deploy", "--config", "crun-wamr", "-n", "3",
+            "--trace-out", str(trace), "--metrics-out", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert str(trace) in out and str(metrics) in out
+        assert validate_chrome_trace(json.loads(trace.read_text())) > 0
+        families = parse_prometheus_text(metrics.read_text())
+        assert "repro_scheduler_placements_total" in families
+
+    def test_inspect_renders_breakdown(self, tmp_path, capsys, restore_obs):
+        trace = tmp_path / "t.jsonl"
+        assert main([
+            "deploy", "--config", "crun-wamr", "-n", "2", "--trace-out", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["inspect", str(trace)]) == 0
+        table = capsys.readouterr().out
+        assert "startup.pipeline" in table and "pod.sync" in table
+        assert main(["inspect", str(trace), "--category", "startup"]) == 0
+        assert "pod.sync" not in capsys.readouterr().out
+
+    def test_inspect_missing_file(self, capsys):
+        assert main(["inspect", "/nonexistent-trace.json"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_deploy_without_flags_leaves_telemetry_off(self, capsys):
+        from repro import obs
+
+        was = obs.enabled()
+        assert main(["deploy", "--config", "crun-wamr", "-n", "2"]) == 0
+        assert obs.enabled() == was
+
+
 class TestFiguresCommand:
     def test_single_table(self, capsys):
         assert main(["figures", "table1"]) == 0
