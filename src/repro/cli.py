@@ -6,6 +6,7 @@ Subcommands mirror the tools a user of the real system would reach for:
 * ``run`` — execute a module under WASI (the engines' code path),
 * ``deploy`` — a deployment experiment on the simulated testbed,
 * ``recover`` — a fault-injection recovery experiment,
+* ``zygote`` — the snapshot-and-clone warm-start comparison,
 * ``figures`` — regenerate the paper's tables/figures,
 * ``inspect`` — per-phase/per-layer breakdown of an exported trace file.
 
@@ -180,6 +181,17 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0 if m.converged and m.failed_pods == 0 else 1
 
 
+def _cmd_zygote(args: argparse.Namespace) -> int:
+    from repro.measure.zygote import render_zygote, run_zygote_experiment
+
+    telemetry = _enable_telemetry(args)
+    comp = run_zygote_experiment(seed=args.seed, count=args.count)
+    print(render_zygote(comp))
+    if telemetry:
+        _export_telemetry(args)
+    return 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.measure.cache import MeasurementCache
     from repro.measure.campaign import render_campaign, run_campaign
@@ -314,6 +326,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--compile-probability", type=float, default=0.3)
     _add_telemetry_flags(p)
     p.set_defaults(func=_cmd_recover)
+
+    p = sub.add_parser("zygote", help="run the zygote warm-start comparison")
+    p.add_argument("-n", "--count", type=int, default=400)
+    p.add_argument("--seed", type=int, default=1)
+    _add_telemetry_flags(p)
+    p.set_defaults(func=_cmd_zygote)
 
     p = sub.add_parser("campaign", help="run the full §IV campaign and summary")
     p.add_argument("--seed", type=int, default=1)

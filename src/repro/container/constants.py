@@ -60,3 +60,8 @@ KUBELET_BASE = int(70.0 * MIB)
 #: Std-dev of per-container private-memory jitter (allocator slack). The
 #: paper reports < 0.1 MB deviation across identical containers (§IV-A).
 MEMORY_JITTER = int(0.02 * MIB)
+
+#: Engine-structure bytes a zygote clone dirties regardless of guest
+#: writes: operand/call stacks, instance handles, import tables touched
+#: during the restore itself (floor on the COW split per clone).
+ZYGOTE_DIRTY_FLOOR = int(0.09 * MIB)

@@ -37,6 +37,7 @@ from repro.oci.bundle import Bundle, build_bundle
 from repro.sim.faults import FaultPoint
 from repro.sim.kernel import Acquire, Release, Timeout
 from repro.sim.process import SimProcess
+from repro.wasm.runtime import zygote_enabled
 
 
 @dataclass
@@ -75,7 +76,13 @@ class Containerd:
             "crun-wamr-aot": build_ablation_crun("crun-wamr-aot", env.memory),
             "crun-wamr-static": build_ablation_crun("crun-wamr-static", env.memory),
             "youki-wamr": build_ablation_crun("youki-wamr", env.memory),
+            "crun-wamr-zygote": build_ablation_crun("crun-wamr-zygote", env.memory),
         }
+        self._m_zygote = obs.counter(
+            "repro_zygote_containers_total",
+            "containers created by zygote warm-start mode",
+            ("mode",),
+        )
         self._shims: Dict[str, RunwasiShim] = {
             f"shim-{name}": RunwasiShim(get_engine(name))
             for name in ("wasmtime", "wasmer", "wasmedge")
@@ -143,6 +150,7 @@ class Containerd:
         if handle is None:
             raise ContainerError(f"no sandbox for pod {pod_uid}")
         profile = startup_profile(config_id)
+        zygote_on = getattr(config, "zygote", False) and zygote_enabled()
 
         # Image pull (warm after the first pod of a deployment). The
         # injection point models registry/transport flakes, which occur
@@ -174,6 +182,16 @@ class Containerd:
         # time grows with the containers already resident (see startup.py).
         t0 = env.kernel.now
         yield Acquire(env.serial_lock)
+        # Zygote warm start: decided under the lock, once we know whether
+        # an earlier container of this image finished instantiation and
+        # left a snapshot — the serialized loader work and two-phase
+        # instantiation then collapse into a restore. The first containers
+        # through the lock race the pioneer's dispatch and start cold.
+        warm = zygote_on and env.zygote_warm(config_id, image_ref)
+        if warm and profile.warm is not None:
+            profile = profile.warm
+        if zygote_on:
+            container.facts["zygote_warm"] = warm
         yield Timeout(profile.serial_hold(env.containers_created))
         env.containers_created += 1
         yield Release(env.serial_lock)
@@ -225,6 +243,9 @@ class Containerd:
         container.exec_started_at = env.kernel.now  # first guest instruction
         handle.containers.append(container)
         self._m_tasks.labels("container_started").inc()
+        if zygote_on:
+            env.note_zygote(config_id, image_ref)
+            self._m_zygote.labels("warm" if warm else "cold").inc()
         if exec_seconds:
             yield Timeout(exec_seconds)
         env.tracer.record(

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Set, Tuple
 
 from repro import obs
 from repro.oci.store import ImageStore
@@ -37,6 +37,11 @@ class NodeEnv:
     tracer: Tracer = None  # type: ignore[assignment]  # set in create()
     #: armed fault plan (None = no injection, zero overhead)
     faults: Optional[FaultPlan] = None
+    #: (config_id, image_ref) pairs with a resident zygote snapshot on
+    #: *this node* — per-node deliberately, not the process-wide snapshot
+    #: cache, so warm/cold decisions are deterministic per experiment
+    #: regardless of what ran earlier in the process.
+    zygote_ready: Set[Tuple[str, str]] = field(default_factory=set)
     _containerd_heap_key: Optional[str] = None
 
     @classmethod
@@ -102,6 +107,14 @@ class NodeEnv:
         self.containerd_proc.resize_segment(
             self._containerd_heap_key, max(0, seg.size - C.CONTAINERD_GROWTH_PER_POD)
         )
+
+    def zygote_warm(self, config_id: str, image_ref: str) -> bool:
+        """Can the next container of this (config, image) clone a zygote?"""
+        return (config_id, image_ref) in self.zygote_ready
+
+    def note_zygote(self, config_id: str, image_ref: str) -> None:
+        """Record that a cold container left a restorable snapshot behind."""
+        self.zygote_ready.add((config_id, image_ref))
 
     def inject(self, point: FaultPoint, key: str) -> None:
         """Fault-injection hook: raises ``FaultInjected`` when armed & firing."""

@@ -31,6 +31,9 @@ class RuntimeConfig:
     engine: Optional[str]  # wasm engine name, None for native
     workload: str  # "wasm" | "python"
     is_ours: bool = False
+    #: zygote warm-start: 2nd..Nth container of an image clones the
+    #: first's instance snapshot (COW memory, warm startup profile)
+    zygote: bool = False
 
 
 #: The nine benchmarked configurations (paper Table II + §IV).
@@ -58,6 +61,8 @@ ABLATION_CONFIGS: Dict[str, RuntimeConfig] = {
         RuntimeConfig("crun-wamr-static", "crun", "wamr", "wasm"),
         # Handler portability: the same WAMR handler hosted by youki.
         RuntimeConfig("youki-wamr", "crun", "wamr", "wasm"),
+        # Zygote warm-start: snapshot-and-clone instantiation (DESIGN.md).
+        RuntimeConfig("crun-wamr-zygote", "crun", "wamr", "wasm", zygote=True),
     )
 }
 
@@ -108,6 +113,9 @@ def build_ablation_crun(config_id: str, memory: Optional[SystemMemoryModel] = No
     elif config_id == "crun-wamr-static":
         runtime = CrunRuntime()
         runtime.register_handler(WamrCrunHandler(loader=loader, share_library=False))
+    elif config_id == "crun-wamr-zygote":
+        runtime = CrunRuntime()
+        runtime.register_handler(WamrCrunHandler(loader=loader, zygote=True))
     elif config_id == "youki-wamr":
         runtime = YoukiRuntime()
         runtime.register_handler(WamrCrunHandler(loader=loader))

@@ -30,6 +30,7 @@ from repro.engines.registry import get_engine
 from repro.oci.annotations import is_wasm_image
 from repro.oci.bundle import Bundle
 from repro.sim.process import SimProcess
+from repro.wasm.runtime import zygote_enabled
 
 
 class WamrCrunHandler:
@@ -42,6 +43,11 @@ class WamrCrunHandler:
         share_library: when False, models a statically linked build —
             each container pays for the engine text privately instead of
             sharing one ``dlopen``-ed mapping (the DESIGN.md §7 ablation).
+        zygote: zygote warm-start resource model — every container of an
+            image maps the instance snapshot (engine structures, in-place
+            artifact, initialized linear memory) as one node-shared COW
+            extent and only its dirtied pages are private. Falls back to
+            the plain model when ``REPRO_ZYGOTE=off``.
     """
 
     def __init__(
@@ -49,13 +55,17 @@ class WamrCrunHandler:
         loader: Optional[DynamicLibraryLoader] = None,
         engine_name: str = "wamr",
         share_library: bool = True,
+        zygote: bool = False,
     ) -> None:
         self.engine: WasmEngine = get_engine(engine_name)
         self.loader = loader
         self.share_library = share_library
+        self.zygote = zygote
         self.name = "crun-wamr" if engine_name == "wamr" else f"crun-{engine_name}"
         if not share_library:
             self.name += "-static"
+        if zygote:
+            self.name += "-zygote"
         self.containers_executed = 0
 
     def matches(self, bundle: Bundle) -> bool:
@@ -103,13 +113,40 @@ class WamrCrunHandler:
             dlopen_s = 0.0
         env.memory.map_file(proc, C.CRUN_TEXT_FILE, C.CRUN_TEXT, label="crun-text")
 
-        # In-process interpreter: crun child keeps its own small heap plus
-        # WAMR's structures; no JIT buffers (artifact = module in place).
-        private = C.CRUN_CHILD_PRIVATE + self.engine.embedded_private_bytes(
-            compiled, result.linear_memory_bytes
-        )
-        private += int(env.jitter(f"wamrmem/{container.container_id}", C.MEMORY_JITTER))
-        env.memory.map_private(proc, private, label="crun-wamr-rss")
+        if self.zygote and zygote_enabled():
+            # Zygote model: engine structures, in-place artifact, and the
+            # initialized linear memory are the instance snapshot — mapped
+            # COW and shared across every clone of this image on the node.
+            # Only pages the guest (or the restore itself) dirties split
+            # into private copies.
+            shared = (
+                self.engine.profile.base_rss
+                + compiled.artifact_bytes
+                + result.linear_memory_bytes
+            )
+            cow_key = f"zygote/{self.engine.name}/{bundle.image.reference}"
+            seg_key = env.memory.map_cow(proc, cow_key, shared, label="zygote-image")
+            dirty = min(shared, C.ZYGOTE_DIRTY_FLOOR + result.dirty_memory_bytes)
+            proc.cow_split(seg_key, dirty)
+            private = C.CRUN_CHILD_PRIVATE + self.engine.profile.per_instance
+            private += int(
+                env.jitter(f"wamrmem/{container.container_id}", C.MEMORY_JITTER)
+            )
+            env.memory.map_private(proc, private, label="crun-wamr-zygote-rss")
+            container.facts["zygote_shared"] = shared
+            container.facts["zygote_dirty"] = dirty
+            if container.facts.get("zygote_warm"):
+                container.facts["zygote_restore_s"] = self.engine.warm_startup_seconds()
+        else:
+            # In-process interpreter: crun child keeps its own small heap plus
+            # WAMR's structures; no JIT buffers (artifact = module in place).
+            private = C.CRUN_CHILD_PRIVATE + self.engine.embedded_private_bytes(
+                compiled, result.linear_memory_bytes
+            )
+            private += int(
+                env.jitter(f"wamrmem/{container.container_id}", C.MEMORY_JITTER)
+            )
+            env.memory.map_private(proc, private, label="crun-wamr-rss")
 
         container.stdout = result.stdout
         container.stderr = result.stderr

@@ -29,6 +29,9 @@ class CompiledModule:
     module_size: int  # binary bytes
     artifact_bytes: int  # resident executable artifact (JIT code / in-place)
     compile_seconds: float
+    #: content digest, set by the compile cache; keys the zygote snapshot
+    #: layer (None = uncached compile, zygote warm-start unavailable)
+    digest: Optional[str] = None
 
 
 #: Instruction budget per container run. Real runtimes rely on the pod's
@@ -48,6 +51,10 @@ class EngineRunResult:
     instructions: int
     linear_memory_bytes: int
     exec_seconds: float
+    #: linear-memory bytes diverging from the zygote snapshot (page
+    #: granularity) — the COW split a clone of this run costs. Equals
+    #: ``linear_memory_bytes`` when no snapshot exists (all private).
+    dirty_memory_bytes: int = 0
 
 
 class WasmEngine:
@@ -102,6 +109,7 @@ class WasmEngine:
                 fs=fs,
                 stdin=stdin,
                 fuel=fuel,
+                digest=compiled.digest,
             )
         except WasmTrap as trap:
             raise EngineError(f"{self.name}: trap: {trap}") from trap
@@ -114,6 +122,7 @@ class WasmEngine:
             instructions=result.instructions,
             linear_memory_bytes=result.memory_bytes,
             exec_seconds=self.profile.exec_seconds(result.instructions),
+            dirty_memory_bytes=result.dirty_memory_bytes,
         )
 
     # -- resource path -------------------------------------------------------
@@ -133,3 +142,8 @@ class WasmEngine:
         """Engine-side startup critical path: create + compile + instantiate."""
         p = self.profile
         return p.create_latency_s + compiled.compile_seconds + p.instantiate_latency_s
+
+    def warm_startup_seconds(self) -> float:
+        """Engine-side warm path: clone from the zygote snapshot — no
+        create, no compile, no two-phase instantiation."""
+        return self.profile.restore_latency_s

@@ -7,15 +7,21 @@ hundreds of times therefore re-run identical computations; these caches
 collapse them to one real execution per distinct input while every
 container still gets its own memory accounting.
 
-Three layers, all keyed by content digest so the blob is hashed once per
+Five layers, all keyed by content digest so the blob is hashed once per
 entry point:
 
+* **decode** — decoded + validated :class:`~repro.wasm.ast.Module` per
+  digest, for direct embed callers (``run_wasi`` on ``bytes``);
 * **compile** — decoded/validated :class:`CompiledModule` per
   ``(engine, digest)``;
 * **prepared code** — flat executable code (``runtime/compile.py``) per
   digest. Prepared functions are instance-independent, so one prepared
   module serves every instantiation and is re-attached to fresh decodes
   of the same blob;
+* **zygote** — one :class:`~repro.wasm.runtime.snapshot.InstanceSnapshot`
+  per digest: the post-initialization instance state the warm-start path
+  clones instead of re-running two-phase instantiation. A ``None`` entry
+  marks a digest probed and found unsnapshottable, so it is not re-tried;
 * **run** — full :class:`EngineRunResult` per
   ``(engine, digest, argv, env, stdin)``.
 
@@ -34,10 +40,16 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro import obs
 from repro.engines.base import CompiledModule, EngineRunResult, WasmEngine
 from repro.oci.digest import sha256_digest
+from repro.wasm.ast import Module
+from repro.wasm.decoder import decode_module
 from repro.wasm.runtime.compile import PreparedModule, prepare_module
+from repro.wasm.runtime.snapshot import InstanceSnapshot
+from repro.wasm.validation import validate_module
 
+_DECODE_CACHE: Dict[str, Module] = {}
 _COMPILE_CACHE: Dict[Tuple[str, str], CompiledModule] = {}
 _PREPARED_CACHE: Dict[str, PreparedModule] = {}
+_ZYGOTE_CACHE: Dict[str, Optional[InstanceSnapshot]] = {}
 _RUN_CACHE: Dict[Tuple, EngineRunResult] = {}
 
 _CACHE_REQUESTS = obs.counter(
@@ -80,9 +92,35 @@ class CacheStats:
         self._misses.reset()
 
 
+decode_stats = CacheStats("decode")
 compile_stats = CacheStats("compile")
 prepare_stats = CacheStats("prepare")
+zygote_stats = CacheStats("zygote")
 run_stats = CacheStats("run")
+
+
+def decode_cached(
+    blob: bytes, digest: Optional[str] = None
+) -> Tuple[Module, str]:
+    """Decode + validate ``blob`` once per digest (flat code attached).
+
+    The direct-embed entry point: ``run_wasi`` on ``bytes`` routes here
+    so repeated runs of one blob stop re-decoding and re-validating it.
+    Returns the module together with its digest so callers can key the
+    zygote layer without re-hashing.
+    """
+    if digest is None:
+        digest = sha256_digest(blob)
+    module = _DECODE_CACHE.get(digest)
+    if module is None:
+        decode_stats.miss()
+        module = decode_module(bytes(blob))
+        validate_module(module)
+        _DECODE_CACHE[digest] = module
+    else:
+        decode_stats.hit()
+    prepare_cached(module, digest)
+    return module, digest
 
 
 def compile_cached(
@@ -97,11 +135,31 @@ def compile_cached(
     if compiled is None:
         compile_stats.miss()
         compiled = engine.compile(blob)
+        compiled.digest = digest
         _COMPILE_CACHE[key] = compiled
     else:
         compile_stats.hit()
     prepare_cached(compiled.module, digest)
     return compiled
+
+
+# -- zygote layer (no get-or-create: capture happens mid-run in embed.py) --
+
+
+def zygote_get(digest: str) -> Optional[InstanceSnapshot]:
+    """The snapshot for ``digest``, or ``None`` (not captured yet, or
+    probed and unsnapshottable — disambiguate with :func:`zygote_known`)."""
+    return _ZYGOTE_CACHE.get(digest)
+
+
+def zygote_known(digest: str) -> bool:
+    """Has this digest been probed (successfully or not)?"""
+    return digest in _ZYGOTE_CACHE
+
+
+def zygote_put(digest: str, snapshot: Optional[InstanceSnapshot]) -> None:
+    """Record a capture outcome; ``None`` poisons the digest (don't retry)."""
+    _ZYGOTE_CACHE[digest] = snapshot
 
 
 def prepare_cached(module, digest: str) -> PreparedModule:
@@ -152,8 +210,10 @@ def cache_stats() -> Dict[str, Dict[str, int]]:
     return {
         name: {"hits": s.hits, "misses": s.misses, "entries": len(store)}
         for name, s, store in (
+            ("decode", decode_stats, _DECODE_CACHE),
             ("compile", compile_stats, _COMPILE_CACHE),
             ("prepare", prepare_stats, _PREPARED_CACHE),
+            ("zygote", zygote_stats, _ZYGOTE_CACHE),
             ("run", run_stats, _RUN_CACHE),
         )
     }
@@ -161,11 +221,15 @@ def cache_stats() -> Dict[str, Dict[str, int]]:
 
 def reset_caches() -> None:
     """Drop all cached state and zero the counters."""
+    _DECODE_CACHE.clear()
     _COMPILE_CACHE.clear()
     _PREPARED_CACHE.clear()
+    _ZYGOTE_CACHE.clear()
     _RUN_CACHE.clear()
+    decode_stats.reset()
     compile_stats.reset()
     prepare_stats.reset()
+    zygote_stats.reset()
     run_stats.reset()
 
 

@@ -67,6 +67,9 @@ class EngineProfile:
     compile_bps: float  # module bytes compiled per second
     instantiate_latency_s: float
     interp_ips: float  # guest instructions per simulated second
+    #: warm-start cost: cloning an instance from a zygote snapshot instead
+    #: of create + compile + instantiate (copying captured state only)
+    restore_latency_s: float = 0.001
 
     def artifact_bytes(self, module_size: int) -> int:
         """Executable artifact resident alongside the module."""
@@ -95,6 +98,8 @@ WAMR = EngineProfile(
     compile_bps=40 * MIB,  # "compile" = loader pass over the module
     instantiate_latency_s=0.004,
     interp_ips=60e6,
+    # Tiny snapshots (in-place module + one-page memories) clone fast.
+    restore_latency_s=0.0008,
 )
 
 WASMTIME = EngineProfile(
@@ -166,6 +171,7 @@ WAMR_AOT = EngineProfile(
     compile_bps=4 * MIB,  # AOT compilation is the expensive step
     instantiate_latency_s=0.004,
     interp_ips=500e6,  # near-native execution
+    restore_latency_s=0.0008,
 )
 
 #: The paper's four engines (Table I).

@@ -115,6 +115,13 @@ class Kubelet:
                 yield from self._sync_attempt(pod, handler, profile)
                 self._backoffs.pop(pod.uid, None)
                 self._m_syncs.labels("ok").inc()
+                # Zygote configs tag the span warm/cold; other configs'
+                # spans carry exactly the attributes they always did.
+                extra = {}
+                realized = self.pod_containers.get(pod.uid, [])
+                if any("zygote_warm" in c.facts for c in realized):
+                    all_warm = all(c.facts.get("zygote_warm") for c in realized)
+                    extra["zygote"] = "warm" if all_warm else "cold"
                 self.env.tracer.record(
                     "pod.sync",
                     pod.uid,
@@ -122,6 +129,7 @@ class Kubelet:
                     self.env.kernel.now,
                     config=handler,
                     attempts=str(pod.restart_count + 1),
+                    **extra,
                 )
                 return pod
             except (ContainerError, EngineError, OutOfMemory) as exc:

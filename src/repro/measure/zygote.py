@@ -1,0 +1,71 @@
+"""Zygote warm-start experiment: cold vs snapshot-clone deployment.
+
+Deploys the same N-pod microservice twice on fresh clusters — once with
+the plain ``crun-wamr`` configuration (every container pays the full
+decode → validate → instantiate → start path) and once with
+``crun-wamr-zygote`` (the first container of the image captures an
+instance snapshot; every later container clones it with COW memory and
+the warm startup profile). The comparison quantifies the warm-start win
+on both axes the paper cares about: startup makespan and per-container
+resident memory.
+
+Deterministic per seed, like every experiment in :mod:`repro.measure`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.measure.experiment import DeploymentMeasurement, ExperimentRunner
+
+
+@dataclass(frozen=True)
+class ZygoteComparison:
+    """Cold vs warm deployment of one workload at one density."""
+
+    count: int
+    seed: int
+    cold: DeploymentMeasurement  # crun-wamr (full instantiation per pod)
+    warm: DeploymentMeasurement  # crun-wamr-zygote (snapshot clones)
+
+    @property
+    def startup_speedup(self) -> float:
+        """Cold makespan / warm makespan (>1 means the zygote wins)."""
+        return self.cold.startup_seconds / self.warm.startup_seconds
+
+    @property
+    def memory_ratio(self) -> float:
+        """Warm / cold per-container working set (<1 means leaner)."""
+        return self.warm.metrics_mib / self.cold.metrics_mib
+
+
+def run_zygote_experiment(seed: int = 1, count: int = 400) -> ZygoteComparison:
+    """The 400-pod warm-start experiment (cold baseline + zygote run)."""
+    runner = ExperimentRunner(seed=seed)
+    cold = runner.run("crun-wamr", count)
+    warm = runner.run("crun-wamr-zygote", count)
+    return ZygoteComparison(count=count, seed=seed, cold=cold, warm=warm)
+
+
+def render_zygote(comp: ZygoteComparison) -> str:
+    """Human-readable summary table."""
+    cold, warm = comp.cold, comp.warm
+    lines = [
+        f"zygote warm-start experiment  (n={comp.count}, seed={comp.seed})",
+        "",
+        f"{'':22s}{'cold (crun-wamr)':>18s}{'warm (zygote)':>16s}",
+        f"{'startup makespan':22s}{cold.startup_seconds:>16.2f} s"
+        f"{warm.startup_seconds:>14.2f} s",
+        f"{'per-pod start (mean)':22s}{cold.per_pod_start.mean:>16.3f} s"
+        f"{warm.per_pod_start.mean:>14.3f} s",
+        f"{'memory (metrics)':22s}{cold.metrics_mib:>14.2f} MiB"
+        f"{warm.metrics_mib:>12.2f} MiB",
+        f"{'memory (free)':22s}{cold.free_mib:>14.2f} MiB"
+        f"{warm.free_mib:>12.2f} MiB",
+        f"{'ready fraction':22s}{cold.ready_fraction:>17.0%}"
+        f"{warm.ready_fraction:>15.0%}",
+        "",
+        f"startup speedup:  {comp.startup_speedup:.2f}x",
+        f"memory ratio:     {comp.memory_ratio:.2f}x",
+    ]
+    return "\n".join(lines)

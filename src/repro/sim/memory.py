@@ -87,24 +87,39 @@ class ReferenceAccountant:
 
     def _proc_private(self, proc: SimProcess) -> int:
         # Recompute from raw segments: the cached SimProcess.private_bytes
-        # is itself under test, so the oracle must not consult it.
-        return sum(
-            s.size for s in proc.segments.values() if s.kind is SegmentKind.PRIVATE
-        )
+        # is itself under test, so the oracle must not consult it. COW
+        # segments contribute their split (dirtied) bytes.
+        total = 0
+        for s in proc.segments.values():
+            if s.kind is SegmentKind.PRIVATE:
+                total += s.size
+            elif s.kind is SegmentKind.COW:
+                total += s.cow_dirty
+        return total
 
     def private_total(self) -> int:
         return sum(self._proc_private(p) for p in self._m._procs.values())
 
+    def shared_key_size(self, file_key: str) -> int:
+        """One shared key's accounted extent: the first mapper's mapping.
+
+        Covers both file-backed text and COW zygote extents (a COW
+        segment's clean *and* dirty pages stay resident node-wide: the
+        snapshot image is never shrunk by one process's writes).
+        """
+        mappers = self._m._file_mappers.get(file_key, ())
+        first = self._m._procs.get(mappers[0]) if mappers else None
+        if first is None:
+            return 0
+        for seg in first.shared_segments():
+            if seg.file_key == file_key:
+                return seg.size
+        return 0
+
     def distinct_file_bytes(self) -> int:
         total = 0
-        for file_key, mappers in self._m._file_mappers.items():
-            first = self._m._procs.get(mappers[0])
-            if first is None:
-                continue
-            for seg in first.file_segments():
-                if seg.file_key == file_key:
-                    total += seg.size
-                    break
+        for file_key in self._m._file_mappers:
+            total += self.shared_key_size(file_key)
         return total
 
     def node_working_set(self) -> int:
@@ -129,13 +144,7 @@ class ReferenceAccountant:
         for file_key in self._m._file_mappers:
             owner = self.charged_cgroup(file_key)
             if owner is not None and owner.startswith(cgroup_prefix):
-                first = self._m._procs.get(self._m._file_mappers[file_key][0])
-                if first is None:
-                    continue
-                for seg in first.file_segments():
-                    if seg.file_key == file_key:
-                        total += seg.size
-                        break
+                total += self.shared_key_size(file_key)
         return total
 
 
@@ -208,7 +217,7 @@ class SystemMemoryModel:
         if not proc.alive:
             return
         proc.alive = False
-        for seg in list(proc.file_segments()):
+        for seg in list(proc.shared_segments()):
             self._unmap_file(proc.pid, seg.file_key)  # type: ignore[arg-type]
         del self._procs[proc.pid]
         proc._observer = None
@@ -234,10 +243,16 @@ class SystemMemoryModel:
             self._cgroup_private.pop(cgroup, None)
 
     def segment_added(self, proc: SimProcess, seg: MemorySegment) -> None:
-        # FILE_TEXT registration happens in map_file (a bare add_segment of
-        # a file mapping is invisible node-wide, as in the reference scan).
-        if seg.kind is SegmentKind.PRIVATE and proc.pid in self._procs:
+        # FILE_TEXT/COW registration happens in map_file/map_cow (a bare
+        # add_segment of a shared mapping is invisible node-wide, as in
+        # the reference scan), but a COW segment's already-split bytes are
+        # private from the moment it appears.
+        if proc.pid not in self._procs:
+            return
+        if seg.kind is SegmentKind.PRIVATE:
             self._add_cgroup_private(proc.cgroup, seg.size)
+        elif seg.kind is SegmentKind.COW and seg.cow_dirty:
+            self._add_cgroup_private(proc.cgroup, seg.cow_dirty)
 
     def segment_removed(self, proc: SimProcess, seg: MemorySegment) -> None:
         if proc.pid not in self._procs:
@@ -245,8 +260,11 @@ class SystemMemoryModel:
         if seg.kind is SegmentKind.PRIVATE:
             self._add_cgroup_private(proc.cgroup, -seg.size)
         else:
-            # munmap semantics: dropping a file mapping releases the
-            # process's claim on the shared pages.
+            # munmap semantics: dropping a shared mapping releases the
+            # process's claim on the shared pages (and, for COW, frees
+            # the private copies it split off).
+            if seg.kind is SegmentKind.COW and seg.cow_dirty:
+                self._add_cgroup_private(proc.cgroup, -seg.cow_dirty)
             self._unmap_file(proc.pid, seg.file_key)  # type: ignore[arg-type]
 
     def segment_resized(self, proc: SimProcess, seg: MemorySegment, old_size: int) -> None:
@@ -258,12 +276,21 @@ class SystemMemoryModel:
             # Node-wide size follows the first mapper's mapping.
             self._refresh_file_size(seg.file_key)  # type: ignore[arg-type]
 
+    def segment_cow_split(
+        self, proc: SimProcess, seg: MemorySegment, old_dirty: int
+    ) -> None:
+        """A COW segment's split bytes changed: move the delta between the
+        shared snapshot image and the process's private charge. The shared
+        extent itself stays put (the snapshot pages remain resident)."""
+        if proc.pid in self._procs:
+            self._add_cgroup_private(proc.cgroup, seg.cow_dirty - old_dirty)
+
     def _refresh_file_size(self, file_key: str) -> None:
-        """Re-derive one file's accounted size from its first mapper."""
+        """Re-derive one shared key's accounted size from its first mapper."""
         size = 0
         first = self._procs.get(self._file_mappers[file_key][0])
         if first is not None:
-            for seg in first.file_segments():
+            for seg in first.shared_segments():
                 if seg.file_key == file_key:
                     size = seg.size
                     break
@@ -319,6 +346,35 @@ class SystemMemoryModel:
             self._file_sizes[file_key] = size
             self._file_total += size
             self._file_owner[file_key] = proc.cgroup if proc.alive else None
+        return key
+
+    def map_cow(
+        self, proc: SimProcess, cow_key: str, size: int, label: str = ""
+    ) -> str:
+        """Clone a zygote snapshot into ``proc`` as a COW anonymous mapping.
+
+        All clones of one ``cow_key`` share the snapshot's physical pages
+        (accounted once node-wide, charged to the first toucher's cgroup
+        like a shared file); bytes the process subsequently dirties are
+        split into its private charge via
+        :meth:`~repro.sim.process.SimProcess.cow_split`. The extent is the
+        snapshot size and must agree across clones.
+        """
+        if cow_key in self._file_mappers:
+            tracked = self._file_sizes[cow_key]
+            if size != tracked:
+                raise SimulationError(
+                    f"zygote snapshot {cow_key!r} mapped with size {tracked}, now {size}"
+                )
+        key = proc.add_segment(
+            MemorySegment(SegmentKind.COW, size, file_key=cow_key, label=label or cow_key)
+        )
+        mappers = self._file_mappers.setdefault(cow_key, [])
+        mappers.append(proc.pid)
+        if len(mappers) == 1:
+            self._file_sizes[cow_key] = size
+            self._file_total += size
+            self._file_owner[cow_key] = proc.cgroup if proc.alive else None
         return key
 
     def _unmap_file(self, pid: int, file_key: str) -> None:
@@ -423,6 +479,12 @@ class SystemMemoryModel:
             if self._file_owner.get(file_key) != ref.charged_cgroup(file_key):
                 raise SimulationError(
                     f"accounting drift in charged cgroup of {file_key!r}"
+                )
+            if self._file_sizes.get(file_key, 0) != ref.shared_key_size(file_key):
+                raise SimulationError(
+                    f"accounting drift in shared extent of {file_key!r}: "
+                    f"incremental={self._file_sizes.get(file_key, 0)} "
+                    f"reference={ref.shared_key_size(file_key)}"
                 )
 
     # -- accounting: free(1) ----------------------------------------------------

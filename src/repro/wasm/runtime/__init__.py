@@ -23,8 +23,20 @@ from repro.wasm.runtime.compile import (
 from repro.wasm.runtime.interpreter import Interpreter
 from repro.wasm.runtime.reference import ReferenceInterpreter
 from repro.wasm.runtime.instantiate import instantiate
+from repro.wasm.runtime.snapshot import (
+    InstanceSnapshot,
+    capture_snapshot,
+    dirty_memory_bytes,
+    restore_instance,
+    zygote_enabled,
+)
 
 __all__ = [
+    "InstanceSnapshot",
+    "capture_snapshot",
+    "dirty_memory_bytes",
+    "restore_instance",
+    "zygote_enabled",
     "Store",
     "ModuleInstance",
     "FuncInstance",

@@ -39,29 +39,18 @@ def _eval_const(expr: Expr, instance: ModuleInstance, store: Store) -> object:
     raise LinkError(f"unsupported constant instruction {ins.op}")
 
 
-def instantiate(
-    store: Store,
-    module: Module,
-    imports: Optional[ImportMap] = None,
-    run_start: bool = True,
-    interpreter: Optional[Interpreter] = None,
-) -> ModuleInstance:
-    """Instantiate ``module`` in ``store`` resolving ``imports``.
+def resolve_imports(
+    store: Store, module: Module, imports: ImportMap, instance: ModuleInstance
+) -> None:
+    """Resolve ``module``'s imports into ``instance``'s address lists.
 
-    Args:
-        imports: two-level map ``{module_name: {item_name: (kind, addr)}}``.
-        run_start: execute the start function (disable to defer).
-        interpreter: used for the start function; a fresh one is created
-            if omitted.
+    Shared by :func:`instantiate` and the zygote restore path
+    (:mod:`repro.wasm.runtime.snapshot`): import addresses are host-world
+    state and must be re-resolved per store, never snapshotted.
 
     Raises:
         LinkError: unresolved or mismatched imports.
-        WasmTrap: active segment out of bounds, or start function trap.
     """
-    imports = imports or {}
-    instance = ModuleInstance(module=module)
-
-    # -- resolve imports ----------------------------------------------------
     for imp in module.imports:
         try:
             kind, addr = imports[imp.module][imp.name]
@@ -98,6 +87,43 @@ def instantiate(
                 raise LinkError(f"import {imp.module}.{imp.name}: global type mismatch")
             instance.global_addrs.append(addr)
 
+
+def build_exports(module: Module, instance: ModuleInstance, store: Store) -> None:
+    """Fill the export table and cache the default memory."""
+    addr_spaces = {
+        "func": instance.func_addrs,
+        "table": instance.table_addrs,
+        "mem": instance.mem_addrs,
+        "global": instance.global_addrs,
+    }
+    for ex in module.exports:
+        instance.exports[ex.name] = (ex.kind, addr_spaces[ex.kind][ex.index])
+    if instance.mem_addrs:
+        instance.mem0 = store.mems[instance.mem_addrs[0]]
+
+
+def instantiate(
+    store: Store,
+    module: Module,
+    imports: Optional[ImportMap] = None,
+    run_start: bool = True,
+    interpreter: Optional[Interpreter] = None,
+) -> ModuleInstance:
+    """Instantiate ``module`` in ``store`` resolving ``imports``.
+
+    Args:
+        imports: two-level map ``{module_name: {item_name: (kind, addr)}}``.
+        run_start: execute the start function (disable to defer).
+        interpreter: used for the start function; a fresh one is created
+            if omitted.
+
+    Raises:
+        LinkError: unresolved or mismatched imports.
+        WasmTrap: active segment out of bounds, or start function trap.
+    """
+    instance = ModuleInstance(module=module)
+    resolve_imports(store, module, imports or {}, instance)
+
     # -- allocate definitions ------------------------------------------------
     for func in module.funcs:
         addr = store.alloc_func(
@@ -116,16 +142,6 @@ def instantiate(
     for g in module.globals:
         value = _eval_const(g.init, instance, store)
         instance.global_addrs.append(store.alloc_global(GlobalInstance(g.type, value)))
-
-    # -- exports ----------------------------------------------------------------
-    addr_spaces = {
-        "func": instance.func_addrs,
-        "table": instance.table_addrs,
-        "mem": instance.mem_addrs,
-        "global": instance.global_addrs,
-    }
-    for ex in module.exports:
-        instance.exports[ex.name] = (ex.kind, addr_spaces[ex.kind][ex.index])
 
     # -- element segments ----------------------------------------------------------
     for seg in module.elems:
@@ -150,9 +166,8 @@ def instantiate(
         # Active segments are dropped after initialization (spec).
         instance.data_addrs.append(store.alloc_data(None))
 
-    # Cache the default memory before any guest code (start function) runs.
-    if instance.mem_addrs:
-        instance.mem0 = store.mems[instance.mem_addrs[0]]
+    # Exports + cached default memory, before any guest code (start) runs.
+    build_exports(module, instance, store)
 
     # -- start function ------------------------------------------------------------------
     if run_start and module.start is not None:

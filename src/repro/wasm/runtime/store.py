@@ -67,6 +67,19 @@ class MemoryInstance:
         self.type = mem_type
         self.data = bytearray(mem_type.limits.minimum * PAGE_SIZE)
 
+    @classmethod
+    def from_snapshot(cls, mem_type: MemoryType, data: bytes) -> "MemoryInstance":
+        """Clone a memory from captured bytes without zero-fill + copy-in.
+
+        The zygote restore path: the snapshot already contains the fully
+        initialized (possibly grown) contents, so the spec's minimum-size
+        zero allocation would be wasted work.
+        """
+        mem = cls.__new__(cls)
+        mem.type = mem_type
+        mem.data = bytearray(data)
+        return mem
+
     @property
     def pages(self) -> int:
         return len(self.data) // PAGE_SIZE

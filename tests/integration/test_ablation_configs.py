@@ -19,6 +19,7 @@ class TestAblationConfigs:
             "crun-wamr-aot",
             "crun-wamr-static",
             "youki-wamr",
+            "crun-wamr-zygote",
         }
         assert all(not c.is_ours for c in ABLATION_CONFIGS.values())
 

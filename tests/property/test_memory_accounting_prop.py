@@ -1,7 +1,8 @@
 """Differential property test: incremental ledger vs reference accountant.
 
-Drives random spawn / map_private / map_file / resize_segment /
-drop_segment / exit / touch_page_cache / drop_page_cache sequences
+Drives random spawn / map_private / map_file / map_cow / cow_split /
+resize_segment / drop_segment / exit / touch_page_cache / drop_page_cache
+sequences
 against a model in **audit** mode (every query already cross-checks) and
 additionally calls ``verify_accounting()`` after every step, which
 compares the running counters byte-for-byte against full recomputation:
@@ -19,6 +20,8 @@ from repro.sim.process import SegmentKind
 CGROUPS = ["/", "/kubepods/pod-a", "/kubepods/pod-b", "/system.slice/containerd"]
 #: fixed size per shared file — mappings of one key must agree on size
 FILES = {"libA.so": 3 * MIB, "libB.so": 5 * MIB, "app.aot": 1 * MIB}
+#: fixed size per zygote snapshot — COW clones must agree on the extent
+COWS = {"zygote/svc": 2 * MIB, "zygote/batch": 4 * MIB}
 
 
 class AccountingMachine(RuleBasedStateMachine):
@@ -49,6 +52,31 @@ class AccountingMachine(RuleBasedStateMachine):
         proc = self._pick_proc(data)
         if proc is not None:
             self.model.map_file(proc, file_key, FILES[file_key])
+
+    @rule(data=st.data(), cow_key=st.sampled_from(sorted(COWS)))
+    def map_cow(self, data, cow_key):
+        proc = self._pick_proc(data)
+        if proc is not None:
+            self.model.map_cow(proc, cow_key, COWS[cow_key])
+
+    @rule(data=st.data(), frac=st.floats(min_value=0.0, max_value=1.0))
+    def cow_split(self, data, frac):
+        """Dirty (or re-share) a random amount of a random COW segment."""
+        proc = self._pick_proc(data)
+        if proc is None:
+            return
+        keys = [k for k, s in proc.segments.items() if s.kind is SegmentKind.COW]
+        if not keys:
+            return
+        key = data.draw(st.sampled_from(keys), label="key")
+        seg = proc.segments[key]
+        # delta ranges over everything legal: [-dirty, size - dirty]
+        delta = round(-seg.cow_dirty + frac * seg.size)
+        delta = max(-seg.cow_dirty, min(delta, seg.size - seg.cow_dirty))
+        if delta >= 0:
+            proc.cow_split(key, delta)
+        else:
+            proc.cow_unsplit(key, -delta)
 
     @rule(data=st.data(), size=st.integers(min_value=0, max_value=8 * MIB))
     def resize_private(self, data, size):

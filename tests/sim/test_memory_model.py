@@ -225,6 +225,98 @@ class TestMunmapSemantics:
         assert memory.free_report().used == 100 * MIB + 4 * MIB
 
 
+class TestCowSegments:
+    """Zygote clones: shared snapshot extent + per-process dirty split."""
+
+    def test_clones_pay_snapshot_once_plus_dirty(self, memory):
+        p1 = memory.spawn("a", cgroup="/pods/a")
+        p2 = memory.spawn("b", cgroup="/pods/b")
+        memory.map_cow(p1, "zygote/svc", 4 * MIB)
+        k2 = memory.map_cow(p2, "zygote/svc", 4 * MIB)
+        assert memory.node_working_set() == 4 * MIB
+        p2.cow_split(k2, 1 * MIB)
+        # Original pages stay resident; the copy is additional private.
+        assert memory.node_working_set() == 5 * MIB
+        assert p2.private_bytes() == 1 * MIB
+        # RSS stays the mapping size: each dirty page *replaces* the
+        # shared page in the writer's address space (Linux semantics);
+        # the extra node-wide cost is the still-resident original.
+        assert p1.rss() == 4 * MIB
+        assert p2.rss() == 4 * MIB
+
+    def test_first_toucher_charged_dirty_split_charged_to_writer(self, memory):
+        p1 = memory.spawn("a", cgroup="/pods/a")
+        p2 = memory.spawn("b", cgroup="/pods/b")
+        memory.map_cow(p1, "zygote/svc", 4 * MIB)
+        k2 = memory.map_cow(p2, "zygote/svc", 4 * MIB)
+        assert memory.cgroup_working_set("/pods/a") == 4 * MIB
+        assert memory.cgroup_working_set("/pods/b") == 0
+        p2.cow_split(k2, 1 * MIB)
+        assert memory.cgroup_working_set("/pods/a") == 4 * MIB
+        assert memory.cgroup_working_set("/pods/b") == 1 * MIB
+
+    def test_charge_migrates_when_owner_exits(self, memory):
+        p1 = memory.spawn("a", cgroup="/pods/a")
+        p2 = memory.spawn("b", cgroup="/pods/b")
+        memory.map_cow(p1, "zygote/svc", 4 * MIB)
+        memory.map_cow(p2, "zygote/svc", 4 * MIB)
+        memory.exit(p1)
+        assert memory.cgroup_working_set("/pods/b") == 4 * MIB
+        assert memory.node_working_set() == 4 * MIB
+
+    def test_unsplit_resharing_returns_bytes(self, memory):
+        p = memory.spawn("a", cgroup="/pods/a")
+        key = memory.map_cow(p, "zygote/svc", 4 * MIB)
+        p.cow_split(key, 2 * MIB)
+        p.cow_unsplit(key, 1 * MIB)
+        assert p.private_bytes() == 1 * MIB
+        assert memory.node_working_set() == 5 * MIB
+        memory.verify_accounting()
+
+    def test_split_bounds_enforced(self, memory):
+        p = memory.spawn("a")
+        key = memory.map_cow(p, "zygote/svc", 4 * MIB)
+        with pytest.raises(ValueError):
+            p.cow_split(key, 5 * MIB)
+        with pytest.raises(ValueError):
+            p.cow_unsplit(key, 1)
+
+    def test_resize_forbidden(self, memory):
+        p = memory.spawn("a")
+        key = memory.map_cow(p, "zygote/svc", 4 * MIB)
+        with pytest.raises(ValueError, match="fixed snapshot extent"):
+            p.resize_segment(key, 8 * MIB)
+
+    def test_extent_mismatch_rejected(self, memory):
+        p1 = memory.spawn("a")
+        p2 = memory.spawn("b")
+        memory.map_cow(p1, "zygote/svc", 4 * MIB)
+        with pytest.raises(SimulationError):
+            memory.map_cow(p2, "zygote/svc", 8 * MIB)
+
+    def test_cow_segment_validation(self):
+        with pytest.raises(ValueError):
+            MemorySegment(SegmentKind.COW, 10)  # no file_key
+        with pytest.raises(ValueError):
+            MemorySegment(SegmentKind.COW, 10, file_key="z", cow_dirty=11)
+        with pytest.raises(ValueError):
+            MemorySegment(SegmentKind.PRIVATE, 10, cow_dirty=1)
+
+    def test_audit_mode_cross_checks_cow(self):
+        for mode in ("incremental", "reference", "audit"):
+            m = SystemMemoryModel(total_bytes=8 * GIB, kernel_base=0, accounting=mode)
+            p1 = m.spawn("a", cgroup="/pods/a")
+            p2 = m.spawn("b", cgroup="/pods/b")
+            m.map_cow(p1, "zygote/svc", 4 * MIB)
+            k2 = m.map_cow(p2, "zygote/svc", 4 * MIB)
+            p2.cow_split(k2, 1 * MIB)
+            p2.cow_unsplit(k2, 512)
+            m.exit(p1)
+            m.verify_accounting()
+            assert m.node_working_set() == 5 * MIB - 512
+            assert m.cgroup_working_set("/pods/b") == 4 * MIB + 1 * MIB - 512
+
+
 class TestAccountingModes:
     def _scenario(self, m: SystemMemoryModel) -> tuple:
         p1 = m.spawn("a", cgroup="/pods/a")
@@ -232,6 +324,7 @@ class TestAccountingModes:
         m.map_private(p1, 7 * MIB)
         m.map_file(p1, "lib.so", 4 * MIB)
         m.map_file(p2, "lib.so", 4 * MIB)
+        m.map_cow(p2, "zygote/svc", 2 * MIB)
         m.touch_page_cache("layer", 9 * MIB)
         m.exit(p1)
         return (
