@@ -6,6 +6,7 @@ Subcommands mirror the tools a user of the real system would reach for:
 * ``run`` — execute a module under WASI (the engines' code path),
 * ``deploy`` — a deployment experiment on the simulated testbed,
 * ``recover`` — a fault-injection recovery experiment,
+* ``chaos`` — the full-lifecycle chaos campaign with convergence invariants,
 * ``zygote`` — the snapshot-and-clone warm-start comparison,
 * ``figures`` — regenerate the paper's tables/figures,
 * ``inspect`` — per-phase/per-layer breakdown of an exported trace file.
@@ -181,6 +182,28 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0 if m.converged and m.failed_pods == 0 else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.measure.chaos import render_chaos, run_chaos
+
+    telemetry = _enable_telemetry(args)
+    m = run_chaos(
+        config=args.config,
+        count=args.count,
+        seed=args.seed,
+        rate=args.rate,
+    )
+    print(render_chaos(m))
+    if args.bench_out:
+        payload = json.dumps(m.to_dict(), indent=2, sort_keys=True)
+        pathlib.Path(args.bench_out).write_text(payload + "\n")
+        print(f"wrote {args.bench_out}")
+    if telemetry:
+        _export_telemetry(args)
+    return 0 if m.all_hold() else 1
+
+
 def _cmd_zygote(args: argparse.Namespace) -> int:
     from repro.measure.zygote import render_zygote, run_zygote_experiment
 
@@ -326,6 +349,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--compile-probability", type=float, default=0.3)
     _add_telemetry_flags(p)
     p.set_defaults(func=_cmd_recover)
+
+    p = sub.add_parser(
+        "chaos", help="run the full-lifecycle chaos campaign with invariants"
+    )
+    p.add_argument("--config", default="crun-wamr")
+    p.add_argument("-n", "--count", type=int, default=400)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--rate", type=float, default=0.25,
+        help="per-attempt firing probability at every armed point",
+    )
+    p.add_argument(
+        "--bench-out", default=None, metavar="FILE",
+        help="write the measurement (invariants, recovery percentiles) as JSON",
+    )
+    _add_telemetry_flags(p)
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("zygote", help="run the zygote warm-start comparison")
     p.add_argument("-n", "--count", type=int, default=400)

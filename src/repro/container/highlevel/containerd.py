@@ -218,18 +218,25 @@ class Containerd:
             if config.workload == "wasm":
                 env.inject(FaultPoint.ENGINE_COMPILE, pod_uid)
                 env.inject(FaultPoint.ENGINE_INSTANTIATE, pod_uid)
-            if config.family == "runwasi":
-                exec_seconds = self._shims[config_id].create_and_exec(
-                    env, container, bundle
-                )
-            else:
-                if handle.shim is None:
-                    handle.shim = spawn_runc_shim(
-                        env, pod_uid, for_runc=(config.family == "runc")
+            # Guest dispatch runs under the pod's fault scope so the
+            # runtime injection points (guest trap/exhaust, WASI syscall,
+            # zygote/cache corruption) deep in the wasm layers see the
+            # node's plan. create_and_exec is synchronous — no kernel
+            # yields inside the scope — so the ambient context never
+            # interleaves across pods.
+            with env.fault_scope(pod_uid):
+                if config.family == "runwasi":
+                    exec_seconds = self._shims[config_id].create_and_exec(
+                        env, container, bundle
                     )
-                exec_seconds = self._runtimes[config_id].create_and_exec(
-                    env, container, bundle
-                )
+                else:
+                    if handle.shim is None:
+                        handle.shim = spawn_runc_shim(
+                            env, pod_uid, for_runc=(config.family == "runc")
+                        )
+                    exec_seconds = self._runtimes[config_id].create_and_exec(
+                        env, container, bundle
+                    )
             env.inject(FaultPoint.MAIN_EXEC, pod_uid)
         except BaseException:
             for proc in container.processes:

@@ -9,6 +9,7 @@ from repro import obs
 from repro.oci.store import ImageStore
 from repro.sim.cpu import CpuModel
 from repro.sim.faults import FaultPlan, FaultPoint
+from repro.sim.faults import fault_scope as sim_fault_scope
 from repro.sim.kernel import Kernel, Resource
 from repro.sim.memory import SystemMemoryModel
 from repro.sim.process import SimProcess
@@ -120,6 +121,15 @@ class NodeEnv:
         """Fault-injection hook: raises ``FaultInjected`` when armed & firing."""
         if self.faults is not None:
             self.faults.raise_if_fires(point, key)
+
+    def fault_scope(self, key: str):
+        """Arm this node's plan as the ambient fault context for ``key``.
+
+        Brackets guest dispatch so the runtime injection points deep in
+        the wasm/engine layers (which hold no node reference) see the
+        plan. With no plan armed this is a no-op context manager.
+        """
+        return sim_fault_scope(self.faults, key)
 
     def pressure(self) -> float:
         """Current startup-work pressure multiplier (O(1) on the ledger)."""

@@ -31,15 +31,29 @@ Prometheus exports) and :func:`reset_caches` clears state + counters so
 seeded experiments and tests cannot leak across runs. The counters are
 registered ``always=True``: they collect even with telemetry disabled,
 because experiment metadata and tests consume them functionally.
+
+Chaos hardening (PR 6): under an ambient fault scope
+(:func:`repro.sim.faults.fault_scope`) the decode/compile/prepare layers
+can be told a cached entry is corrupt (``cache.corrupt``); a corrupt hit
+is invalidated and rebuilt through the normal miss path, at most
+:data:`MAX_REBUILDS_PER_ENTRY` times per entry so a hostile plan cannot
+rebuild forever. The zygote layer adds a **quarantine**: a digest whose
+snapshot failed checksum verification is dropped and marked poisoned —
+:func:`zygote_get` stops serving it and :func:`zygote_known` keeps
+reporting it probed, so the embed layer neither restores from it nor
+re-captures it until :func:`reset_caches`. The run cache is *bypassed*
+whenever the ambient plan arms any guest-runtime point: memoizing runs
+would let one pod's injected trap answer for every pod.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Set, Tuple
 
 from repro import obs
 from repro.engines.base import CompiledModule, EngineRunResult, WasmEngine
 from repro.oci.digest import sha256_digest
+from repro.sim import faults
 from repro.wasm.ast import Module
 from repro.wasm.decoder import decode_module
 from repro.wasm.runtime.compile import PreparedModule, prepare_module
@@ -52,10 +66,34 @@ _PREPARED_CACHE: Dict[str, PreparedModule] = {}
 _ZYGOTE_CACHE: Dict[str, Optional[InstanceSnapshot]] = {}
 _RUN_CACHE: Dict[Tuple, EngineRunResult] = {}
 
+#: digests whose snapshot was found corrupt; never served or re-captured
+#: until :func:`reset_caches`.
+_ZYGOTE_QUARANTINE: Set[str] = set()
+
+#: digests whose snapshot passed checksum verification once already —
+#: amortizes the sha256 so the happy path verifies each digest one time.
+_ZYGOTE_VERIFIED: Set[str] = set()
+
+#: per-(layer, digest) rebuild count for corrupt cache entries.
+_REBUILDS: Dict[Tuple[str, str], int] = {}
+
+#: a corrupt entry is rebuilt at most this many times; past the cap the
+#: entry is trusted as-is (capped retry — no infinite rebuild storms).
+MAX_REBUILDS_PER_ENTRY = 1
+
 _CACHE_REQUESTS = obs.counter(
     "repro_engine_cache_requests_total",
     "guest-work cache lookups by layer and outcome",
     ("layer", "outcome"),
+    always=True,
+)
+
+# always=True: the chaos campaign's counter-balance invariants and the
+# zygote-fallback tests consume these functionally.
+_ZYGOTE_FALLBACKS = obs.counter(
+    "repro_zygote_fallbacks_total",
+    "zygote restores abandoned for cold instantiation, by reason",
+    ("reason",),
     always=True,
 )
 
@@ -99,6 +137,35 @@ zygote_stats = CacheStats("zygote")
 run_stats = CacheStats("run")
 
 
+def _corrupt_hit(layer: str, digest: str) -> bool:
+    """Did the ambient fault plan corrupt this cache hit?
+
+    One module-global read when no fault scope is armed. A corrupt hit is
+    counted as a ``rebuild`` outcome and capped per entry: once a given
+    ``(layer, digest)`` has been rebuilt :data:`MAX_REBUILDS_PER_ENTRY`
+    times, further corruption draws are skipped and the rebuilt entry is
+    trusted — the retry is bounded by construction.
+    """
+    ctx = faults.ambient()
+    if ctx is None:
+        return False
+    plan, _pod_key = ctx
+    entry = (layer, digest)
+    if _REBUILDS.get(entry, 0) >= MAX_REBUILDS_PER_ENTRY:
+        return False
+    fault = plan.check(faults.FaultPoint.CACHE_CORRUPT, f"{layer}/{digest}")
+    if fault is None:
+        return False
+    _REBUILDS[entry] = _REBUILDS.get(entry, 0) + 1
+    _CACHE_REQUESTS.labels(layer, "rebuild").inc()
+    return True
+
+
+def cache_rebuilds() -> Dict[Tuple[str, str], int]:
+    """Per-(layer, digest) corrupt-entry rebuild counts (copy)."""
+    return dict(_REBUILDS)
+
+
 def decode_cached(
     blob: bytes, digest: Optional[str] = None
 ) -> Tuple[Module, str]:
@@ -112,6 +179,9 @@ def decode_cached(
     if digest is None:
         digest = sha256_digest(blob)
     module = _DECODE_CACHE.get(digest)
+    if module is not None and _corrupt_hit("decode", digest):
+        _DECODE_CACHE.pop(digest, None)
+        module = None
     if module is None:
         decode_stats.miss()
         module = decode_module(bytes(blob))
@@ -132,6 +202,9 @@ def compile_cached(
         digest = sha256_digest(blob)
     key = (engine.name, digest)
     compiled = _COMPILE_CACHE.get(key)
+    if compiled is not None and _corrupt_hit("compile", f"{engine.name}/{digest}"):
+        _COMPILE_CACHE.pop(key, None)
+        compiled = None
     if compiled is None:
         compile_stats.miss()
         compiled = engine.compile(blob)
@@ -147,19 +220,58 @@ def compile_cached(
 
 
 def zygote_get(digest: str) -> Optional[InstanceSnapshot]:
-    """The snapshot for ``digest``, or ``None`` (not captured yet, or
-    probed and unsnapshottable — disambiguate with :func:`zygote_known`)."""
+    """The snapshot for ``digest``, or ``None`` (not captured yet, probed
+    and unsnapshottable, or quarantined — disambiguate with
+    :func:`zygote_known` / :func:`zygote_quarantined`)."""
+    if digest in _ZYGOTE_QUARANTINE:
+        return None
     return _ZYGOTE_CACHE.get(digest)
 
 
 def zygote_known(digest: str) -> bool:
-    """Has this digest been probed (successfully or not)?"""
-    return digest in _ZYGOTE_CACHE
+    """Has this digest been probed (successfully or not)? Quarantined
+    digests stay "known" so the embed layer never re-captures them."""
+    return digest in _ZYGOTE_CACHE or digest in _ZYGOTE_QUARANTINE
 
 
 def zygote_put(digest: str, snapshot: Optional[InstanceSnapshot]) -> None:
     """Record a capture outcome; ``None`` poisons the digest (don't retry)."""
     _ZYGOTE_CACHE[digest] = snapshot
+    _ZYGOTE_VERIFIED.discard(digest)
+
+
+def zygote_quarantine(digest: str, reason: str = "corrupt") -> None:
+    """Drop ``digest``'s snapshot and poison it until :func:`reset_caches`.
+
+    Called when a restore-time checksum check fails (organic or injected
+    corruption). The digest stays :func:`zygote_known` so every later run
+    of the blob takes the cold two-phase path — a poisoned zygote is
+    never retried, never re-captured, and never served again.
+    """
+    _ZYGOTE_CACHE.pop(digest, None)
+    _ZYGOTE_VERIFIED.discard(digest)
+    _ZYGOTE_QUARANTINE.add(digest)
+    _ZYGOTE_FALLBACKS.labels(reason).inc()
+
+
+def zygote_quarantined(digest: str) -> bool:
+    """Is ``digest`` quarantined (snapshot found corrupt)?"""
+    return digest in _ZYGOTE_QUARANTINE
+
+
+def zygote_fallback_count(reason: str = "corrupt") -> int:
+    """Cold fallbacks recorded for ``reason`` (functional counter read)."""
+    return int(_ZYGOTE_FALLBACKS.labels(reason).value)
+
+
+def zygote_verified(digest: str) -> bool:
+    """Did ``digest``'s snapshot already pass checksum verification?"""
+    return digest in _ZYGOTE_VERIFIED
+
+
+def zygote_mark_verified(digest: str) -> None:
+    """Record a successful checksum verification (amortizes re-checks)."""
+    _ZYGOTE_VERIFIED.add(digest)
 
 
 def prepare_cached(module, digest: str) -> PreparedModule:
@@ -169,6 +281,9 @@ def prepare_cached(module, digest: str) -> PreparedModule:
     fresh decode of a known blob skips the lowering pass entirely.
     """
     pm = _PREPARED_CACHE.get(digest)
+    if pm is not None and _corrupt_hit("prepare", digest):
+        _PREPARED_CACHE.pop(digest, None)
+        pm = None
     if pm is None:
         prepare_stats.miss()
         pm = prepare_module(module)
@@ -188,6 +303,13 @@ def run_cached(
 ) -> Tuple[CompiledModule, EngineRunResult]:
     digest = sha256_digest(blob)  # hashed once: shared by compile + run keys
     compiled = compile_cached(engine, blob, digest=digest)
+    ctx = faults.ambient()
+    if ctx is not None and ctx[0].arms_any(faults.GUEST_RUNTIME_POINTS):
+        # A memoized result would let one pod's run (and its injected
+        # trap, or its survival) answer for every pod. Bypass entirely:
+        # each pod executes the guest and draws its own faults.
+        _CACHE_REQUESTS.labels("run", "bypass").inc()
+        return compiled, engine.run(compiled, args=args, env=env, stdin=stdin)
     key = (
         engine.name,
         digest,
@@ -207,7 +329,7 @@ def run_cached(
 
 def cache_stats() -> Dict[str, Dict[str, int]]:
     """Machine-readable snapshot of all layers (for experiment metadata)."""
-    return {
+    stats = {
         name: {"hits": s.hits, "misses": s.misses, "entries": len(store)}
         for name, s, store in (
             ("decode", decode_stats, _DECODE_CACHE),
@@ -217,20 +339,33 @@ def cache_stats() -> Dict[str, Dict[str, int]]:
             ("run", run_stats, _RUN_CACHE),
         )
     }
+    stats["zygote"]["quarantined"] = len(_ZYGOTE_QUARANTINE)
+    stats["zygote"]["fallbacks"] = zygote_fallback_count()
+    return stats
 
 
 def reset_caches() -> None:
-    """Drop all cached state and zero the counters."""
+    """Drop all cached state and zero the counters.
+
+    Also clears the zygote quarantine/verified markers and the
+    corrupt-entry rebuild ledger: a digest poisoned by one experiment's
+    fault plan must restore cleanly in the next (no cross-experiment
+    contamination of the measurement cache).
+    """
     _DECODE_CACHE.clear()
     _COMPILE_CACHE.clear()
     _PREPARED_CACHE.clear()
     _ZYGOTE_CACHE.clear()
     _RUN_CACHE.clear()
+    _ZYGOTE_QUARANTINE.clear()
+    _ZYGOTE_VERIFIED.clear()
+    _REBUILDS.clear()
     decode_stats.reset()
     compile_stats.reset()
     prepare_stats.reset()
     zygote_stats.reset()
     run_stats.reset()
+    _ZYGOTE_FALLBACKS.reset()
 
 
 # Pre-existing callers use the old name; keep it as an alias.

@@ -120,12 +120,33 @@ class FaultInjected(ContainerError):
     ``transient`` drives the kubelet's restart decision: transient faults
     are retried under the pod's restart policy, permanent ones fail the
     pod immediately.
+
+    ``point``/``key``/``occurrence`` carry the structured injection
+    context (which point fired, for which pod/digest, and the 1-based
+    per-point attempt number) so chaos runs are debuggable from the
+    exception alone.
     """
 
-    def __init__(self, message: str, point: str, transient: bool = True) -> None:
+    def __init__(
+        self,
+        message: str,
+        point: str,
+        transient: bool = True,
+        key: str = "",
+        occurrence: int = 0,
+    ) -> None:
         super().__init__(message)
         self.point = point
         self.transient = transient
+        self.key = key
+        self.occurrence = occurrence
+
+
+class AdmissionRejected(ContainerError):
+    """Kubelet admission load-shedding: the node refused to start a pod
+    while memory pressure sits past the eviction threshold. Always
+    transient — the pod backs off (MemoryPressure) and retries once
+    evictions/teardowns relieve the node."""
 
 
 # --------------------------------------------------------------------------

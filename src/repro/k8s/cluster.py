@@ -20,7 +20,7 @@ from repro.core.integration import ABLATION_CONFIGS, RUNTIME_CONFIGS
 from repro.errors import KubernetesError
 from repro.k8s.apiserver import APIServer
 from repro.k8s.controllers import DeploymentController
-from repro.k8s.kubelet import Kubelet
+from repro.k8s.kubelet import Kubelet, ProbeConfig
 from repro.k8s.metrics_server import MetricsServer
 from repro.k8s.objects import (
     ContainerSpec,
@@ -180,12 +180,16 @@ def build_cluster(
     max_pods: int = 500,
     memory_bytes: int = 256 * GIB,
     fault_plan: Optional[FaultPlan] = None,
+    probes: Optional[ProbeConfig] = None,
+    admission_shedding: bool = False,
 ) -> Cluster:
     """Build the simulated testbed (defaults = the paper's single node).
 
     ``fault_plan`` arms deterministic fault injection on every node (the
     plan's budgets are shared cluster-wide); None leaves injection off
-    with zero overhead.
+    with zero overhead. ``probes`` opts every kubelet into post-Running
+    liveness/readiness probing; ``admission_shedding`` makes kubelets
+    refuse admissions under memory pressure instead of evicting.
     """
     kernel = Kernel()
     api = APIServer(clock=lambda: kernel.now)
@@ -212,7 +216,14 @@ def build_cluster(
         env.images.pull(PYTHON_IMAGE_REF)
         containerd = Containerd(env)
         cri = CRIService(containerd)
-        kubelet = Kubelet(node_name=name, api=api, cri=cri, env=env)
+        kubelet = Kubelet(
+            node_name=name,
+            api=api,
+            cri=cri,
+            env=env,
+            probes=probes or ProbeConfig(),
+            admission_shedding=admission_shedding,
+        )
         info = NodeInfo(
             name=name,
             max_pods=max_pods,
@@ -226,7 +237,9 @@ def build_cluster(
             containerd=containerd,
             cri=cri,
             kubelet=kubelet,
-            metrics=MetricsServer(memory, containerd),
+            metrics=MetricsServer(
+                memory, containerd, faults=fault_plan, node_name=name
+            ),
             info=info,
         )
 

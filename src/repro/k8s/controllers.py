@@ -107,7 +107,9 @@ class DeploymentController:
         return {
             "desired": deployment.replicas,
             "current": len(live),
-            "ready": sum(1 for p in live if p.phase is PodPhase.RUNNING),
+            "ready": sum(
+                1 for p in live if p.phase is PodPhase.RUNNING and p.ready
+            ),
         }
 
     # -- internals -----------------------------------------------------------------

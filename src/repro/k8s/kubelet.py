@@ -28,6 +28,7 @@ from repro.container.lifecycle import Container
 from repro.container.nodeenv import NodeEnv
 from repro.container.startup import startup_profile
 from repro.errors import (
+    AdmissionRejected,
     ContainerError,
     EngineError,
     FaultInjected,
@@ -51,6 +52,27 @@ from repro.sim.faults import FaultPoint
 from repro.sim.kernel import Timeout
 
 
+@dataclass(frozen=True)
+class ProbeConfig:
+    """Liveness/readiness probe schedule for one kubelet (opt-in).
+
+    After a pod reaches Running, the kubelet probes it ``rounds`` times
+    at ``interval_s``. ``liveness_failure_threshold`` *consecutive*
+    liveness failures restart the pod through the normal crash-loop
+    machinery; readiness failures only flip ``Pod.ready`` (the pod keeps
+    running but drops out of the deployment's ready count) until a
+    bounded re-probe loop either recovers it or — after
+    ``readiness_recovery_rounds`` more failures — restarts it too.
+    """
+
+    enabled: bool = False
+    interval_s: float = 0.5
+    rounds: int = 3
+    liveness_failure_threshold: int = 2
+    readiness_failure_threshold: int = 2
+    readiness_recovery_rounds: int = 3
+
+
 @dataclass
 class Kubelet:
     """One kubelet per worker node."""
@@ -67,6 +89,11 @@ class Kubelet:
     max_sync_retries: int = 10
     #: evict when `available` drops below this fraction of node memory
     eviction_threshold_frac: float = 0.01
+    #: post-Running health probing (off by default: adds probe Timeouts)
+    probes: ProbeConfig = field(default_factory=ProbeConfig)
+    #: refuse to admit new pods while the node is past the eviction
+    #: threshold (load shedding) instead of evicting running ones
+    admission_shedding: bool = False
     _backoffs: Dict[str, BackoffTracker] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -83,6 +110,20 @@ class Kubelet:
         self._m_evictions = obs.counter(
             "repro_kubelet_evictions_total",
             "pods evicted to relieve node memory pressure",
+        )
+        self._m_probes = obs.counter(
+            "repro_kubelet_probe_checks_total",
+            "liveness/readiness probe checks, by probe and outcome",
+            ("probe", "outcome"),
+        )
+        self._m_probe_restarts = obs.counter(
+            "repro_kubelet_probe_restarts_total",
+            "pods restarted after crossing a probe failure threshold",
+            ("probe",),
+        )
+        self._m_admission_rejections = obs.counter(
+            "repro_kubelet_admission_rejections_total",
+            "pod admissions refused under node memory pressure (shedding)",
         )
 
     # -- pod sync (self-healing activity) -----------------------------------
@@ -113,6 +154,8 @@ class Kubelet:
                 return pod
             try:
                 yield from self._sync_attempt(pod, handler, profile)
+                if self.probes.enabled:
+                    yield from self._probe_window(pod)
                 self._backoffs.pop(pod.uid, None)
                 self._m_syncs.labels("ok").inc()
                 # Zygote configs tag the span warm/cold; other configs'
@@ -158,6 +201,15 @@ class Kubelet:
             "startup.pipeline", pod.uid, t0, self.env.kernel.now, config=handler
         )
 
+        if self.admission_shedding and self.under_memory_pressure():
+            # Load shedding: refuse this admission rather than evicting
+            # running pods to make room. The pod backs off under
+            # MemoryPressure and retries once the node drains.
+            self._m_admission_rejections.inc()
+            raise AdmissionRejected(
+                f"node {self.node_name} past the eviction threshold: "
+                f"admission of pod {pod.name} shed"
+            )
         self._relieve_memory_pressure(exclude_uid=pod.uid)
 
         sandbox = PodSandboxConfig(
@@ -180,7 +232,91 @@ class Kubelet:
             (c.exec_started_at for c in containers if c.exec_started_at is not None),
             default=self.env.kernel.now,
         )
+        pod.ready = True
         self.api.set_phase(pod, PodPhase.RUNNING)
+
+    def _probe_window(self, pod: Pod):
+        """Activity: probe a just-Running pod per :class:`ProbeConfig`.
+
+        Probe outcomes come from the node's fault plan (``probe.liveness``
+        / ``probe.readiness`` points); with no plan armed every check
+        passes. Crossing the liveness threshold — or exhausting the
+        readiness recovery loop — raises the probe fault as a transient
+        :class:`FaultInjected`, which the sync loop's normal failure path
+        turns into cleanup + CrashLoopBackOff + retry: a wedged Running
+        pod transitions back through restarting like any crashed one.
+        """
+        cfg = self.probes
+        plan = self.env.faults
+        liveness_fails = 0
+        readiness_fails = 0
+        for _ in range(cfg.rounds):
+            yield Timeout(cfg.interval_s)
+            if pod.uid not in self.api.pods or pod.phase is not PodPhase.RUNNING:
+                return
+            fault = (
+                plan.check(FaultPoint.PROBE_LIVENESS, pod.uid)
+                if plan is not None
+                else None
+            )
+            if fault is not None:
+                liveness_fails += 1
+                self._m_probes.labels("liveness", "fail").inc()
+                if liveness_fails >= cfg.liveness_failure_threshold:
+                    self._m_probe_restarts.labels("liveness").inc()
+                    raise FaultInjected(
+                        f"liveness probe failed {liveness_fails}x "
+                        f"(threshold {cfg.liveness_failure_threshold}): "
+                        f"restarting pod {pod.name}",
+                        point=FaultPoint.PROBE_LIVENESS.value,
+                        transient=True,
+                        key=pod.uid,
+                        occurrence=fault.occurrence,
+                    )
+            else:
+                liveness_fails = 0
+                self._m_probes.labels("liveness", "ok").inc()
+            fault = (
+                plan.check(FaultPoint.PROBE_READINESS, pod.uid)
+                if plan is not None
+                else None
+            )
+            if fault is not None:
+                readiness_fails += 1
+                self._m_probes.labels("readiness", "fail").inc()
+                if readiness_fails >= cfg.readiness_failure_threshold:
+                    pod.ready = False
+            else:
+                readiness_fails = 0
+                pod.ready = True
+                self._m_probes.labels("readiness", "ok").inc()
+        if pod.ready:
+            return
+        # Bounded recovery loop for a not-ready pod: either a later probe
+        # passes (ready again) or the pod is restarted — never parked
+        # not-ready forever, which would wedge deployment convergence.
+        for _ in range(cfg.readiness_recovery_rounds):
+            yield Timeout(cfg.interval_s)
+            if pod.uid not in self.api.pods or pod.phase is not PodPhase.RUNNING:
+                return
+            fault = (
+                plan.check(FaultPoint.PROBE_READINESS, pod.uid)
+                if plan is not None
+                else None
+            )
+            if fault is None:
+                pod.ready = True
+                self._m_probes.labels("readiness", "ok").inc()
+                return
+            self._m_probes.labels("readiness", "fail").inc()
+        self._m_probe_restarts.labels("readiness").inc()
+        raise FaultInjected(
+            f"readiness probe failed through the recovery window: "
+            f"restarting pod {pod.name}",
+            point=FaultPoint.PROBE_READINESS.value,
+            transient=True,
+            key=pod.uid,
+        )
 
     def _cleanup_attempt(self, pod: Pod) -> None:
         """Release whatever a failed attempt left on the node (idempotent)."""
@@ -203,6 +339,8 @@ class Kubelet:
         """
         if pod.restart_count >= self.max_sync_retries:
             return None
+        if isinstance(exc, AdmissionRejected):
+            return REASON_MEMORY_PRESSURE
         if isinstance(exc, OutOfMemory):
             victim = self._newest_running_pod(exclude_uid=pod.uid)
             if victim is None:

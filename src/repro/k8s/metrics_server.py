@@ -5,15 +5,21 @@ set (private memory of member processes plus shared pages charged to the
 cgroup that faulted them first). Shim processes, daemons, page cache, and
 kernel structures are invisible here — the root of the Fig 3 vs Fig 4
 discrepancy.
+
+Scrape loss is a chaos injection point (``metrics.scrape``): a lost pass
+degrades gracefully to the last successful sample set — stale data, never
+an exception — matching how consumers of the real metrics API see a
+missed scrape window.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro import obs
 from repro.container.highlevel.containerd import Containerd
+from repro.sim.faults import FaultPlan, FaultPoint
 from repro.sim.memory import SystemMemoryModel
 
 
@@ -24,9 +30,18 @@ class PodMetrics:
 
 
 class MetricsServer:
-    def __init__(self, memory: SystemMemoryModel, containerd: Containerd) -> None:
+    def __init__(
+        self,
+        memory: SystemMemoryModel,
+        containerd: Containerd,
+        faults: Optional[FaultPlan] = None,
+        node_name: str = "node",
+    ) -> None:
         self._memory = memory
         self._containerd = containerd
+        self._faults = faults
+        self._node_name = node_name
+        self._last: List[PodMetrics] = []
         self._m_scrapes = obs.counter(
             "repro_metrics_server_scrapes_total",
             "metrics-server scrape passes over the node",
@@ -35,23 +50,36 @@ class MetricsServer:
             "repro_metrics_server_pods_scraped_total",
             "pod working-set samples returned across all scrapes",
         )
+        self._m_lost = obs.counter(
+            "repro_metrics_server_scrapes_lost_total",
+            "scrape passes lost to injected faults (stale data served)",
+            always=True,
+        )
 
     def scrape(self) -> List[PodMetrics]:
         """One metrics pass over every pod on the node.
 
         Batched: one ledger pass answers all pod cgroups instead of one
-        full accounting query per pod.
+        full accounting query per pod. A lost scrape (injected) returns
+        the previous pass's samples unchanged.
         """
+        if self._faults is not None:
+            fault = self._faults.check(FaultPoint.METRICS_SCRAPE, self._node_name)
+            if fault is not None:
+                self._m_lost.inc()
+                return list(self._last)
         pods = sorted(self._containerd.pods.items())
         self._m_scrapes.inc()
         self._m_pods_scraped.inc(len(pods))
         working_sets = self._memory.cgroup_working_sets(
             handle.cgroup for _, handle in pods
         )
-        return [
+        result = [
             PodMetrics(pod_uid=pod_uid, working_set_bytes=working_sets[handle.cgroup])
             for pod_uid, handle in pods
         ]
+        self._last = result
+        return result
 
     def pod_working_sets(self) -> Dict[str, int]:
         return {m.pod_uid: m.working_set_bytes for m in self.scrape()}

@@ -78,6 +78,9 @@ class Pod:
     restart_count: int = 0
     #: simulated time until which the kubelet is backing off (None = not)
     backoff_until: Optional[float] = None
+    #: readiness-probe verdict; only meaningful while Running (a pod
+    #: that fails readiness keeps running but leaves the ready count)
+    ready: bool = True
 
 
 @dataclass

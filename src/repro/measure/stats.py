@@ -46,3 +46,35 @@ def percent_lower(ours: float, baseline: float) -> float:
     if baseline <= 0:
         raise ValueError("baseline must be positive")
     return 100.0 * (1.0 - ours / baseline)
+
+
+def histogram_quantile(
+    uppers: Sequence[float],
+    bucket_counts: Sequence[int],
+    total_count: int,
+    q: float,
+) -> float:
+    """Prometheus-style quantile estimate from histogram buckets.
+
+    ``uppers`` are the bucket upper bounds (no +Inf bucket: observations
+    past the top bound only increment ``total_count``), ``bucket_counts``
+    the per-bucket counts, ``q`` in [0, 1]. Linear interpolation within
+    the covering bucket; ranks falling past the top bound clamp to it —
+    the histogram carries no information beyond its last boundary.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if total_count <= 0:
+        raise ValueError("histogram is empty")
+    if len(uppers) != len(bucket_counts):
+        raise ValueError("uppers and bucket_counts must align")
+    rank = q * total_count
+    cum = 0
+    lower = 0.0
+    for upper, n in zip(uppers, bucket_counts):
+        if n > 0 and cum + n >= rank:
+            frac = (rank - cum) / n
+            return lower + frac * (upper - lower)
+        cum += n
+        lower = upper
+    return uppers[-1] if uppers else 0.0

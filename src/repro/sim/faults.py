@@ -1,12 +1,26 @@
 """Deterministic fault injection for the simulated stack.
 
-A :class:`FaultPlan` arms named **injection points** along the pod-startup
-critical path (image pull, sandbox setup, shim spawn, engine
-compile/instantiate, CRI RPC, main exec). Each point carries a firing
-probability, an optional max-occurrence budget, and a transient-vs-
-permanent classification. Components ask the plan at the matching point
-(via :meth:`repro.container.nodeenv.NodeEnv.inject`) and the plan either
-does nothing or raises :class:`~repro.errors.FaultInjected`.
+A :class:`FaultPlan` arms named **injection points** along the pod
+lifecycle. The original seven cover the startup critical path (image
+pull, sandbox setup, shim spawn, engine compile/instantiate, CRI RPC,
+main exec); the *runtime* points extend the plan past Running into every
+fast path built since: guest traps and fuel/OOM exhaustion mid-run,
+WASI syscall errors, zygote snapshot corruption, engine-cache entry
+corruption, metrics-scrape loss, and liveness/readiness probe failures.
+Each point carries a firing probability, an optional max-occurrence
+budget, and a transient-vs-permanent classification. Components ask the
+plan at the matching point (via
+:meth:`repro.container.nodeenv.NodeEnv.inject`) and the plan either does
+nothing or raises :class:`~repro.errors.FaultInjected`.
+
+Startup points are checked through the :class:`NodeEnv` the component
+already holds. The runtime points fire deep inside layers that have no
+node reference (``embed.run_wasi``, the engine caches, the WASI host
+functions), so the container layer brackets guest dispatch in
+:func:`fault_scope`, which arms a module-level **ambient context** of
+``(plan, pod key)``. The guest-side layers consult :func:`ambient`; with
+no scope armed that is a single module-global read returning ``None`` —
+the disabled path stays within the BENCH_obs overhead ceiling.
 
 Determinism: every ``(point, key)`` pair draws from its own named RNG
 stream (``fault/<point>/<key>``), so the outcome of a given pod's n-th
@@ -14,14 +28,17 @@ retry at a given point depends only on the plan's seed — never on how
 other pods' checks interleave. The same seed therefore reproduces the
 same failure pattern, backoff schedule, and recovery timeline; budgets
 are the only global state and the event kernel orders them
-deterministically too.
+deterministically too. Fault scopes contain no kernel yields (guest
+dispatch is synchronous within one activity step), so the ambient
+context never interleaves across pods.
 """
 
 from __future__ import annotations
 
 import enum
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro import obs
 from repro.errors import FaultInjected, SimulationError
@@ -29,8 +46,9 @@ from repro.sim.rng import RngStreams
 
 
 class FaultPoint(enum.Enum):
-    """Named injection points along the pod startup path."""
+    """Named injection points along the pod lifecycle."""
 
+    # -- startup path (PR 1) -------------------------------------------------
     IMAGE_PULL = "image.pull"
     SANDBOX_SETUP = "sandbox.setup"
     SHIM_SPAWN = "shim.spawn"
@@ -38,6 +56,28 @@ class FaultPoint(enum.Enum):
     ENGINE_INSTANTIATE = "engine.instantiate"
     CRI_RPC = "cri.rpc"
     MAIN_EXEC = "main.exec"
+    # -- runtime path (post-Running chaos layer) -----------------------------
+    GUEST_TRAP = "guest.trap"
+    GUEST_EXHAUST = "guest.exhaust"
+    WASI_SYSCALL = "wasi.syscall"
+    ZYGOTE_CORRUPT = "zygote.corrupt"
+    CACHE_CORRUPT = "cache.corrupt"
+    METRICS_SCRAPE = "metrics.scrape"
+    PROBE_LIVENESS = "probe.liveness"
+    PROBE_READINESS = "probe.readiness"
+
+
+#: points checked from inside guest execution (``run_wasi`` and below).
+#: When any of these is armed, the run cache must be bypassed so every
+#: pod's guest actually executes and gets its own per-(point, key) draws.
+GUEST_RUNTIME_POINTS = frozenset(
+    {
+        FaultPoint.GUEST_TRAP,
+        FaultPoint.GUEST_EXHAUST,
+        FaultPoint.WASI_SYSCALL,
+        FaultPoint.ZYGOTE_CORRUPT,
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -97,6 +137,14 @@ class FaultPlan:
             "repro_faults_injected_total",
             "faults actually fired, by injection point",
             ("point",),
+        )
+        # Registered always=True: the chaos campaign's counter-balance
+        # invariants consume these functionally, telemetry on or off.
+        self._m_fired = obs.counter(
+            "repro_faults_fired_total",
+            "faults fired, by injection point and transient/permanent kind",
+            ("point", "kind"),
+            always=True,
         )
 
     @property
@@ -158,17 +206,92 @@ class FaultPlan:
         self._fired_per_point[point] = used + 1
         self._fired.append(fault)
         self._m_injected.labels(point.value).inc()
+        self._m_fired.labels(
+            point.value, "transient" if spec.transient else "permanent"
+        ).inc()
         return fault
+
+    def arms_any(self, points: Iterable[FaultPoint]) -> bool:
+        """Is any of ``points`` armed with a nonzero probability?"""
+        return any(
+            (spec := self._specs.get(p)) is not None and spec.probability > 0.0
+            for p in points
+        )
 
     def raise_if_fires(self, point: FaultPoint, key: str) -> None:
         """Check and raise :class:`FaultInjected` when the point fires."""
         fault = self.check(point, key)
         if fault is not None:
             raise FaultInjected(
-                f"{fault.message} (key={key}, occurrence={fault.occurrence})",
+                f"{fault.message} (point={point.value}, key={key}, "
+                f"occurrence={fault.occurrence})",
                 point=point.value,
                 transient=fault.transient,
+                key=key,
+                occurrence=fault.occurrence,
             )
+
+
+# --------------------------------------------------------------------------
+# Ambient fault context: the bridge into layers with no NodeEnv reference
+# --------------------------------------------------------------------------
+
+#: the active (plan, key) pair, or None. A plain module global (not a
+#: contextvar): fault scopes are synchronous within one kernel activity
+#: step, so there is never more than one live scope.
+_AMBIENT: Optional[Tuple["FaultPlan", str]] = None
+
+#: disabled-path guard accounting for the overhead benchmark; the flag
+#: check costs one branch on every ambient() call.
+_COUNT_GUARDS = False
+_GUARD_CALLS = 0
+
+
+def ambient() -> Optional[Tuple["FaultPlan", str]]:
+    """The active fault context, or ``None`` (the common, disabled path)."""
+    global _GUARD_CALLS
+    if _COUNT_GUARDS:
+        _GUARD_CALLS += 1
+    return _AMBIENT
+
+
+@contextmanager
+def fault_scope(plan: Optional["FaultPlan"], key: str) -> Iterator[None]:
+    """Arm ``(plan, key)`` as the ambient fault context for the duration.
+
+    ``plan=None`` is a no-op scope so call sites don't need to branch.
+    Nested scopes are rejected: guest dispatch never nests, and silent
+    shadowing would make draws depend on call order.
+    """
+    global _AMBIENT
+    if plan is None:
+        yield
+        return
+    if _AMBIENT is not None:
+        raise SimulationError("nested fault_scope (guest dispatch re-entered?)")
+    _AMBIENT = (plan, key)
+    try:
+        yield
+    finally:
+        _AMBIENT = None
+
+
+@contextmanager
+def count_disabled_guards() -> Iterator[None]:
+    """Benchmark hook: count ambient() calls made while the scope is open
+    (see ``benchmarks/test_chaos.py``'s disabled-path overhead projection)."""
+    global _COUNT_GUARDS, _GUARD_CALLS
+    _COUNT_GUARDS = True
+    _GUARD_CALLS = 0
+    try:
+        yield
+    finally:
+        _COUNT_GUARDS = False
+
+
+def guard_calls() -> int:
+    """Guard evaluations recorded by the last/current counting scope."""
+    return _GUARD_CALLS
 
 
 def transient_plan(
@@ -196,3 +319,49 @@ def transient_plan(
         ],
         seed=seed,
     )
+
+
+def full_lifecycle_plan(
+    seed: int = 0,
+    rate: float = 0.25,
+    budget_per_point: Optional[int] = 40,
+    permanent_budget: int = 5,
+) -> FaultPlan:
+    """The chaos campaign's plan: every lifecycle stage armed at ``rate``.
+
+    Startup *and* runtime points fire transiently at the same per-attempt
+    rate; ``engine.instantiate`` is armed permanent with a small budget so
+    the campaign also exercises terminal failure + DeploymentController
+    replacement. Finite budgets guarantee convergence once spent — the
+    campaign's invariants rely on that bound.
+    """
+    transient_points = (
+        FaultPoint.IMAGE_PULL,
+        FaultPoint.ENGINE_COMPILE,
+        FaultPoint.GUEST_TRAP,
+        FaultPoint.GUEST_EXHAUST,
+        FaultPoint.WASI_SYSCALL,
+        FaultPoint.ZYGOTE_CORRUPT,
+        FaultPoint.CACHE_CORRUPT,
+        FaultPoint.METRICS_SCRAPE,
+        FaultPoint.PROBE_LIVENESS,
+        FaultPoint.PROBE_READINESS,
+    )
+    specs = [
+        FaultSpec(
+            point,
+            probability=rate,
+            transient=True,
+            max_occurrences=budget_per_point,
+        )
+        for point in transient_points
+    ]
+    specs.append(
+        FaultSpec(
+            FaultPoint.ENGINE_INSTANTIATE,
+            probability=rate,
+            transient=False,
+            max_occurrences=permanent_budget,
+        )
+    )
+    return FaultPlan(specs, seed=seed)

@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import obs
 from repro.errors import ExhaustionError, WasiExit, WasmError
+from repro.sim import faults
 from repro.wasm.ast import Module
 from repro.wasm.decoder import decode_module
 from repro.wasm.runtime import Interpreter, ModuleInstance, Store, instantiate
@@ -29,6 +30,7 @@ from repro.wasm.runtime.snapshot import (
     capture_snapshot,
     dirty_memory_bytes,
     restore_instance,
+    verify_snapshot,
     zygote_enabled,
 )
 from repro.wasm.validation import validate_module
@@ -203,6 +205,31 @@ def run_wasi(
     capture = False
     if use_zygote and digest is not None:
         snapshot = engine_cache.zygote_get(digest)
+        if snapshot is not None:
+            ctx = faults.ambient()
+            # Injected corruption (chaos plan) or organic checksum
+            # mismatch both quarantine the digest: the snapshot is
+            # dropped, never re-captured, and this run — like every
+            # later one — takes the cold two-phase path. Verification
+            # is amortized to once per digest on the happy path, but
+            # runs every time under an armed fault scope (the plan may
+            # corrupt the entry on any restore).
+            corrupt = (
+                ctx is not None
+                and ctx[0].check(faults.FaultPoint.ZYGOTE_CORRUPT, ctx[1])
+                is not None
+            )
+            if not corrupt and (
+                ctx is not None or not engine_cache.zygote_verified(digest)
+            ):
+                if verify_snapshot(snapshot):
+                    engine_cache.zygote_mark_verified(digest)
+                else:
+                    corrupt = True
+            if corrupt:
+                engine_cache.zygote_quarantine(digest)
+                snapshot = None
+        # Quarantined digests stay zygote_known, so capture stays False.
         capture = snapshot is None and not engine_cache.zygote_known(digest)
 
     store = Store()
@@ -245,6 +272,17 @@ def run_wasi(
             snapshot = _capture_zygote(engine_cache, store, instance, interp, digest)
         elif module.start is not None:
             interp.invoke(instance.func_addrs[module.start])
+
+        ctx = faults.ambient()
+        if ctx is not None:
+            # Mid-run guest failures: a trap (unreachable, OOB) or
+            # fuel/OOM exhaustion between start and entrypoint. Raised
+            # as FaultInjected (a ContainerError), so they pass through
+            # the engine's WasmTrap→EngineError conversion untouched
+            # and reach the kubelet as pod-visible transient crashes.
+            plan, pod_key = ctx
+            plan.raise_if_fires(faults.FaultPoint.GUEST_TRAP, pod_key)
+            plan.raise_if_fires(faults.FaultPoint.GUEST_EXHAUST, pod_key)
 
         entry = instance.exports.get(entrypoint)
         if entry is not None:

@@ -28,6 +28,7 @@ from repro.wasm.runtime.snapshot import (
     capture_snapshot,
     dirty_memory_bytes,
     restore_instance,
+    verify_snapshot,
     zygote_enabled,
 )
 
@@ -36,6 +37,7 @@ __all__ = [
     "capture_snapshot",
     "dirty_memory_bytes",
     "restore_instance",
+    "verify_snapshot",
     "zygote_enabled",
     "Store",
     "ModuleInstance",

@@ -26,7 +26,9 @@ disables the whole mechanism (:func:`zygote_enabled`).
 
 from __future__ import annotations
 
+import hashlib
 import os
+import struct
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -89,10 +91,56 @@ class InstanceSnapshot:
     #: instructions the snapshotted start run retired (pure start only);
     #: credited to restored runs so metering matches a cold run exactly.
     start_instructions: int = 0
+    #: sha256 over the captured state (see :func:`snapshot_checksum`);
+    #: verified on restore — a mismatch means the cached snapshot was
+    #: corrupted and the run must fall back to cold instantiation.
+    checksum: str = ""
 
     @property
     def memory_bytes(self) -> int:
         return sum(len(data) for _, data in self.memories)
+
+
+def snapshot_checksum(
+    memories: Tuple[Tuple[MemoryType, bytes], ...],
+    tables: Tuple[Tuple[TableType, Tuple[Optional[int], ...]], ...],
+    globals_: Tuple[Tuple[GlobalType, object], ...],
+    datas: Tuple[Optional[bytes], ...],
+) -> str:
+    """Content checksum of a snapshot's mutable state.
+
+    Covers exactly the state :func:`restore_instance` copies into clones:
+    memory bytes, table function indices, global values, and data-segment
+    payloads. Types and the shared module are excluded — they are
+    structural, not mutable, and the module object is compared by
+    identity anyway.
+    """
+    h = hashlib.sha256()
+    for _, data in memories:
+        h.update(struct.pack("<Q", len(data)))
+        h.update(data)
+    for _, elems in tables:
+        h.update(struct.pack("<Q", len(elems)))
+        for e in elems:
+            h.update(struct.pack("<q", -1 if e is None else e))
+    for _, value in globals_:
+        h.update(repr(value).encode())
+        h.update(b"\x00")
+    for payload in datas:
+        if payload is None:
+            h.update(b"\xff")
+        else:
+            h.update(struct.pack("<Q", len(payload)))
+            h.update(payload)
+    return h.hexdigest()
+
+
+def verify_snapshot(snapshot: InstanceSnapshot) -> bool:
+    """Recompute the checksum; False means the snapshot bytes diverged
+    from what :func:`capture_snapshot` recorded (corruption)."""
+    return snapshot.checksum == snapshot_checksum(
+        snapshot.memories, snapshot.tables, snapshot.globals, snapshot.datas
+    )
 
 
 def capture_snapshot(
@@ -137,15 +185,17 @@ def capture_snapshot(
     )
     datas = tuple(store.datas[a] for a in instance.data_addrs)
 
+    frozen_tables = tuple(tables)
     return InstanceSnapshot(
         module=module,
         digest=digest,
         memories=memories,
-        tables=tuple(tables),
+        tables=frozen_tables,
         globals=globals_,
         datas=datas,
         start_rerun=start_rerun,
         start_instructions=start_instructions,
+        checksum=snapshot_checksum(memories, frozen_tables, globals_, datas),
     )
 
 

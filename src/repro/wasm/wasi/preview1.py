@@ -18,6 +18,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.errors import WasiExit, WasmTrap
+from repro.sim import faults
 from repro.wasm.runtime.host import HostModule, sig
 from repro.wasm.runtime.store import MemoryInstance, Store
 from repro.wasm.wasi import errno as E
@@ -83,8 +84,29 @@ class WasiEnv:
         self.memory = memory
 
     def register(self, store: Store) -> HostModule:
-        """Create the ``wasi_snapshot_preview1`` host module in ``store``."""
+        """Create the ``wasi_snapshot_preview1`` host module in ``store``.
+
+        Under an ambient fault scope arming ``wasi.syscall``, every host
+        function is wrapped with a per-call injection check: a fire
+        raises :class:`~repro.errors.FaultInjected` out of the guest —
+        a pod-visible crash routed through the kubelet's restart-policy
+        machinery, never a stray Python exception. Registration happens
+        inside the container's fault scope, so the wrapper only exists
+        for chaos runs; the disabled path registers the bare functions.
+        """
         hm = HostModule(store, MODULE_NAME)
+        wrap_fault = None
+        ctx = faults.ambient()
+        if ctx is not None and ctx[0].arms_any((faults.FaultPoint.WASI_SYSCALL,)):
+            plan, pod_key = ctx
+
+            def wrap_fault(fn, _plan=plan, _key=pod_key):
+                def checked(*args, _fn=fn):
+                    _plan.raise_if_fires(faults.FaultPoint.WASI_SYSCALL, _key)
+                    return _fn(*args)
+
+                return checked
+
         if obs.enabled():
             calls = obs.counter(
                 "repro_wasi_calls_total",
@@ -94,12 +116,19 @@ class WasiEnv:
 
             def add(name: str, signature, fn) -> None:
                 child = calls.labels(name)
+                if wrap_fault is not None:
+                    fn = wrap_fault(fn)
 
                 def wrapped(*args, _fn=fn, _child=child):
                     _child.inc()
                     return _fn(*args)
 
                 hm.func(name, signature, wrapped)
+
+        elif wrap_fault is not None:
+
+            def add(name: str, signature, fn) -> None:
+                hm.func(name, signature, wrap_fault(fn))
 
         else:
             add = hm.func

@@ -1,0 +1,294 @@
+"""Full-lifecycle chaos at the kubelet: runtime (post-start) faults.
+
+Startup faults (image pull, compile, instantiate) are covered by
+test_backoff.py. This suite exercises the PR's *runtime* fault points —
+guest traps, fuel exhaustion, WASI syscall failures — plus liveness /
+readiness probes, admission load-shedding, and metrics-scrape loss:
+every way a pod that already left the startup path can still crash, and
+the recovery machinery that walks it back to Running (or terminally to
+CrashLoopBackOff/FAILED).
+"""
+
+import pytest
+
+from repro import obs
+from repro.errors import AdmissionRejected, FaultInjected
+from repro.k8s.cluster import build_cluster
+from repro.k8s.kubelet import ProbeConfig
+from repro.k8s.objects import (
+    PodPhase,
+    REASON_CRASH_LOOP_BACKOFF,
+    REASON_ERROR,
+    REASON_MEMORY_PRESSURE,
+    RestartPolicy,
+)
+from repro.sim.faults import FaultPlan, FaultPoint, FaultSpec
+
+
+def _fired_total(point):
+    fam = obs.default_registry().get("repro_faults_fired_total")
+    if fam is None:
+        return 0.0
+    return sum(
+        child.value for labels, child in fam.samples() if labels[0] == point
+    )
+
+
+def _one_pod_cluster(plan, seed=7, **kwargs):
+    return build_cluster(seed=seed, fault_plan=plan, **kwargs)
+
+
+def _sync_one(cluster, restart_policy=RestartPolicy.ALWAYS):
+    pod = cluster.make_pod("crun-wamr", restart_policy=restart_policy)
+    node = cluster.nodes[pod.node_name]
+    cluster.kernel.run_all([node.kubelet.sync_pod(pod)])
+    return pod
+
+
+# -- guest runtime faults → CrashLoopBackOff ---------------------------------
+
+
+class TestRuntimeCrashLoop:
+    def test_guest_trap_walks_backoff_to_running(self):
+        plan = FaultPlan(
+            [FaultSpec(FaultPoint.GUEST_TRAP, probability=1.0, max_occurrences=2)]
+        )
+        cluster = _one_pod_cluster(plan)
+        pod = _sync_one(cluster)
+        assert pod.phase is PodPhase.RUNNING
+        assert pod.restart_count == 2
+        assert pod.backoff_until is None
+        spans = cluster.node.env.tracer.by_category("recovery.backoff")
+        assert [s.attr("reason") for s in spans] == [REASON_CRASH_LOOP_BACKOFF] * 2
+        # Capped exponential: the second wait is strictly longer.
+        assert spans[1].duration > spans[0].duration
+
+    def test_guest_exhaust_is_transient_too(self):
+        plan = FaultPlan(
+            [FaultSpec(FaultPoint.GUEST_EXHAUST, probability=1.0, max_occurrences=1)]
+        )
+        cluster = _one_pod_cluster(plan)
+        pod = _sync_one(cluster)
+        assert pod.phase is PodPhase.RUNNING
+        assert pod.restart_count == 1
+
+    def test_wasi_syscall_fault_surfaces_as_pod_crash(self):
+        plan = FaultPlan(
+            [FaultSpec(FaultPoint.WASI_SYSCALL, probability=1.0, max_occurrences=1)]
+        )
+        cluster = _one_pod_cluster(plan)
+        before = _fired_total("wasi.syscall")
+        pod = _sync_one(cluster)
+        assert pod.phase is PodPhase.RUNNING
+        assert pod.restart_count == 1
+        spans = cluster.node.env.tracer.by_category("recovery.backoff")
+        assert [s.attr("reason") for s in spans] == [REASON_CRASH_LOOP_BACKOFF]
+        assert _fired_total("wasi.syscall") == before + 1
+
+    def test_unbounded_runtime_faults_exhaust_retry_budget(self):
+        plan = FaultPlan([FaultSpec(FaultPoint.GUEST_TRAP, probability=1.0)])
+        cluster = _one_pod_cluster(plan)
+        cluster.node.kubelet.max_sync_retries = 3
+        pod = _sync_one(cluster)
+        assert pod.phase is PodPhase.FAILED
+        assert pod.reason == REASON_ERROR
+        assert pod.restart_count == 3
+
+    def test_runtime_fault_never_restarts_under_policy_never(self):
+        plan = FaultPlan(
+            [FaultSpec(FaultPoint.GUEST_TRAP, probability=1.0, max_occurrences=1)]
+        )
+        cluster = _one_pod_cluster(plan)
+        pod = _sync_one(cluster, RestartPolicy.NEVER)
+        assert pod.phase is PodPhase.FAILED
+        assert pod.restart_count == 0
+
+    def test_schedule_deterministic_per_seed(self):
+        def run(seed):
+            plan = FaultPlan(
+                [
+                    FaultSpec(
+                        FaultPoint.GUEST_TRAP, probability=1.0, max_occurrences=2
+                    )
+                ]
+            )
+            cluster = _one_pod_cluster(plan, seed=seed)
+            pod = _sync_one(cluster)
+            spans = cluster.node.env.tracer.by_category("recovery.backoff")
+            return (pod.restart_count, [(s.start, s.duration) for s in spans])
+
+        assert run(11) == run(11)
+        assert run(11) != run(12)
+
+
+# -- probes -------------------------------------------------------------------
+
+
+class TestProbes:
+    def test_disabled_probes_add_no_events(self):
+        plain = build_cluster(seed=7)
+        pod = _sync_one(plain)
+        assert pod.phase is PodPhase.RUNNING and pod.ready
+        assert plain.node.env.tracer.by_category("recovery.backoff") == []
+
+    def test_clean_pod_passes_probe_window(self):
+        cluster = build_cluster(seed=7, probes=ProbeConfig(enabled=True))
+        pod = _sync_one(cluster)
+        assert pod.phase is PodPhase.RUNNING
+        assert pod.ready
+        assert pod.restart_count == 0
+
+    def test_liveness_threshold_restarts_pod(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    FaultPoint.PROBE_LIVENESS, probability=1.0, max_occurrences=2
+                )
+            ]
+        )
+        cluster = _one_pod_cluster(plan, probes=ProbeConfig(enabled=True))
+        pod = _sync_one(cluster)
+        # Two consecutive failures cross the default threshold, the pod is
+        # restarted once, and the budget-exhausted retry comes up clean.
+        assert pod.phase is PodPhase.RUNNING
+        assert pod.ready
+        assert pod.restart_count == 1
+        spans = cluster.node.env.tracer.by_category("recovery.backoff")
+        assert [s.attr("reason") for s in spans] == [REASON_CRASH_LOOP_BACKOFF]
+
+    def test_readiness_blip_recovers_without_restart(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    FaultPoint.PROBE_READINESS, probability=1.0, max_occurrences=2
+                )
+            ]
+        )
+        cluster = _one_pod_cluster(plan, probes=ProbeConfig(enabled=True))
+        pod = _sync_one(cluster)
+        assert pod.phase is PodPhase.RUNNING
+        assert pod.ready  # recovered inside the window
+        assert pod.restart_count == 0
+
+    def test_persistent_readiness_failure_restarts(self):
+        # Enough budget to fail every probe round AND the whole recovery
+        # loop on the first attempt; the retry then runs the budget out.
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    FaultPoint.PROBE_READINESS, probability=1.0, max_occurrences=6
+                )
+            ]
+        )
+        cluster = _one_pod_cluster(plan, probes=ProbeConfig(enabled=True))
+        pod = _sync_one(cluster)
+        assert pod.phase is PodPhase.RUNNING
+        assert pod.ready
+        assert pod.restart_count == 1
+
+    def test_not_ready_pods_excluded_from_deployment_ready(self):
+        cluster = build_cluster(seed=7)
+        pods = cluster.deploy_and_wait("crun-wamr", 3)
+        cluster.deployments.create(
+            "d", cluster.pod_template("crun-wamr"), replicas=0
+        )
+        dep = cluster.deployments.deployments["d"]
+        dep.replicas = 3
+        dep.pod_uids = [p.uid for p in pods]
+        assert cluster.deployments.status("d")["ready"] == 3
+        pods[0].ready = False
+        assert cluster.deployments.status("d")["ready"] == 2
+
+
+# -- admission load-shedding --------------------------------------------------
+
+
+class TestAdmissionShedding:
+    def test_shed_admission_backs_off_then_admits(self, monkeypatch):
+        cluster = build_cluster(seed=7, admission_shedding=True)
+        kubelet = cluster.node.kubelet
+        pressured = {"calls": 0}
+        real = kubelet.under_memory_pressure
+
+        def fake():
+            pressured["calls"] += 1
+            return True if pressured["calls"] == 1 else real()
+
+        monkeypatch.setattr(kubelet, "under_memory_pressure", fake)
+        pod = _sync_one(cluster)
+        assert pod.phase is PodPhase.RUNNING
+        assert pod.restart_count == 1
+        spans = cluster.node.env.tracer.by_category("recovery.backoff")
+        assert [s.attr("reason") for s in spans] == [REASON_MEMORY_PRESSURE]
+        # Shedding never evicts a running pod to make room.
+        assert cluster.node.env.tracer.by_category("recovery.eviction") == []
+
+    def test_classification_is_memory_pressure(self):
+        cluster = build_cluster(seed=7, admission_shedding=True)
+        pod = cluster.make_pod("crun-wamr")
+        action = cluster.node.kubelet._failure_action(
+            pod, AdmissionRejected("shed")
+        )
+        assert action == REASON_MEMORY_PRESSURE
+
+    def test_disabled_by_default(self):
+        cluster = build_cluster(seed=7)
+        assert cluster.node.kubelet.admission_shedding is False
+
+
+# -- metrics-server scrape loss -----------------------------------------------
+
+
+class TestScrapeLoss:
+    def test_lost_scrape_serves_stale_data(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    FaultPoint.METRICS_SCRAPE, probability=1.0, max_occurrences=1
+                )
+            ]
+        )
+        cluster = _one_pod_cluster(plan)
+        cluster.deploy_and_wait("crun-wamr", 2)
+        before = _fired_total("metrics.scrape")
+        # First scrape is lost: the server answers from its (empty) cache.
+        assert cluster.node.metrics.scrape() == []
+        assert _fired_total("metrics.scrape") == before + 1
+        # Budget spent: the next scrape is live, and repeatable.
+        live = cluster.node.metrics.scrape()
+        assert len(live) == 2
+        assert cluster.node.metrics.scrape() == live
+
+    def test_stale_answer_is_previous_live_result(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    FaultPoint.METRICS_SCRAPE,
+                    probability=0.0,  # armed but never fires on its own
+                )
+            ]
+        )
+        cluster = _one_pod_cluster(plan)
+        cluster.deploy_and_wait("crun-wamr", 2)
+        live = cluster.node.metrics.scrape()
+        assert len(live) == 2
+        # Force a loss by swapping in an always-fire plan mid-flight.
+        cluster.node.metrics._faults = FaultPlan(
+            [FaultSpec(FaultPoint.METRICS_SCRAPE, probability=1.0)]
+        )
+        assert cluster.node.metrics.scrape() == live
+
+
+# -- FaultInjected plumbing ---------------------------------------------------
+
+
+class TestFaultInjectedRouting:
+    def test_probe_fault_carries_structured_context(self):
+        plan = FaultPlan(
+            [FaultSpec(FaultPoint.PROBE_LIVENESS, probability=1.0)]
+        )
+        cluster = _one_pod_cluster(plan, probes=ProbeConfig(enabled=True))
+        cluster.node.kubelet.max_sync_retries = 1
+        pod = _sync_one(cluster)
+        assert pod.phase is PodPhase.FAILED
+        assert "liveness" in pod.status_message

@@ -4,9 +4,15 @@ import pytest
 
 from repro.errors import FaultInjected, SimulationError
 from repro.sim.faults import (
+    GUEST_RUNTIME_POINTS,
     FaultPlan,
     FaultPoint,
     FaultSpec,
+    ambient,
+    count_disabled_guards,
+    fault_scope,
+    full_lifecycle_plan,
+    guard_calls,
     transient_plan,
 )
 
@@ -134,3 +140,144 @@ def test_fired_log_records_every_injection():
     ]
     assert all(f.point is FaultPoint.CRI_RPC for f in plan.fired)
     assert plan.checks == 2
+
+
+# -- structured fault context (message + metric) ------------------------------
+
+
+def test_raise_if_fires_carries_structured_context():
+    plan = FaultPlan(
+        [FaultSpec(FaultPoint.GUEST_TRAP, probability=1.0, max_occurrences=2)]
+    )
+    with pytest.raises(FaultInjected):
+        plan.raise_if_fires(FaultPoint.GUEST_TRAP, "pod-7")
+    with pytest.raises(FaultInjected) as excinfo:
+        plan.raise_if_fires(FaultPoint.GUEST_TRAP, "pod-7")
+    exc = excinfo.value
+    # The message alone (what a pod's status_message shows) pins down the
+    # injection site, the victim, and which occurrence this was.
+    assert "point=guest.trap" in str(exc)
+    assert "key=pod-7" in str(exc)
+    assert "occurrence=2" in str(exc)
+    assert exc.point == "guest.trap"
+    assert exc.key == "pod-7"
+    assert exc.occurrence == 2
+    assert exc.transient is True
+
+
+def test_fired_metric_counts_by_point_and_kind():
+    from repro import obs
+
+    def fired(point, kind):
+        fam = obs.default_registry().get("repro_faults_fired_total")
+        assert fam is not None  # always=True: registered even when disabled
+        return fam.labels(point, kind).value
+
+    before_t = fired("image.pull", "transient")
+    before_p = fired("engine.instantiate", "permanent")
+    plan = FaultPlan(
+        [
+            FaultSpec(FaultPoint.IMAGE_PULL, probability=1.0, max_occurrences=2),
+            FaultSpec(
+                FaultPoint.ENGINE_INSTANTIATE,
+                probability=1.0,
+                transient=False,
+                max_occurrences=1,
+            ),
+        ]
+    )
+    for _ in range(3):  # third check is over budget: no fire, no count
+        plan.check(FaultPoint.IMAGE_PULL, "p")
+    plan.check(FaultPoint.ENGINE_INSTANTIATE, "p")
+    assert fired("image.pull", "transient") == before_t + 2
+    assert fired("engine.instantiate", "permanent") == before_p + 1
+
+
+def test_arms_any():
+    plan = FaultPlan(
+        [
+            FaultSpec(FaultPoint.GUEST_TRAP, probability=0.5),
+            FaultSpec(FaultPoint.WASI_SYSCALL, probability=0.0),
+        ]
+    )
+    assert plan.arms_any((FaultPoint.GUEST_TRAP,))
+    assert plan.arms_any(GUEST_RUNTIME_POINTS)
+    # probability=0 counts as unarmed for bypass decisions.
+    assert not plan.arms_any((FaultPoint.WASI_SYSCALL,))
+    assert not plan.arms_any((FaultPoint.IMAGE_PULL,))
+
+
+# -- ambient fault context ----------------------------------------------------
+
+
+class TestFaultScope:
+    def test_scope_arms_and_disarms(self):
+        plan = FaultPlan([FaultSpec(FaultPoint.GUEST_TRAP, probability=1.0)])
+        assert ambient() is None
+        with fault_scope(plan, "pod-1"):
+            assert ambient() == (plan, "pod-1")
+        assert ambient() is None
+
+    def test_none_plan_is_noop(self):
+        with fault_scope(None, "pod-1"):
+            assert ambient() is None
+
+    def test_scope_cleared_on_exception(self):
+        plan = FaultPlan([])
+        with pytest.raises(RuntimeError):
+            with fault_scope(plan, "pod-1"):
+                raise RuntimeError("guest blew up")
+        assert ambient() is None
+
+    def test_nested_scope_rejected(self):
+        plan = FaultPlan([])
+        with fault_scope(plan, "outer"):
+            with pytest.raises(SimulationError):
+                with fault_scope(plan, "inner"):
+                    pass
+        assert ambient() is None
+
+    def test_guard_counting(self):
+        with count_disabled_guards():
+            assert guard_calls() == 0
+            ambient()
+            ambient()
+            assert guard_calls() == 2
+        # Outside the scope, calls are no longer counted.
+        ambient()
+        assert guard_calls() == 2
+
+
+# -- full-lifecycle plan ------------------------------------------------------
+
+
+def test_full_lifecycle_plan_arms_every_stage():
+    plan = full_lifecycle_plan(seed=3, rate=0.25)
+    for point in (
+        FaultPoint.IMAGE_PULL,
+        FaultPoint.ENGINE_COMPILE,
+        FaultPoint.GUEST_TRAP,
+        FaultPoint.GUEST_EXHAUST,
+        FaultPoint.WASI_SYSCALL,
+        FaultPoint.ZYGOTE_CORRUPT,
+        FaultPoint.CACHE_CORRUPT,
+        FaultPoint.METRICS_SCRAPE,
+        FaultPoint.PROBE_LIVENESS,
+        FaultPoint.PROBE_READINESS,
+    ):
+        spec = plan.spec(point)
+        assert spec is not None and spec.transient and spec.probability == 0.25
+        assert spec.max_occurrences == 40
+    inst = plan.spec(FaultPoint.ENGINE_INSTANTIATE)
+    assert inst is not None and not inst.transient and inst.max_occurrences == 5
+
+
+def test_full_lifecycle_plan_total_firings_bounded():
+    plan = full_lifecycle_plan(seed=1, rate=1.0, budget_per_point=2,
+                               permanent_budget=1)
+    for point in FaultPoint:
+        for i in range(100):
+            plan.check(point, f"k{i}")
+    assert plan.count(FaultPoint.GUEST_TRAP) == 2
+    assert plan.count(FaultPoint.ENGINE_INSTANTIATE) == 1
+    assert len(plan.fired) == 10 * 2 + 1
