@@ -50,6 +50,23 @@ LOOP_WAT = """
 """
 
 
+STORE_WAT = """
+(module (memory 1) (func (export "churn_store") (param i32) (result i32)
+  (local $i i32)
+  (block $out (loop $top
+    (br_if $out (i32.ge_u (local.get $i) (local.get 0)))
+    (i32.store (i32.and (i32.mul (local.get $i) (i32.const 40)) (i32.const 0xfffc))
+               (local.get $i))
+    (i32.store8 (i32.and (i32.add (local.get $i) (i32.const 17)) (i32.const 0xffff))
+                (local.get $i))
+    (i32.store16 (i32.and (i32.mul (local.get $i) (i32.const 6)) (i32.const 0xfffe))
+                 (local.get $i))
+    (local.set $i (i32.add (local.get $i) (i32.const 1)))
+    (br $top)))
+  (local.get $i)))
+"""
+
+
 def _instantiate(src: str, interpreter_cls=Interpreter):
     module = validate_module(parse_wat(src))
     store = Store()
@@ -83,6 +100,7 @@ def _throughput(interpreter_cls, src, export, args, min_seconds=0.4):
 _WORKLOADS = {
     "fib": (FIB_WAT, "fib", [15]),
     "memory_churn": (LOOP_WAT, "churn", [2000]),
+    "memory_churn_store": (STORE_WAT, "churn_store", [2000]),
 }
 
 

@@ -1,0 +1,128 @@
+"""Specialization-tier throughput: specialized closures vs flat bytecode.
+
+Writes ``benchmarks/output/BENCH_specialize.json`` — instructions/second
+for the baseline prepared flat interpreter, the ``bytecode``
+specialization mode (folding + fusion + bounds elision + inline
+caches), and the full ``on`` mode (exec'd Python closures) on the same
+microbenchmark workloads `test_interpreter_micro` uses, plus the
+store-heavy churn variant whose bounds checks the elision pass removes.
+
+The ≥2× floors on fib and memory_churn are the PR's acceptance
+criterion; CI runs this file in the ``specialize-bench`` job and uploads
+the JSON as an artifact.
+"""
+
+import json
+import time
+
+from conftest import OUTPUT_DIR, emit
+from test_interpreter_micro import FIB_WAT, LOOP_WAT, STORE_WAT
+
+from repro.wasm import parse_wat, validate_module
+from repro.wasm.runtime import (
+    Interpreter,
+    Store,
+    instantiate,
+    prepare_module,
+    specialize_module,
+)
+
+_WORKLOADS = {
+    "fib": (FIB_WAT, "fib", [15]),
+    "memory_churn": (LOOP_WAT, "churn", [2000]),
+    "memory_churn_store": (STORE_WAT, "churn_store", [2000]),
+}
+
+#: workloads whose speedup is asserted (the PR's acceptance floors)
+_FLOORS = {"fib": 2.0, "memory_churn": 2.0}
+
+
+def _instantiate(src: str, specialize=None):
+    module = validate_module(parse_wat(src))
+    if specialize is not None:
+        prepare_module(module)
+        specialize_module(module, specialize).attach(module)
+    store = Store()
+    inst = instantiate(store, module)
+    return Interpreter(store), inst  # unmetered: the closure fast path
+
+
+def _throughput(src, export, args, specialize=None, min_seconds=0.4):
+    interp, inst = _instantiate(src, specialize)
+    addr = inst.export_addr(export, "func")
+    interp.invoke(addr, args)  # warm up (lazy prepare, IC fills)
+    rounds = 0
+    instrs_before = interp.instructions_executed
+    t0 = time.perf_counter()
+    while True:
+        interp.invoke(addr, args)
+        rounds += 1
+        elapsed = time.perf_counter() - t0
+        if elapsed >= min_seconds:
+            break
+    instrs = interp.instructions_executed - instrs_before
+    return {
+        "instructions": instrs,
+        "seconds": elapsed,
+        "rounds": rounds,
+        "instr_per_sec": instrs / elapsed,
+    }
+
+
+def test_bench_specialized_vs_flat_json():
+    """Emit BENCH_specialize.json and hold the ≥2× acceptance floors."""
+    report = {"workloads": {}}
+    for name, (src, export, args) in _WORKLOADS.items():
+        flat = _throughput(src, export, args)
+        bytecode = _throughput(src, export, args, specialize="bytecode")
+        compiled = _throughput(src, export, args, specialize="on")
+        report["workloads"][name] = {
+            "flat": flat,
+            "bytecode": bytecode,
+            "specialized": compiled,
+            "speedup_bytecode": round(
+                bytecode["instr_per_sec"] / flat["instr_per_sec"], 3
+            ),
+            "speedup": round(
+                compiled["instr_per_sec"] / flat["instr_per_sec"], 3
+            ),
+        }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_specialize.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+    lines = [
+        f"[specialize] {name}: {w['specialized']['instr_per_sec'] / 1e6:.2f} "
+        f"Minstr/s vs flat {w['flat']['instr_per_sec'] / 1e6:.2f} Minstr/s "
+        f"({w['speedup']:.2f}x; bytecode-only {w['speedup_bytecode']:.2f}x)"
+        for name, w in report["workloads"].items()
+    ]
+    emit("specialize_throughput", "\n".join(lines))
+    for name, floor in _FLOORS.items():
+        speedup = report["workloads"][name]["speedup"]
+        assert speedup >= floor, (
+            f"{name}: specialization tier below its ≥{floor}x floor "
+            f"(got {speedup}x)"
+        )
+
+
+def test_bench_specialized_fib(benchmark):
+    interp, inst = _instantiate(FIB_WAT, specialize="on")
+    addr = inst.export_addr("fib", "func")
+    result = benchmark(lambda: interp.invoke(addr, [15]))
+    assert result == [610]
+
+
+def test_bench_specialized_memory_churn(benchmark):
+    interp, inst = _instantiate(LOOP_WAT, specialize="on")
+    addr = inst.export_addr("churn", "func")
+    result = benchmark(lambda: interp.invoke(addr, [2000]))
+    assert isinstance(result[0], int)
+
+
+def test_bench_specialization_pass(benchmark):
+    """Cost of the pass itself (amortized once per digest by the cache)."""
+    module = validate_module(parse_wat(FIB_WAT))
+    prepare_module(module)
+    sm = benchmark(lambda: specialize_module(module, "on"))
+    assert sm.functions[0].compiled is not None

@@ -246,10 +246,18 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
-    from repro.obs.export import load_trace_events, render_breakdown
+    from repro.obs.export import (
+        load_trace_events,
+        render_breakdown,
+        render_metrics,
+    )
 
     records = load_trace_events(pathlib.Path(args.trace))
     print(render_breakdown(records, category=args.category))
+    if args.metrics:
+        text = pathlib.Path(args.metrics).read_text()
+        print()
+        print(render_metrics(text, prefix=args.metrics_prefix))
     return 0
 
 
@@ -398,6 +406,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--category", default=None, metavar="PREFIX",
         help="only spans whose category starts with PREFIX (e.g. 'startup')",
+    )
+    p.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="also render a Prometheus export from --metrics-out "
+             "(specialization-tier counters and the rest)",
+    )
+    p.add_argument(
+        "--metrics-prefix", default=None, metavar="PREFIX",
+        help="only metric families starting with PREFIX "
+             "(e.g. 'repro_specialize')",
     )
     p.set_defaults(func=_cmd_inspect)
 

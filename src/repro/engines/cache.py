@@ -7,7 +7,7 @@ hundreds of times therefore re-run identical computations; these caches
 collapse them to one real execution per distinct input while every
 container still gets its own memory accounting.
 
-Five layers, all keyed by content digest so the blob is hashed once per
+Six layers, all keyed by content digest so the blob is hashed once per
 entry point:
 
 * **decode** — decoded + validated :class:`~repro.wasm.ast.Module` per
@@ -18,6 +18,14 @@ entry point:
   digest. Prepared functions are instance-independent, so one prepared
   module serves every instantiation and is re-attached to fresh decodes
   of the same blob;
+* **specialize** — the optimization tier's
+  :class:`~repro.wasm.runtime.specialize.SpecializedModule` per digest
+  (``REPRO_SPECIALIZE``; skipped entirely when ``off``). Specialized
+  code is instance-independent like prepared code — the passes fold only
+  module-defined immutable globals and guard everything else at run
+  time — so it attaches to every decode of the blob. A failed pass
+  leaves the unspecialized prepared code attached (performance lost,
+  correctness kept);
 * **zygote** — one :class:`~repro.wasm.runtime.snapshot.InstanceSnapshot`
   per digest: the post-initialization instance state the warm-start path
   clones instead of re-running two-phase instantiation. A ``None`` entry
@@ -33,8 +41,9 @@ registered ``always=True``: they collect even with telemetry disabled,
 because experiment metadata and tests consume them functionally.
 
 Chaos hardening (PR 6): under an ambient fault scope
-(:func:`repro.sim.faults.fault_scope`) the decode/compile/prepare layers
-can be told a cached entry is corrupt (``cache.corrupt``); a corrupt hit
+(:func:`repro.sim.faults.fault_scope`) the decode/compile/prepare and
+specialize layers can be told a cached entry is corrupt
+(``cache.corrupt``); a corrupt hit
 is invalidated and rebuilt through the normal miss path, at most
 :data:`MAX_REBUILDS_PER_ENTRY` times per entry so a hostile plan cannot
 rebuild forever. The zygote layer adds a **quarantine**: a digest whose
@@ -58,11 +67,17 @@ from repro.wasm.ast import Module
 from repro.wasm.decoder import decode_module
 from repro.wasm.runtime.compile import PreparedModule, prepare_module
 from repro.wasm.runtime.snapshot import InstanceSnapshot
+from repro.wasm.runtime.specialize import (
+    SpecializedModule,
+    specialize_mode,
+    specialize_module,
+)
 from repro.wasm.validation import validate_module
 
 _DECODE_CACHE: Dict[str, Module] = {}
 _COMPILE_CACHE: Dict[Tuple[str, str], CompiledModule] = {}
 _PREPARED_CACHE: Dict[str, PreparedModule] = {}
+_SPECIALIZED_CACHE: Dict[str, SpecializedModule] = {}
 _ZYGOTE_CACHE: Dict[str, Optional[InstanceSnapshot]] = {}
 _RUN_CACHE: Dict[Tuple, EngineRunResult] = {}
 
@@ -133,6 +148,7 @@ class CacheStats:
 decode_stats = CacheStats("decode")
 compile_stats = CacheStats("compile")
 prepare_stats = CacheStats("prepare")
+specialize_stats = CacheStats("specialize")
 zygote_stats = CacheStats("zygote")
 run_stats = CacheStats("run")
 
@@ -190,6 +206,7 @@ def decode_cached(
     else:
         decode_stats.hit()
     prepare_cached(module, digest)
+    specialize_cached(module, digest)
     return module, digest
 
 
@@ -213,6 +230,7 @@ def compile_cached(
     else:
         compile_stats.hit()
     prepare_cached(compiled.module, digest)
+    specialize_cached(compiled.module, digest)
     return compiled
 
 
@@ -294,6 +312,44 @@ def prepare_cached(module, digest: str) -> PreparedModule:
     return pm
 
 
+def specialize_cached(module, digest: str) -> Optional[SpecializedModule]:
+    """Memoize the specialization tier's output per (digest, mode).
+
+    Runs after :func:`prepare_cached`, so the unspecialized prepared code
+    is always attached first — every failure path below simply leaves it
+    in place. Returns ``None`` when the tier is off or the pass failed
+    for the whole module; otherwise attaches the specialized functions
+    and returns the cache entry.
+
+    A cached entry built under a different ``REPRO_SPECIALIZE`` mode is
+    discarded and rebuilt (tests flip the toggle mid-process). A corrupt
+    hit under the chaos plan is dropped and re-specialized at most
+    :data:`MAX_REBUILDS_PER_ENTRY` times, exactly like the other layers.
+    """
+    mode = specialize_mode()
+    if mode == "off":
+        return None
+    sm = _SPECIALIZED_CACHE.get(digest)
+    if sm is not None and sm.mode != mode:
+        _SPECIALIZED_CACHE.pop(digest, None)
+        sm = None
+    if sm is not None and _corrupt_hit("specialize", digest):
+        _SPECIALIZED_CACHE.pop(digest, None)
+        sm = None
+    if sm is None:
+        specialize_stats.miss()
+        try:
+            sm = specialize_module(module, mode)
+        except Exception:
+            # Whole-module pass failure: stay on prepared code.
+            return None
+        _SPECIALIZED_CACHE[digest] = sm
+    else:
+        specialize_stats.hit()
+    sm.attach(module)
+    return sm
+
+
 def run_cached(
     engine: WasmEngine,
     blob: bytes,
@@ -335,6 +391,7 @@ def cache_stats() -> Dict[str, Dict[str, int]]:
             ("decode", decode_stats, _DECODE_CACHE),
             ("compile", compile_stats, _COMPILE_CACHE),
             ("prepare", prepare_stats, _PREPARED_CACHE),
+            ("specialize", specialize_stats, _SPECIALIZED_CACHE),
             ("zygote", zygote_stats, _ZYGOTE_CACHE),
             ("run", run_stats, _RUN_CACHE),
         )
@@ -355,6 +412,7 @@ def reset_caches() -> None:
     _DECODE_CACHE.clear()
     _COMPILE_CACHE.clear()
     _PREPARED_CACHE.clear()
+    _SPECIALIZED_CACHE.clear()
     _ZYGOTE_CACHE.clear()
     _RUN_CACHE.clear()
     _ZYGOTE_QUARANTINE.clear()
@@ -363,6 +421,7 @@ def reset_caches() -> None:
     decode_stats.reset()
     compile_stats.reset()
     prepare_stats.reset()
+    specialize_stats.reset()
     zygote_stats.reset()
     run_stats.reset()
     _ZYGOTE_FALLBACKS.reset()

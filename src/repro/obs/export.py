@@ -153,6 +153,34 @@ def metric_families(text: str) -> List[str]:
     return sorted(parse_prometheus_text(text))
 
 
+def render_metrics(text: str, prefix: Optional[str] = None) -> str:
+    """Human-readable family/sample table over exposition text.
+
+    ``repro inspect --metrics`` uses this to surface counters that have
+    no span representation — e.g. the specialization tier's
+    ``repro_specialize_*`` outcome/deopt families.
+    """
+    families = parse_prometheus_text(text)
+    if prefix is not None:
+        families = {
+            name: fam for name, fam in families.items()
+            if name.startswith(prefix)
+        }
+    if not families:
+        return "metrics: no families" + (
+            f" matching {prefix!r}" if prefix else ""
+        )
+    lines = [f"metrics: {len(families)} families"]
+    for name in sorted(families):
+        fam = families[name]
+        lines.append(f"  {name} ({fam['type']}) {fam['help']}")
+        for (sample, labels), value in sorted(fam["samples"].items()):
+            label_s = ",".join(f"{k}={v}" for k, v in labels)
+            rendered = f"{sample}{{{label_s}}}" if label_s else sample
+            lines.append(f"    {rendered} = {value:g}")
+    return "\n".join(lines)
+
+
 # -- Chrome trace-event JSON ---------------------------------------------------
 
 

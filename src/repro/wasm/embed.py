@@ -5,8 +5,11 @@ link WASI imports → instantiate → attach exported memory → call
 ``_start`` → collect exit code and captured output.
 
 Repeated runs of one blob are collapsed through the engine caches: the
-bytes are decoded/validated once per digest (``decode`` layer), and the
-**zygote warm-start** path instantiates once per digest, captures an
+bytes are decoded/validated once per digest (``decode`` layer), the
+**specialization tier** rewrites the prepared bytecode once per digest
+(``specialize`` layer — constant folding, bounds-check elision, inline
+caches, closure compilation; disable with ``REPRO_SPECIALIZE=off``), and
+the **zygote warm-start** path instantiates once per digest, captures an
 :class:`~repro.wasm.runtime.snapshot.InstanceSnapshot`, and clones every
 subsequent instance from it (``zygote`` layer) — observably identical to
 a cold instantiation, including instruction and fuel metering. Disable
@@ -320,6 +323,16 @@ def run_wasi(
             "guest runs by zygote warm-start path",
             ("mode",),
         ).labels(mode).inc()
+        pf = module.funcs[0].prepared if module.funcs else None
+        if getattr(pf, "fallback", None) is not None:
+            spec_mode = "compiled" if pf.compiled is not None else "bytecode"
+        else:
+            spec_mode = "off"
+        obs.counter(
+            "repro_specialize_runs_total",
+            "guest runs by specialization-tier attachment",
+            ("mode",),
+        ).labels(spec_mode).inc()
         if restored:
             obs.histogram(
                 "repro_zygote_restore_seconds",

@@ -3,7 +3,11 @@
 Two interpreters share one store model: the production
 :class:`Interpreter` runs flat pre-compiled code (see ``compile.py``),
 while :class:`ReferenceInterpreter` walks the AST and serves as the
-executable specification for differential testing.
+executable specification for differential testing. A third, optional
+tier (``specialize.py``, ``REPRO_SPECIALIZE``) rewrites prepared code
+per module digest — constant folding, bounds-check elision, inline
+caches, and closure compilation — with guarded deopt back to the
+prepared baseline.
 """
 
 from repro.wasm.runtime.store import (
@@ -22,6 +26,12 @@ from repro.wasm.runtime.compile import (
 )
 from repro.wasm.runtime.interpreter import Interpreter
 from repro.wasm.runtime.reference import ReferenceInterpreter
+from repro.wasm.runtime.specialize import (
+    SpecializedFunction,
+    SpecializedModule,
+    specialize_mode,
+    specialize_module,
+)
 from repro.wasm.runtime.instantiate import instantiate
 from repro.wasm.runtime.snapshot import (
     InstanceSnapshot,
@@ -51,5 +61,9 @@ __all__ = [
     "PreparedModule",
     "prepare_function",
     "prepare_module",
+    "SpecializedFunction",
+    "SpecializedModule",
+    "specialize_mode",
+    "specialize_module",
     "instantiate",
 ]

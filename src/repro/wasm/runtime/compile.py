@@ -59,9 +59,21 @@ class PreparedFunction:
     ``code`` is a tuple of ``(handler, args, weight)`` triples; handlers
     take ``(interp, frame, stack, args, pc)`` and return the next pc
     (``-1`` terminates the activation).
+
+    ``compiled`` is an optional exec'd Python closure produced by the
+    specialization tier (``specialize.py``); ``Interpreter._call_wasm``
+    dispatches to it for unmetered activations and falls back to
+    ``code`` otherwise.
     """
 
-    __slots__ = ("code", "n_results", "local_defaults", "source_instrs", "name")
+    __slots__ = (
+        "code",
+        "n_results",
+        "local_defaults",
+        "source_instrs",
+        "name",
+        "compiled",
+    )
 
     def __init__(
         self,
@@ -76,6 +88,7 @@ class PreparedFunction:
         self.local_defaults = local_defaults
         self.source_instrs = source_instrs  # AST instrs represented (= sum of weights)
         self.name = name
+        self.compiled = None
 
 
 class PreparedModule:
@@ -93,10 +106,19 @@ class PreparedModule:
 
 
 def prepare_module(module: Module) -> PreparedModule:
-    """Prepare every defined function, reusing already-attached code."""
+    """Prepare every defined function, reusing already-attached code.
+
+    An attached ``SpecializedFunction`` (specialization tier) is unwound
+    to its unspecialized ``fallback`` first: the prepare layer caches
+    *baseline* code only, so a corrupted or disabled specialize layer can
+    always fall back to it.
+    """
     functions = []
     for func in module.funcs:
         pf = func.prepared
+        base = getattr(pf, "fallback", None)
+        if base is not None:
+            pf = base
         if pf is None:
             pf = prepare_function(module, func)
             func.prepared = pf

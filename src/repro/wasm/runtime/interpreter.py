@@ -30,6 +30,7 @@ from typing import List, Optional, Sequence
 
 from repro.errors import ExhaustionError, WasmTrap
 from repro.wasm.runtime.compile import prepare_function
+from repro.wasm.runtime.specialize import METERED_DEOPT
 from repro.wasm.runtime.store import FuncInstance, ModuleInstance, Store
 
 
@@ -109,6 +110,20 @@ class Interpreter:
         mem = inst.mem0
         if mem is None and inst.mem_addrs:
             mem = inst.mem0 = self.store.mems[inst.mem_addrs[0]]
+        compiled = prepared.compiled
+        if compiled is not None:
+            if self.fuel is None:
+                # Specialization tier: the exec'd closure flushes its own
+                # retired-instruction count and raises the same traps as
+                # the flat code; results come back as the final list.
+                self._depth += 1
+                try:
+                    return compiled(self, Frame(args, inst, mem))
+                finally:
+                    self._depth -= 1
+            # Metered activations need the per-entry fuel debit protocol;
+            # deopt to the specialized flat bytecode below.
+            METERED_DEOPT.inc()
         frame = Frame(args, inst, mem)
         stack: List[object] = []
         self._depth += 1

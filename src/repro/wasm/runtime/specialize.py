@@ -1,0 +1,1656 @@
+"""Specialization tier: digest-keyed bytecode optimization with guarded deopt.
+
+The flat interpreter (``compile.py``) still re-proves facts at run time
+that prepare time already settled: immutable globals are re-read from the
+store on every access, every memory access re-checks bounds the declared
+memory minimum already guarantees, and every ``call_indirect`` re-walks
+``table → store → type check``. This module is a second, optional lowering
+stage that rewrites finished :class:`PreparedFunction` code — the same
+``(handler, args, weight)`` triples, the same dispatch loop — through
+four passes, in order:
+
+1. **Constant folding** — ``global.get`` of a module-defined immutable
+   global with a constant initializer becomes ``h_const`` (the value is
+   instance-independent by construction; imported globals are resolved
+   per instance and are left alone).
+2. **Peephole re-fusion** — the prepare-time fusion pass runs over
+   structured bodies and misses pairs the fold just created; this pass
+   re-runs it over the *flat* stream to a fixpoint (``const+binop`` →
+   ``const_binop``, ``const+const_binop`` → ``const``, …), remapping
+   every stored pc. Windows never merge across a branch target, and a
+   fused entry carries the summed weight of its parts — fuel accounting
+   stays exactly equal to the reference tree-walker.
+3. **Bounds-check elision** — a per-basic-block abstract interpretation
+   tracks unsigned upper bounds on stack values (constants, ``x & mask``
+   results, comparison results); a checked load/store whose address is
+   provably below the declared memory *minimum* (a lower bound on the
+   memory's size for its whole lifetime — ``grow`` only extends) is
+   swapped for an unchecked ``u_*`` handler.
+4. **Inline caches** — each ``call_indirect`` site gets a mutable
+   monomorphic cache cell guarded on ``(table identity, slot address)``;
+   a hit skips the ``store.funcs`` index and the structural
+   ``FuncType.__eq__``. A miss (counted in
+   ``repro_specialize_deopts_total{reason="ic_miss"}``) takes the full
+   generic path, including its exact trap messages, then refills the
+   cell.
+
+In the default ``on`` mode a fifth step compiles each specialized
+function to a real Python closure (``exec``-generated, one ``while``
+dispatch loop over basic blocks with stack slots and locals held in
+Python local variables). The closure is attached as
+``PreparedFunction.compiled`` and dispatched by
+``Interpreter._call_wasm`` **only for unmetered activations**: fuel
+metering needs the per-entry debit protocol, so metered calls deopt to
+the specialized flat bytecode (counted as ``reason="metered"``). The
+closure accumulates retired-instruction weights in a local and flushes
+in a ``finally``, flushing eagerly before every trap-capable statement —
+``instructions_executed`` is exact under traps, exactly like the flat
+loop. Functions whose shape the closure compiler does not handle
+(conflicting static stack heights, ``br_table`` entries lowered without
+a static height, oversized bodies) silently stay on specialized flat
+bytecode (outcome ``bytecode``).
+
+Everything is behind ``REPRO_SPECIALIZE`` (default ``on``; ``bytecode``
+keeps passes 1–4 but skips closures; ``off``/``0``/``false``/``no``
+disables the tier). ``engines/cache.py`` keys the result by content
+digest (the ``specialize`` layer) so the passes run once per blob across
+N-hundred-pod experiments, and the ReferenceInterpreter remains the
+differential oracle for all of it (``tests/wasm/test_differential.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro import obs
+from repro.errors import ExhaustionError, WasmTrap
+from repro.wasm.ast import Function, Module
+from repro.wasm.runtime import compile as flat
+from repro.wasm.runtime import values as V
+from repro.wasm.runtime.compile import (
+    PreparedFunction,
+    _func_signatures,
+    prepare_function,
+)
+from repro.wasm.runtime.ops import BINOPS, CMPOPS, UNOPS
+from repro.wasm.types import PAGE_SIZE
+
+SPECIALIZE_ENV = "REPRO_SPECIALIZE"
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_F32 = struct.Struct("<f")
+_F64 = struct.Struct("<d")
+
+# always=True: tests and `repro inspect` consume these functionally.
+_FUNCS_TOTAL = obs.counter(
+    "repro_specialize_functions_total",
+    "functions processed by the specialization tier, by outcome",
+    ("outcome",),
+    always=True,
+)
+_DEOPTS_TOTAL = obs.counter(
+    "repro_specialize_deopts_total",
+    "specialized-code guard failures falling back to a generic path",
+    ("reason",),
+    always=True,
+)
+#: real passes are sub-millisecond for the paper workloads; the default
+#: request-scale buckets would collapse them into one bin
+_PASS_BUCKETS = (1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0)
+_PASS_SECONDS = obs.histogram(
+    "repro_specialize_pass_seconds",
+    "wall-clock latency of one specialize_module pass",
+    buckets=_PASS_BUCKETS,
+    always=True,
+)
+
+#: pre-bound children: the metered deopt fires per guest call, the IC
+#: miss per megamorphic call site — neither can afford a labels() lookup.
+METERED_DEOPT = _DEOPTS_TOTAL.labels("metered")
+_IC_MISS = _DEOPTS_TOTAL.labels("ic_miss")
+
+
+def specialize_mode() -> str:
+    """Resolve ``REPRO_SPECIALIZE`` to ``"on"``/``"bytecode"``/``"off"``.
+
+    Read per call (like ``zygote_enabled``) so tests and experiment
+    sweeps can flip the toggle without re-importing anything.
+    """
+    raw = os.environ.get(SPECIALIZE_ENV, "on").strip().lower()
+    if raw in ("off", "0", "false", "no"):
+        return "off"
+    if raw == "bytecode":
+        return "bytecode"
+    return "on"
+
+
+class SpecializedFunction(PreparedFunction):
+    """Specialized flat code plus the original it deopts to.
+
+    Runs on the unmodified dispatch loop. ``fallback`` is the
+    unspecialized :class:`PreparedFunction` — kept so cache-layer
+    corruption and the ``off`` toggle can always restore baseline code,
+    and so re-specializing an already-attached module never stacks
+    tiers.
+    """
+
+    __slots__ = ("fallback",)
+
+    def __init__(self, code: Tuple, fallback: PreparedFunction) -> None:
+        super().__init__(
+            code=code,
+            n_results=fallback.n_results,
+            local_defaults=fallback.local_defaults,
+            source_instrs=fallback.source_instrs,
+            name=fallback.name,
+        )
+        self.fallback = fallback
+
+
+class SpecializedModule:
+    """Specialized code for every defined function (digest-cache entry)."""
+
+    __slots__ = ("functions", "mode")
+
+    def __init__(self, functions: List[PreparedFunction], mode: str) -> None:
+        self.functions = functions
+        self.mode = mode
+
+    def attach(self, module: Module) -> None:
+        for func, pf in zip(module.funcs, self.functions):
+            func.prepared = pf
+
+
+# ---------------------------------------------------------------------------
+# Unchecked memory handlers (installed by the bounds-elision pass only when
+# `addr_bound + offset + width <= declared_minimum_bytes` is proven).
+# ---------------------------------------------------------------------------
+
+
+def u_i32_load(interp, frame, stack, args, pc):
+    stack[-1] = _U32.unpack_from(frame.mem.data, stack[-1] + args)[0]
+    return pc + 1
+
+
+def u_i64_load(interp, frame, stack, args, pc):
+    stack[-1] = _U64.unpack_from(frame.mem.data, stack[-1] + args)[0]
+    return pc + 1
+
+
+def u_f32_load(interp, frame, stack, args, pc):
+    stack[-1] = _F32.unpack_from(frame.mem.data, stack[-1] + args)[0]
+    return pc + 1
+
+
+def u_f64_load(interp, frame, stack, args, pc):
+    stack[-1] = _F64.unpack_from(frame.mem.data, stack[-1] + args)[0]
+    return pc + 1
+
+
+def u_loadn(interp, frame, stack, args, pc):
+    off, width, signed, bits = args
+    addr = stack[-1] + off
+    value = int.from_bytes(frame.mem.data[addr : addr + width], "little")
+    if signed:
+        value = V.sign_extend(value, width * 8, bits)
+    stack[-1] = value
+    return pc + 1
+
+
+def u_i32_store(interp, frame, stack, args, pc):
+    value = stack.pop()
+    _U32.pack_into(frame.mem.data, stack.pop() + args, value & V.MASK32)
+    return pc + 1
+
+
+def u_i64_store(interp, frame, stack, args, pc):
+    value = stack.pop()
+    _U64.pack_into(frame.mem.data, stack.pop() + args, value & V.MASK64)
+    return pc + 1
+
+
+def u_f32_store(interp, frame, stack, args, pc):
+    value = stack.pop()
+    _F32.pack_into(frame.mem.data, stack.pop() + args, value)
+    return pc + 1
+
+
+def u_f64_store(interp, frame, stack, args, pc):
+    value = stack.pop()
+    _F64.pack_into(frame.mem.data, stack.pop() + args, value)
+    return pc + 1
+
+
+def u_storen(interp, frame, stack, args, pc):
+    off, width = args
+    value = stack.pop()
+    addr = stack.pop() + off
+    frame.mem.data[addr : addr + width] = (
+        value & ((1 << (width * 8)) - 1)
+    ).to_bytes(width, "little")
+    return pc + 1
+
+
+# ---------------------------------------------------------------------------
+# Inline-cached call_indirect
+# ---------------------------------------------------------------------------
+
+
+def _ic_type_mismatch(expected, actual):
+    raise WasmTrap(
+        f"indirect call type mismatch: expected {expected}, got {actual}"
+    )
+
+
+def h_call_indirect_ic(interp, frame, stack, args, pc):
+    """``call_indirect`` with a monomorphic inline cache.
+
+    ``args = (expected_type, n_params, cell)`` where ``cell`` is the
+    per-site mutable ``[table, slot_addr, func_instance]``. The guard is
+    table *identity* plus slot address: store function lists are
+    append-only and ``FuncInstance`` objects are never rebound to a
+    different address, so a hit cannot go stale even across
+    ``table.set``-free module lifetimes. A miss replays the generic
+    path — identical traps, in the same order as the flat handler — and
+    refills the cell.
+    """
+    expected, n, cell = args
+    store = interp.store
+    table = store.tables[frame.instance.table_addrs[0]]
+    idx = stack.pop()
+    elements = table.elements
+    if idx < 0 or idx >= len(elements):
+        raise WasmTrap("undefined element")
+    addr = elements[idx]
+    if addr is None:
+        raise WasmTrap("uninitialized element")
+    if cell[0] is table and cell[1] == addr:
+        fi = cell[2]
+    else:
+        fi = store.funcs[addr]
+        if fi.type != expected:
+            _ic_type_mismatch(expected, fi.type)
+        _IC_MISS.inc()
+        cell[0] = table
+        cell[1] = addr
+        cell[2] = fi
+    if n:
+        cargs = stack[-n:]
+        del stack[-n:]
+    else:
+        cargs = []
+    if fi.host_fn is None:
+        stack.extend(interp._call_wasm(fi, cargs))
+    else:
+        result = fi.host_fn(*cargs)
+        if result:
+            stack.extend(result)
+    return pc + 1
+
+
+# ---------------------------------------------------------------------------
+# Pass 1: constant-fold immutable globals
+# ---------------------------------------------------------------------------
+
+
+def _foldable_globals(module: Module) -> Dict[int, object]:
+    """Joint-index-space map of foldable global values.
+
+    Only *module-defined* immutable globals with a single-instruction
+    constant initializer qualify: their value is identical in every
+    instance (``_eval_const`` applies the same mask at instantiation).
+    Imported globals resolve per instance; ``global.get`` of one stays a
+    store read.
+    """
+    n_imported = sum(1 for imp in module.imports if imp.kind == "global")
+    out: Dict[int, object] = {}
+    for i, glob in enumerate(module.globals):
+        if glob.type.mutable or len(glob.init) != 1:
+            continue
+        ins = glob.init[0]
+        if ins.op == "i32.const":
+            out[n_imported + i] = ins.args[0] & V.MASK32
+        elif ins.op == "i64.const":
+            out[n_imported + i] = ins.args[0] & V.MASK64
+        elif ins.op in ("f32.const", "f64.const"):
+            out[n_imported + i] = ins.args[0]
+    return out
+
+
+def _memory_min_bytes(module: Module) -> Optional[int]:
+    """Declared minimum of memory 0 in bytes — a lifetime lower bound.
+
+    ``MemoryInstance`` starts at the minimum and ``grow`` only extends,
+    so an access proven below this line can never go out of bounds, for
+    defined and imported memories alike (import limits are checked at
+    link time).
+    """
+    for imp in module.imports:
+        if imp.kind == "mem":
+            return imp.desc.limits.minimum * PAGE_SIZE
+    if module.mems:
+        return module.mems[0].limits.minimum * PAGE_SIZE
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Flat-code CFG helpers shared by the peephole, elision, and closure passes
+# ---------------------------------------------------------------------------
+
+
+def _branch_targets(code) -> Set[int]:
+    """Every pc that some branch can land on (fusion must not cross one)."""
+    targets: Set[int] = set()
+    for handler, args, _w in code:
+        if handler is flat.h_goto or handler is flat.h_if or handler is flat.h_br_if:
+            targets.add(args)
+        elif handler is flat.h_br_adjust or handler is flat.h_br_if_adjust:
+            targets.add(args[0])
+        elif handler is flat.h_cmp_br_if:
+            targets.add(args[1])
+        elif handler is flat.h_br_table:
+            table, default = args
+            for t, _want, _arity in table:
+                targets.add(t)
+            targets.add(default[0])
+    return targets
+
+
+def _remap_pcs(entries, pcmap):
+    """Rewrite every stored pc through ``pcmap`` after entries moved."""
+    out = []
+    for handler, args, weight in entries:
+        if handler is flat.h_goto or handler is flat.h_if or handler is flat.h_br_if:
+            args = pcmap[args]
+        elif handler is flat.h_br_adjust or handler is flat.h_br_if_adjust:
+            args = (pcmap[args[0]], args[1], args[2])
+        elif handler is flat.h_cmp_br_if:
+            args = (args[0], pcmap[args[1]])
+        elif handler is flat.h_br_table:
+            table, default = args
+            args = (
+                tuple((pcmap[t], w, a) for t, w, a in table),
+                (pcmap[default[0]], default[1], default[2]),
+            )
+        out.append((handler, args, weight))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Pass 2: flat peephole fusion (to fixpoint)
+# ---------------------------------------------------------------------------
+
+_NOFOLD = object()
+
+
+def _try_pure(f, *operands):
+    """Apply a pure operator at specialization time; ``_NOFOLD`` if it
+    would trap (e.g. folded div-by-zero must stay a runtime trap)."""
+    try:
+        return f(*operands)
+    except Exception:
+        return _NOFOLD
+
+
+def _peephole_once(entries, targets):
+    """One left-to-right fusion sweep; returns (entries, targets, changed).
+
+    Merged windows never span a branch target (the second element of a
+    candidate pair must not be jumped into) and a fused entry carries the
+    summed weight — the fuel-exactness argument is the same as for
+    prepare-time fusion: every candidate is side-effect-free before its
+    last component.
+    """
+    out: List[tuple] = []
+    pcmap: Dict[int, int] = {}
+    changed = False
+    i = 0
+    n = len(entries)
+    while i < n:
+        pcmap[i] = len(out)
+        handler, args, weight = entries[i]
+        fused = None
+        if handler is flat.h_const and i + 1 < n and (i + 1) not in targets:
+            h2, a2, w2 = entries[i + 1]
+            if h2 is flat.h_binop:
+                fused = (flat.h_const_binop, (args, a2), weight + w2)
+            elif h2 is flat.h_cmp:
+                fused = (flat.h_const_cmp, (args, a2), weight + w2)
+            elif h2 is flat.h_unop:
+                value = _try_pure(a2, args)
+                if value is not _NOFOLD:
+                    fused = (flat.h_const, value, weight + w2)
+            elif h2 is flat.h_const_binop:
+                c2, f2 = a2
+                value = _try_pure(f2, args, c2)
+                if value is not _NOFOLD:
+                    fused = (flat.h_const, value, weight + w2)
+            elif h2 is flat.h_const_cmp:
+                c2, f2 = a2
+                value = _try_pure(f2, args, c2)
+                if value is not _NOFOLD:
+                    fused = (flat.h_const, 1 if value else 0, weight + w2)
+        if fused is not None:
+            out.append(fused)
+            changed = True
+            i += 2
+        else:
+            out.append((handler, args, weight))
+            i += 1
+    if not changed:
+        return entries, targets, False
+    pcmap[n] = len(out)  # end-of-code sentinel (never a real target)
+    return _remap_pcs(out, pcmap), {pcmap[t] for t in targets}, True
+
+
+def _peephole(entries, targets):
+    fused = 0
+    while True:
+        before = len(entries)
+        entries, targets, changed = _peephole_once(entries, targets)
+        if not changed:
+            return entries, targets, fused
+        fused += before - len(entries)
+
+
+# ---------------------------------------------------------------------------
+# Pass 3: bounds-check elision
+# ---------------------------------------------------------------------------
+
+_AND32 = BINOPS["i32.and"]
+_AND64 = BINOPS["i64.and"]
+_EQZ32 = UNOPS["i32.eqz"]
+_EQZ64 = UNOPS["i64.eqz"]
+
+_CHECKED_LOADS = {
+    flat.h_i32_load: (4, u_i32_load),
+    flat.h_i64_load: (8, u_i64_load),
+    flat.h_f32_load: (4, u_f32_load),
+    flat.h_f64_load: (8, u_f64_load),
+}
+_CHECKED_STORES = {
+    flat.h_i32_store: (4, u_i32_store),
+    flat.h_i64_store: (8, u_i64_store),
+    flat.h_f32_store: (4, u_f32_store),
+    flat.h_f64_store: (8, u_f64_store),
+}
+
+#: handlers ending a basic block; abstract state dies with the block
+_BLOCK_ENDERS = (
+    flat.h_goto,
+    flat.h_br_adjust,
+    flat.h_br_table,
+    flat.h_end,
+    flat.h_return,
+    flat.h_unreachable,
+)
+
+
+def _elide_bounds(module: Module, entries, targets, mem_min: Optional[int]):
+    """Swap checked memory handlers for unchecked ones where an unsigned
+    upper bound on the address proves ``addr + offset + width <= minimum``.
+
+    The abstract state is a suffix of the operand stack: each slot holds
+    an upper bound (values are unsigned by representation, so a bound is
+    also a proof of non-negativity) or ``None``. It resets at branch
+    targets and block enders; conditional branches only pop. Pops on an
+    empty abstract stack model unknown deeper values.
+    """
+    if mem_min is None or mem_min <= 0:
+        return entries, 0
+    out = list(entries)
+    elided = 0
+    st: List[Optional[int]] = []
+
+    def pop():
+        return st.pop() if st else None
+
+    for pc, (handler, args, _w) in enumerate(entries):
+        if pc in targets:
+            st.clear()
+        if handler is flat.h_const:
+            st.append(args if isinstance(args, int) else None)
+        elif handler is flat.h_local_get or handler is flat.h_global_get:
+            st.append(None)
+        elif handler is flat.h_memory_size:
+            st.append(None)
+        elif handler is flat.h_local_set or handler is flat.h_global_set:
+            pop()
+        elif handler is flat.h_drop:
+            pop()
+        elif handler is flat.h_local_tee or handler is flat.h_nop:
+            pass
+        elif handler is flat.h_data_drop:
+            pass
+        elif handler is flat.h_select:
+            pop()
+            v2 = pop()
+            v1 = pop()
+            st.append(None if v1 is None or v2 is None else max(v1, v2))
+        elif handler is flat.h_binop:
+            b = pop()
+            a = pop()
+            if args is _AND32 or args is _AND64:
+                if a is None:
+                    st.append(b)
+                elif b is None:
+                    st.append(a)
+                else:
+                    st.append(min(a, b))
+            else:
+                st.append(None)
+        elif handler is flat.h_cmp:
+            pop()
+            pop()
+            st.append(1)
+        elif handler is flat.h_unop:
+            pop()
+            st.append(1 if (args is _EQZ32 or args is _EQZ64) else None)
+        elif handler is flat.h_lgg_binop:
+            st.append(None)
+        elif handler is flat.h_lgg_cmp:
+            st.append(1)
+        elif handler is flat.h_const_binop:
+            c, f = args
+            a = pop()
+            if (f is _AND32 or f is _AND64) and isinstance(c, int):
+                st.append(c if a is None else min(a, c))
+            else:
+                st.append(None)
+        elif handler is flat.h_const_cmp:
+            pop()
+            st.append(1)
+        elif handler is flat.h_lg_i32_load or handler is flat.h_lg_load:
+            st.append(None)
+        elif handler in _CHECKED_LOADS:
+            width, unchecked = _CHECKED_LOADS[handler]
+            bound = st[-1] if st else None
+            if bound is not None and bound + args + width <= mem_min:
+                out[pc] = (unchecked, args, entries[pc][2])
+                elided += 1
+            pop()
+            st.append(None)
+        elif handler is flat.h_loadn:
+            off, width, _signed, _bits = args
+            bound = st[-1] if st else None
+            if bound is not None and bound + off + width <= mem_min:
+                out[pc] = (u_loadn, args, entries[pc][2])
+                elided += 1
+            pop()
+            st.append(None)
+        elif handler in _CHECKED_STORES:
+            width, unchecked = _CHECKED_STORES[handler]
+            bound = st[-2] if len(st) >= 2 else None
+            if bound is not None and bound + args + width <= mem_min:
+                out[pc] = (unchecked, args, entries[pc][2])
+                elided += 1
+            pop()
+            pop()
+        elif handler is flat.h_storen:
+            off, width = args
+            bound = st[-2] if len(st) >= 2 else None
+            if bound is not None and bound + off + width <= mem_min:
+                out[pc] = (u_storen, args, entries[pc][2])
+                elided += 1
+            pop()
+            pop()
+        elif handler is flat.h_memory_grow:
+            pop()
+            st.append(None)
+        elif (
+            handler is flat.h_memory_fill
+            or handler is flat.h_memory_copy
+            or handler is flat.h_memory_init
+        ):
+            pop()
+            pop()
+            pop()
+        elif handler is flat.h_call:
+            idx, n_args = args
+            for _ in range(n_args):
+                pop()
+            for _ in range(len(_func_signatures(module)[idx].results)):
+                st.append(None)
+        elif handler is flat.h_call_indirect or handler is h_call_indirect_ic:
+            ft = args[0]
+            for _ in range(len(ft.params) + 1):
+                pop()
+            for _ in range(len(ft.results)):
+                st.append(None)
+        elif (
+            handler is flat.h_if
+            or handler is flat.h_br_if
+            or handler is flat.h_br_if_adjust
+        ):
+            pop()  # condition; fallthrough keeps the rest untouched
+        elif handler is flat.h_cmp_br_if:
+            pop()
+            pop()
+        elif handler in _BLOCK_ENDERS:
+            st.clear()
+        else:  # pragma: no cover - future handlers: be conservative
+            st.clear()
+    return out, elided
+
+
+# ---------------------------------------------------------------------------
+# Pass 4: inline caches at call_indirect sites
+# ---------------------------------------------------------------------------
+
+
+def _install_ics(entries):
+    out = []
+    installed = 0
+    for handler, args, weight in entries:
+        if handler is flat.h_call_indirect:
+            expected, n = args
+            out.append(
+                (h_call_indirect_ic, (expected, n, [None, -1, None]), weight)
+            )
+            installed += 1
+        else:
+            out.append((handler, args, weight))
+    return out, installed
+
+
+# ---------------------------------------------------------------------------
+# Pass 5: closure compilation
+# ---------------------------------------------------------------------------
+
+
+class _Unsupported(Exception):
+    """Function shape the closure compiler does not handle (stays flat)."""
+
+
+#: stack-height deltas for every non-control handler the compiler knows
+_SIMPLE_DELTAS = {
+    flat.h_nop: 0,
+    flat.h_local_get: 1,
+    flat.h_local_set: -1,
+    flat.h_local_tee: 0,
+    flat.h_const: 1,
+    flat.h_drop: -1,
+    flat.h_select: -2,
+    flat.h_binop: -1,
+    flat.h_cmp: -1,
+    flat.h_unop: 0,
+    flat.h_global_get: 1,
+    flat.h_global_set: -1,
+    flat.h_lgg_binop: 1,
+    flat.h_lgg_cmp: 1,
+    flat.h_const_binop: 0,
+    flat.h_const_cmp: 0,
+    flat.h_lg_i32_load: 1,
+    flat.h_lg_load: 1,
+    flat.h_i32_load: 0,
+    flat.h_i64_load: 0,
+    flat.h_f32_load: 0,
+    flat.h_f64_load: 0,
+    flat.h_loadn: 0,
+    u_i32_load: 0,
+    u_i64_load: 0,
+    u_f32_load: 0,
+    u_f64_load: 0,
+    u_loadn: 0,
+    flat.h_i32_store: -2,
+    flat.h_i64_store: -2,
+    flat.h_f32_store: -2,
+    flat.h_f64_store: -2,
+    flat.h_storen: -2,
+    u_i32_store: -2,
+    u_i64_store: -2,
+    u_f32_store: -2,
+    u_f64_store: -2,
+    u_storen: -2,
+    flat.h_memory_size: 1,
+    flat.h_memory_grow: 0,
+    flat.h_memory_fill: -3,
+    flat.h_memory_copy: -3,
+    flat.h_memory_init: -3,
+    flat.h_data_drop: 0,
+}
+
+_CONTROL = frozenset(
+    (
+        flat.h_goto,
+        flat.h_if,
+        flat.h_br_if,
+        flat.h_br_adjust,
+        flat.h_br_if_adjust,
+        flat.h_cmp_br_if,
+        flat.h_br_table,
+        flat.h_end,
+        flat.h_return,
+        flat.h_unreachable,
+    )
+)
+
+_MEMORY_HANDLERS = frozenset(
+    h
+    for h in _SIMPLE_DELTAS
+    if h
+    in (
+        flat.h_lg_i32_load,
+        flat.h_lg_load,
+        flat.h_i32_load,
+        flat.h_i64_load,
+        flat.h_f32_load,
+        flat.h_f64_load,
+        flat.h_loadn,
+        u_i32_load,
+        u_i64_load,
+        u_f32_load,
+        u_f64_load,
+        u_loadn,
+        flat.h_i32_store,
+        flat.h_i64_store,
+        flat.h_f32_store,
+        flat.h_f64_store,
+        flat.h_storen,
+        u_i32_store,
+        u_i64_store,
+        u_f32_store,
+        u_f64_store,
+        u_storen,
+        flat.h_memory_size,
+        flat.h_memory_grow,
+        flat.h_memory_fill,
+        flat.h_memory_copy,
+        flat.h_memory_init,
+    )
+)
+
+#: operator name -> Python expression template (a/b are operand exprs).
+#: Everything here is exactly equivalent to the table callable: unsigned
+#: representation in, unsigned out.
+_INLINE_BINOPS = {
+    "i32.add": "({a} + {b}) & 0xFFFFFFFF",
+    "i32.sub": "({a} - {b}) & 0xFFFFFFFF",
+    "i32.mul": "({a} * {b}) & 0xFFFFFFFF",
+    "i32.and": "{a} & {b}",
+    "i32.or": "{a} | {b}",
+    "i32.xor": "{a} ^ {b}",
+    "i64.add": "({a} + {b}) & 0xFFFFFFFFFFFFFFFF",
+    "i64.sub": "({a} - {b}) & 0xFFFFFFFFFFFFFFFF",
+    "i64.mul": "({a} * {b}) & 0xFFFFFFFFFFFFFFFF",
+    "i64.and": "{a} & {b}",
+    "i64.or": "{a} | {b}",
+    "i64.xor": "{a} ^ {b}",
+    "f64.add": "{a} + {b}",
+    "f64.sub": "{a} - {b}",
+    "f64.mul": "{a} * {b}",
+}
+
+_INLINE_CMPS = {
+    "i32.eq": "{a} == {b}",
+    "i32.ne": "{a} != {b}",
+    "i32.lt_u": "{a} < {b}",
+    "i32.gt_u": "{a} > {b}",
+    "i32.le_u": "{a} <= {b}",
+    "i32.ge_u": "{a} >= {b}",
+    "i32.lt_s": "S32({a}) < S32({b})",
+    "i32.gt_s": "S32({a}) > S32({b})",
+    "i32.le_s": "S32({a}) <= S32({b})",
+    "i32.ge_s": "S32({a}) >= S32({b})",
+    "i64.eq": "{a} == {b}",
+    "i64.ne": "{a} != {b}",
+    "i64.lt_u": "{a} < {b}",
+    "i64.gt_u": "{a} > {b}",
+    "i64.le_u": "{a} <= {b}",
+    "i64.ge_u": "{a} >= {b}",
+    "i64.lt_s": "S64({a}) < S64({b})",
+    "i64.gt_s": "S64({a}) > S64({b})",
+    "i64.le_s": "S64({a}) <= S64({b})",
+    "i64.ge_s": "S64({a}) >= S64({b})",
+    "f32.eq": "{a} == {b}",
+    "f32.ne": "{a} != {b}",
+    "f32.lt": "{a} < {b}",
+    "f32.gt": "{a} > {b}",
+    "f32.le": "{a} <= {b}",
+    "f32.ge": "{a} >= {b}",
+    "f64.eq": "{a} == {b}",
+    "f64.ne": "{a} != {b}",
+    "f64.lt": "{a} < {b}",
+    "f64.gt": "{a} > {b}",
+    "f64.le": "{a} <= {b}",
+    "f64.ge": "{a} >= {b}",
+}
+
+_INLINE_UNOPS = {
+    "i32.eqz": "(1 if {a} == 0 else 0)",
+    "i64.eqz": "(1 if {a} == 0 else 0)",
+    "i32.wrap_i64": "{a} & 0xFFFFFFFF",
+    "i64.extend_i32_u": "{a} & 0xFFFFFFFF",
+}
+
+_TRAPPING_BINOPS = frozenset(
+    (
+        "i32.div_s",
+        "i32.div_u",
+        "i32.rem_s",
+        "i32.rem_u",
+        "i64.div_s",
+        "i64.div_u",
+        "i64.rem_s",
+        "i64.rem_u",
+    )
+)
+
+
+def _trapping_unop(name: Optional[str]) -> bool:
+    # Non-saturating float→int truncation traps on NaN / out-of-range.
+    return name is None or ("trunc_f" in name and "sat" not in name)
+
+
+#: callable identity -> opcode name (shared callables share semantics)
+_BINOP_NAMES: Dict[object, str] = {}
+for _name, _fn in BINOPS.items():
+    _BINOP_NAMES.setdefault(_fn, _name)
+_CMP_NAMES: Dict[object, str] = {}
+for _name, _fn in CMPOPS.items():
+    _CMP_NAMES.setdefault(_fn, _name)
+_UNOP_NAMES: Dict[object, str] = {}
+for _name, _fn in UNOPS.items():
+    _UNOP_NAMES.setdefault(_fn, _name)
+
+#: bail out of closure compilation above this many flat entries — the
+#: generated if/elif dispatch chain would stop paying for itself
+_MAX_CLOSURE_ENTRIES = 4000
+
+_OOB = "out of bounds memory access"
+
+
+class _ClosureCompiler:
+    """Compile one specialized flat function to an exec'd Python closure.
+
+    The closure signature is ``_spec(interp, frame, **bound)`` and its
+    return value is the activation's result list. Stack slots live in
+    Python locals ``s0..sN`` addressed by *absolute static height*
+    (heights are propagated from pc 0 and must be consistent at every
+    join — a conflict aborts compilation, keeping the function on flat
+    bytecode). Locals live in ``l0..lK`` and are never written back:
+    frames are per-activation and nothing outside the activation reads
+    them. Control flow is a ``while True`` loop over an ``if pc ==``
+    chain of basic blocks.
+
+    Instruction accounting matches the flat loop exactly: weights
+    accumulate into a local ``_n`` (flushed by ``finally``), and the
+    pending count is flushed *before* any statement that can raise —
+    the trapping instruction is charged, later ones are not, same as
+    the reference.
+
+    Direct calls carry a per-site cell ``[instance, fi, closure,
+    defaults]`` guarded on caller-instance identity: a hit calls the
+    callee closure without going through ``_call_wasm``. Closures run
+    only in unmetered activations (the interpreter deopts metered calls
+    to flat bytecode), so the fast path never touches fuel.
+    """
+
+    def __init__(self, module: Module, func: Function, spec: PreparedFunction):
+        self.code = spec.code
+        self.n_results = spec.n_results
+        self.sigs = _func_signatures(module)
+        ft = module.types[func.type_idx]
+        self.n_locals = len(ft.params) + len(spec.local_defaults)
+        self.name = spec.name or "fn"
+        self.end_pc = len(spec.code) - 1
+        if not spec.code or spec.code[self.end_pc][0] is not flat.h_end:
+            raise _Unsupported("no terminal h_end")
+        if len(spec.code) > _MAX_CLOSURE_ENTRIES:
+            raise _Unsupported("function too large")
+        self.binds: Dict[str, object] = {}
+        self._bind_ids: Dict[int, str] = {}
+        self.heights: Dict[int, int] = {}
+        self.leaders: Set[int] = set()
+        self.uses_memory = False
+
+    # -- binding ------------------------------------------------------------
+
+    def _bind(self, obj, prefix: str) -> str:
+        key = id(obj)
+        name = self._bind_ids.get(key)
+        if name is None:
+            name = f"{prefix}{len(self.binds)}"
+            self._bind_ids[key] = name
+            self.binds[name] = obj
+        return name
+
+    def _lit(self, value) -> str:
+        if isinstance(value, int):
+            return repr(value)
+        return self._bind(value, "K")  # floats: nan/inf have no literal
+
+    # -- CFG ----------------------------------------------------------------
+
+    def _delta(self, handler, args) -> int:
+        delta = _SIMPLE_DELTAS.get(handler)
+        if delta is not None:
+            return delta
+        if handler is flat.h_call:
+            idx, n = args
+            return len(self.sigs[idx].results) - n
+        if handler is h_call_indirect_ic or handler is flat.h_call_indirect:
+            ft = args[0]
+            return len(ft.results) - len(ft.params) - 1
+        if handler is flat.h_nop:
+            return 0
+        raise _Unsupported(
+            f"handler {getattr(handler, '__name__', handler)!r}"
+        )
+
+    def _succ(self, pc: int, h: int):
+        handler, args, _w = self.code[pc]
+        if (
+            handler is flat.h_end
+            or handler is flat.h_return
+            or handler is flat.h_unreachable
+        ):
+            return []
+        if handler is flat.h_goto:
+            return [(args, h)]
+        if handler is flat.h_if or handler is flat.h_br_if:
+            return [(args, h - 1), (pc + 1, h - 1)]
+        if handler is flat.h_br_adjust:
+            return [(args[0], args[1])]
+        if handler is flat.h_br_if_adjust:
+            return [(args[0], args[1]), (pc + 1, h - 1)]
+        if handler is flat.h_cmp_br_if:
+            return [(args[1], h - 2), (pc + 1, h - 2)]
+        if handler is flat.h_br_table:
+            table, default = args
+            out = []
+            for target, want, _arity in table + (default,):
+                if want < 0:
+                    raise _Unsupported("br_table without static height")
+                out.append((target, want))
+            return out
+        return [(pc + 1, h + self._delta(handler, args))]
+
+    def _analyze(self) -> None:
+        self.heights[0] = 0
+        reachable: Set[int] = set()
+        work = [0]
+        while work:
+            pc = work.pop()
+            if pc in reachable:
+                continue
+            reachable.add(pc)
+            handler = self.code[pc][0]
+            if handler in _MEMORY_HANDLERS:
+                self.uses_memory = True
+            for target, th in self._succ(pc, self.heights[pc]):
+                if th < 0:
+                    raise _Unsupported("negative stack height")
+                if target == self.end_pc:
+                    continue  # return edges are emitted inline
+                known = self.heights.get(target)
+                if known is None:
+                    self.heights[target] = th
+                    work.append(target)
+                elif known != th:
+                    raise _Unsupported("conflicting stack heights at join")
+        self.leaders = {0}
+        for pc in reachable:
+            if self.code[pc][0] in _CONTROL:
+                for target, _th in self._succ(pc, self.heights[pc]):
+                    if target != self.end_pc:
+                        self.leaders.add(target)
+
+    # -- expression helpers --------------------------------------------------
+
+    def _binop_expr(self, f, a: str, b: str) -> Tuple[str, bool]:
+        name = _BINOP_NAMES.get(f)
+        template = _INLINE_BINOPS.get(name)
+        if template is not None:
+            return template.format(a=a, b=b), False
+        return (
+            f"{self._bind(f, 'F')}({a}, {b})",
+            name is None or name in _TRAPPING_BINOPS,
+        )
+
+    def _cmp_expr(self, f, a: str, b: str) -> str:
+        name = _CMP_NAMES.get(f)
+        template = _INLINE_CMPS.get(name)
+        if template is not None:
+            return template.format(a=a, b=b)
+        return f"{self._bind(f, 'F')}({a}, {b})"
+
+    def _unop_expr(self, f, a: str) -> Tuple[str, bool]:
+        name = _UNOP_NAMES.get(f)
+        template = _INLINE_UNOPS.get(name)
+        if template is not None:
+            return template.format(a=a), False
+        return f"{self._bind(f, 'F')}({a})", _trapping_unop(name)
+
+    def _ret(self, h: int) -> str:
+        r = self.n_results
+        if r == 0:
+            return "return []"
+        values = ", ".join(f"s{h - r + k}" for k in range(r))
+        return f"return [{values}]"
+
+    # -- memory helpers ------------------------------------------------------
+
+    def _load_stmts(self, addr: str, off: int, width: int, packer: Optional[str],
+                    signed: bool, bits: int, dst: str, checked: bool):
+        """Emit one load. ``packer`` is LD32/LD64/LF32/LF64 or ``None``
+        for the narrow int path."""
+        expr = f"{addr} + {off}" if off else addr
+        if checked:
+            stmts = [f"_a = {expr}"]
+            stmts.append(
+                f"if _a < 0 or _a + {width} > len(data): raise WT({_OOB!r})"
+            )
+            expr = "_a"
+        else:
+            stmts = []
+        if packer is not None:
+            stmts.append(f"{dst} = {packer}(data, {expr})[0]")
+            return stmts
+        if not checked:
+            stmts.append(f"_a = {expr}")
+        stmts.append(f"_v = int.from_bytes(data[_a:_a + {width}], 'little')")
+        if signed:
+            stmts.append(f"{dst} = SE(_v, {width * 8}, {bits})")
+        else:
+            stmts.append(f"{dst} = _v")
+        return stmts
+
+    def _store_stmts(self, addr: str, off: int, width: int,
+                     packer: Optional[str], value: str, checked: bool):
+        expr = f"{addr} + {off}" if off else addr
+        stmts = []
+        if checked:
+            stmts.append(f"_a = {expr}")
+            stmts.append(
+                f"if _a < 0 or _a + {width} > len(data): raise WT({_OOB!r})"
+            )
+            expr = "_a"
+        if packer == "ST32":
+            stmts.append(f"ST32(data, {expr}, {value} & 0xFFFFFFFF)")
+        elif packer == "ST64":
+            stmts.append(f"ST64(data, {expr}, {value} & 0xFFFFFFFFFFFFFFFF)")
+        elif packer is not None:  # SF32 / SF64
+            stmts.append(f"{packer}(data, {expr}, {value})")
+        else:
+            if not checked:
+                stmts.append(f"_a = {expr}")
+            mask = (1 << (width * 8)) - 1
+            stmts.append(
+                f"data[_a:_a + {width}] = ({value} & {mask})"
+                f".to_bytes({width}, 'little')"
+            )
+        return stmts
+
+    def _call_stmts(self, idx: int, n: int, h: int):
+        """Direct ``call``: per-site cell fast path + generic fallback."""
+        base = h - n
+        results = len(self.sigs[idx].results)
+        args_list = ", ".join(f"s{base + k}" for k in range(n))
+        cell = self._bind([None, None, None, None, None, None], "D")
+        stmts = [
+            f"_d = {cell}",
+            "if inst is _d[0]:",
+            "    _fi = _d[1]",
+            "    _cc = _d[2]",
+            "else:",
+            f"    _fi = store.funcs[inst.func_addrs[{idx}]]",
+            "    _cc = None",
+            "    if _fi.host_fn is None:",
+            "        _pp = _fi.code.prepared",
+            "        if _pp is not None and _pp.compiled is not None:",
+            "            _m = _fi.module",
+            "            _mm = _m.mem0",
+            "            if _mm is None and _m.mem_addrs:",
+            "                _mm = _m.mem0 = store.mems[_m.mem_addrs[0]]",
+            "            _cc = _pp.compiled",
+            "            _d[1] = _fi",
+            "            _d[2] = _cc",
+            "            _d[3] = list(_pp.local_defaults)",
+            "            _d[4] = _m",
+            "            _d[5] = _mm",
+            "            _d[0] = inst",
+            "if _cc is not None:",
+            "    if interp._depth >= interp.max_call_depth:"
+            " raise EE('call stack exhausted')",
+            "    interp._depth += 1",
+            "    try:",
+            f"        _r = _cc(interp, FR([{args_list}] + _d[3], _d[4], _d[5]))",
+            "    finally:",
+            "        interp._depth -= 1",
+            "elif _fi.host_fn is None:",
+            f"    _r = interp._call_wasm(_fi, [{args_list}])",
+            "else:",
+            f"    _r = _fi.host_fn({args_list})",
+        ]
+        for k in range(results):
+            stmts.append(f"s{base + k} = _r[{k}]")
+        return stmts, base + results
+
+    def _call_indirect_stmts(self, expected, n: int, cell, h: int):
+        base = h - 1 - n
+        results = len(expected.results)
+        args_list = ", ".join(f"s{base + k}" for k in range(n))
+        et = self._bind(expected, "ET")
+        cc = self._bind(cell, "C")
+        stmts = [
+            "_t = store.tables[inst.table_addrs[0]]",
+            "_e = _t.elements",
+            f"_i = s{h - 1}",
+            "if _i < 0 or _i >= len(_e): raise WT('undefined element')",
+            "_a = _e[_i]",
+            "if _a is None: raise WT('uninitialized element')",
+            f"_c = {cc}",
+            "if _c[0] is _t and _c[1] == _a:",
+            "    _fi = _c[2]",
+            "else:",
+            "    _fi = store.funcs[_a]",
+            f"    if _fi.type != {et}: TMISS({et}, _fi.type)",
+            "    MISS()",
+            "    _c[0] = _t",
+            "    _c[1] = _a",
+            "    _c[2] = _fi",
+            "if _fi.host_fn is None:",
+            f"    _r = interp._call_wasm(_fi, [{args_list}])",
+            "else:",
+            f"    _r = _fi.host_fn({args_list})",
+        ]
+        for k in range(results):
+            stmts.append(f"s{base + k} = _r[{k}]")
+        return stmts, base + results
+
+    # -- per-entry emission --------------------------------------------------
+
+    def _emit_simple(self, handler, args, h: int):
+        """Return ``(trapping, stmts, new_height)`` for a non-control entry."""
+        if handler is flat.h_nop:
+            return False, [], h
+        if handler is flat.h_local_get:
+            return False, [f"s{h} = l{args}"], h + 1
+        if handler is flat.h_local_set:
+            return False, [f"l{args} = s{h - 1}"], h - 1
+        if handler is flat.h_local_tee:
+            return False, [f"l{args} = s{h - 1}"], h
+        if handler is flat.h_const:
+            return False, [f"s{h} = {self._lit(args)}"], h + 1
+        if handler is flat.h_drop:
+            return False, [], h - 1
+        if handler is flat.h_select:
+            return False, [f"if not s{h - 1}: s{h - 3} = s{h - 2}"], h - 2
+        if handler is flat.h_binop:
+            expr, trapping = self._binop_expr(args, f"s{h - 2}", f"s{h - 1}")
+            return trapping, [f"s{h - 2} = {expr}"], h - 1
+        if handler is flat.h_cmp:
+            cond = self._cmp_expr(args, f"s{h - 2}", f"s{h - 1}")
+            return False, [f"s{h - 2} = 1 if {cond} else 0"], h - 1
+        if handler is flat.h_unop:
+            expr, trapping = self._unop_expr(args, f"s{h - 1}")
+            return trapping, [f"s{h - 1} = {expr}"], h
+        if handler is flat.h_global_get:
+            return (
+                False,
+                [f"s{h} = store.globals[inst.global_addrs[{args}]].value"],
+                h + 1,
+            )
+        if handler is flat.h_global_set:
+            return (
+                True,  # traps on immutable globals
+                [f"store.globals[inst.global_addrs[{args}]].set(s{h - 1})"],
+                h - 1,
+            )
+        if handler is flat.h_lgg_binop:
+            i, j, f = args
+            expr, trapping = self._binop_expr(f, f"l{i}", f"l{j}")
+            return trapping, [f"s{h} = {expr}"], h + 1
+        if handler is flat.h_lgg_cmp:
+            i, j, f = args
+            cond = self._cmp_expr(f, f"l{i}", f"l{j}")
+            return False, [f"s{h} = 1 if {cond} else 0"], h + 1
+        if handler is flat.h_const_binop:
+            c, f = args
+            expr, trapping = self._binop_expr(f, f"s{h - 1}", self._lit(c))
+            return trapping, [f"s{h - 1} = {expr}"], h
+        if handler is flat.h_const_cmp:
+            c, f = args
+            cond = self._cmp_expr(f, f"s{h - 1}", self._lit(c))
+            return False, [f"s{h - 1} = 1 if {cond} else 0"], h
+        if handler is flat.h_lg_i32_load:
+            i, off = args
+            return (
+                True,
+                self._load_stmts(f"l{i}", off, 4, "LD32", False, 32,
+                                 f"s{h}", True),
+                h + 1,
+            )
+        if handler is flat.h_lg_load:
+            i, off, width, signed, bits, isfloat = args
+            packer = (
+                ("LF32" if bits == 32 else "LF64") if isfloat else None
+            )
+            return (
+                True,
+                self._load_stmts(f"l{i}", off, width, packer, signed, bits,
+                                 f"s{h}", True),
+                h + 1,
+            )
+        for table, checked in ((_CHECKED_LOADS, True),):
+            spec = table.get(handler)
+            if spec is not None:
+                width, _un = spec
+                packer = {4: "LD32", 8: "LD64"}[width]
+                if handler is flat.h_f32_load:
+                    packer = "LF32"
+                elif handler is flat.h_f64_load:
+                    packer = "LF64"
+                return (
+                    True,
+                    self._load_stmts(f"s{h - 1}", args, width, packer,
+                                     False, 0, f"s{h - 1}", True),
+                    h,
+                )
+        if handler in (u_i32_load, u_i64_load, u_f32_load, u_f64_load):
+            packer = {
+                u_i32_load: "LD32",
+                u_i64_load: "LD64",
+                u_f32_load: "LF32",
+                u_f64_load: "LF64",
+            }[handler]
+            width = 8 if handler in (u_i64_load, u_f64_load) else 4
+            return (
+                False,
+                self._load_stmts(f"s{h - 1}", args, width, packer,
+                                 False, 0, f"s{h - 1}", False),
+                h,
+            )
+        if handler is flat.h_loadn or handler is u_loadn:
+            off, width, signed, bits = args
+            return (
+                handler is flat.h_loadn,
+                self._load_stmts(f"s{h - 1}", off, width, None, signed, bits,
+                                 f"s{h - 1}", handler is flat.h_loadn),
+                h,
+            )
+        store_packers = {
+            flat.h_i32_store: ("ST32", 4, True),
+            flat.h_i64_store: ("ST64", 8, True),
+            flat.h_f32_store: ("SF32", 4, True),
+            flat.h_f64_store: ("SF64", 8, True),
+            u_i32_store: ("ST32", 4, False),
+            u_i64_store: ("ST64", 8, False),
+            u_f32_store: ("SF32", 4, False),
+            u_f64_store: ("SF64", 8, False),
+        }
+        spec = store_packers.get(handler)
+        if spec is not None:
+            packer, width, checked = spec
+            return (
+                checked,
+                self._store_stmts(f"s{h - 2}", args, width, packer,
+                                  f"s{h - 1}", checked),
+                h - 2,
+            )
+        if handler is flat.h_storen or handler is u_storen:
+            off, width = args
+            checked = handler is flat.h_storen
+            return (
+                checked,
+                self._store_stmts(f"s{h - 2}", off, width, None,
+                                  f"s{h - 1}", checked),
+                h - 2,
+            )
+        if handler is flat.h_memory_size:
+            return False, [f"s{h} = len(data) // {PAGE_SIZE}"], h + 1
+        if handler is flat.h_memory_grow:
+            return (
+                False,
+                [f"s{h - 1} = mem.grow(s{h - 1}) & 0xFFFFFFFF"],
+                h,
+            )
+        if handler is flat.h_memory_fill:
+            return (
+                True,
+                [
+                    f"_c = s{h - 1}",
+                    f"if s{h - 3} + _c > len(data): raise WT({_OOB!r})",
+                    f"data[s{h - 3}:s{h - 3} + _c] ="
+                    f" bytes([s{h - 2} & 0xFF]) * _c",
+                ],
+                h - 3,
+            )
+        if handler is flat.h_memory_copy:
+            return (
+                True,
+                [
+                    f"_c = s{h - 1}",
+                    f"if s{h - 2} + _c > len(data) or s{h - 3} + _c >"
+                    f" len(data): raise WT({_OOB!r})",
+                    f"data[s{h - 3}:s{h - 3} + _c] ="
+                    f" data[s{h - 2}:s{h - 2} + _c]",
+                ],
+                h - 3,
+            )
+        if handler is flat.h_memory_init:
+            return (
+                True,
+                [
+                    f"_p = store.datas[inst.data_addrs[{args}]]",
+                    "if _p is None:",
+                    f"    if s{h - 1} or s{h - 2}: raise WT({_OOB!r})",
+                    "    _p = b''",
+                    f"if s{h - 2} + s{h - 1} > len(_p) or s{h - 3} +"
+                    f" s{h - 1} > len(data): raise WT({_OOB!r})",
+                    f"data[s{h - 3}:s{h - 3} + s{h - 1}] ="
+                    f" _p[s{h - 2}:s{h - 2} + s{h - 1}]",
+                ],
+                h - 3,
+            )
+        if handler is flat.h_data_drop:
+            return (
+                False,
+                [f"store.datas[inst.data_addrs[{args}]] = None"],
+                h,
+            )
+        if handler is flat.h_call:
+            idx, n = args
+            stmts, new_h = self._call_stmts(idx, n, h)
+            return True, stmts, new_h
+        if handler is h_call_indirect_ic:
+            expected, n, cell = args
+            stmts, new_h = self._call_indirect_stmts(expected, n, cell, h)
+            return True, stmts, new_h
+        if handler is flat.h_call_indirect:
+            expected, n = args
+            stmts, new_h = self._call_indirect_stmts(
+                expected, n, [None, -1, None], h
+            )
+            return True, stmts, new_h
+        raise _Unsupported(
+            f"handler {getattr(handler, '__name__', handler)!r}"
+        )
+
+    # -- control emission ----------------------------------------------------
+
+    def _jump(self, target: int, h: int, emit, indent: int) -> None:
+        if target == self.end_pc:
+            emit(self._ret(h), indent)
+        else:
+            emit(f"pc = {target}", indent)
+            emit("continue", indent)
+
+    def _moves(self, h: int, want: int, arity: int, emit, indent: int) -> None:
+        """Register moves implementing the branch stack repair: slide the
+        ``arity`` carried values down to the target height."""
+        if h == want:
+            return
+        for k in range(arity):
+            emit(f"s{want - arity + k} = s{h - arity + k}", indent)
+
+    def _emit_control(self, pc, handler, args, h, emit) -> Optional[int]:
+        """Emit a control entry; returns the fallthrough height, or
+        ``None`` for terminal control."""
+        if handler is flat.h_end or handler is flat.h_return:
+            emit(self._ret(h), 0)
+            return None
+        if handler is flat.h_unreachable:
+            emit("raise WT('unreachable executed')", 0)
+            return None
+        if handler is flat.h_goto:
+            self._jump(args, h, emit, 0)
+            return None
+        if handler is flat.h_if:
+            emit(f"if not s{h - 1}:", 0)
+            self._jump(args, h - 1, emit, 1)
+            return h - 1
+        if handler is flat.h_br_if:
+            emit(f"if s{h - 1}:", 0)
+            self._jump(args, h - 1, emit, 1)
+            return h - 1
+        if handler is flat.h_cmp_br_if:
+            f, target = args
+            cond = self._cmp_expr(f, f"s{h - 2}", f"s{h - 1}")
+            emit(f"if {cond}:", 0)
+            self._jump(target, h - 2, emit, 1)
+            return h - 2
+        if handler is flat.h_br_adjust:
+            target, want, arity = args
+            self._moves(h, want, arity, emit, 0)
+            self._jump(target, want, emit, 0)
+            return None
+        if handler is flat.h_br_if_adjust:
+            target, want, arity = args
+            emit(f"if s{h - 1}:", 0)
+            self._moves(h - 1, want, arity, emit, 1)
+            self._jump(target, want, emit, 1)
+            return h - 1
+        if handler is flat.h_br_table:
+            table, default = args
+            emit(f"_i = s{h - 1}", 0)
+            for ci, (target, want, arity) in enumerate(table):
+                emit(f"{'if' if ci == 0 else 'elif'} _i == {ci}:", 0)
+                self._moves(h - 1, want, arity, emit, 1)
+                self._jump(target, want, emit, 1)
+            target, want, arity = default
+            if table:
+                emit("else:", 0)
+                self._moves(h - 1, want, arity, emit, 1)
+                self._jump(target, want, emit, 1)
+            else:
+                self._moves(h - 1, want, arity, emit, 0)
+                self._jump(target, want, emit, 0)
+            return None
+        raise _Unsupported(
+            f"control {getattr(handler, '__name__', handler)!r}"
+        )
+
+    def _emit_block(self, leader: int, out: List[str]) -> None:
+        pc = leader
+        h = self.heights[leader]
+        pending = 0
+
+        def emit(stmt: str, extra: int = 0) -> None:
+            out.append(" " * (16 + 4 * extra) + stmt)
+
+        while True:
+            handler, args, weight = self.code[pc]
+            if handler in _CONTROL:
+                total = pending + weight
+                if total:
+                    emit(f"_n += {total}")
+                pending = 0
+                h_after = self._emit_control(pc, handler, args, h, emit)
+                if h_after is None:
+                    return
+                h = h_after
+            else:
+                trapping, stmts, h_after = self._emit_simple(handler, args, h)
+                if trapping:
+                    total = pending + weight
+                    if total:
+                        emit(f"_n += {total}")
+                    pending = 0
+                else:
+                    pending += weight
+                for stmt in stmts:
+                    emit(stmt)
+                h = h_after
+            pc += 1
+            if pc in self.leaders:
+                if pending:
+                    emit(f"_n += {pending}")
+                emit(f"pc = {pc}")
+                emit("continue")
+                return
+
+    # -- top level -----------------------------------------------------------
+
+    def compile(self):
+        # Deferred import: interpreter.py imports this module at load
+        # time (for the metered-deopt counter); binding Frame lazily
+        # keeps the import graph acyclic.
+        from repro.wasm.runtime.interpreter import Frame
+
+        self._analyze()
+        self.binds.update(
+            WT=WasmTrap,
+            EE=ExhaustionError,
+            FR=Frame,
+            SE=V.sign_extend,
+            S32=V.signed32,
+            S64=V.signed64,
+            LD32=_U32.unpack_from,
+            LD64=_U64.unpack_from,
+            LF32=_F32.unpack_from,
+            LF64=_F64.unpack_from,
+            ST32=_U32.pack_into,
+            ST64=_U64.pack_into,
+            SF32=_F32.pack_into,
+            SF64=_F64.pack_into,
+            MISS=_IC_MISS.inc,
+            TMISS=_ic_type_mismatch,
+        )
+        body: List[str] = []
+        for bi, leader in enumerate(sorted(self.leaders)):
+            body.append(
+                f"            {'if' if bi == 0 else 'elif'} pc == {leader}:"
+            )
+            self._emit_block(leader, body)
+        # Bound objects ride in as keyword defaults so lookups inside the
+        # closure are LOAD_FAST, not module-global dict probes.
+        params = "".join(f", {k}={k}" for k in self.binds)
+        lines = [f"def _spec(interp, frame{params}):"]
+        if self.n_locals:
+            lines.append("    loc = frame.locals")
+            for i in range(self.n_locals):
+                lines.append(f"    l{i} = loc[{i}]")
+        lines.append("    store = interp.store")
+        lines.append("    inst = frame.instance")
+        if self.uses_memory:
+            lines.append("    mem = frame.mem")
+            lines.append("    data = mem.data")
+        lines.append("    _n = 0")
+        lines.append("    try:")
+        lines.append("        pc = 0")
+        lines.append("        while True:")
+        lines.extend(body)
+        lines.append("    finally:")
+        lines.append("        interp.instructions_executed += _n")
+        source = "\n".join(lines)
+        namespace = dict(self.binds)
+        exec(compile(source, f"<specialized:{self.name}>", "exec"), namespace)
+        fn = namespace["_spec"]
+        fn.__specialized_source__ = source  # introspection / tests
+        return fn
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+class SpecializeReport:
+    """Per-module pass statistics (tests and `repro inspect`)."""
+
+    __slots__ = ("folded", "fused", "elided", "ic_sites", "compiled", "bytecode")
+
+    def __init__(self) -> None:
+        self.folded = 0
+        self.fused = 0
+        self.elided = 0
+        self.ic_sites = 0
+        self.compiled = 0
+        self.bytecode = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+def _specialize_code(module, pf, fold_map, mem_min, report):
+    entries = list(pf.code)
+    targets = _branch_targets(pf.code)
+    for pc, (handler, args, weight) in enumerate(entries):
+        if handler is flat.h_global_get and args in fold_map:
+            entries[pc] = (flat.h_const, fold_map[args], weight)
+            report.folded += 1
+    entries, targets, fused = _peephole(entries, targets)
+    report.fused += fused
+    entries, elided = _elide_bounds(module, entries, targets, mem_min)
+    report.elided += elided
+    entries, ic_sites = _install_ics(entries)
+    report.ic_sites += ic_sites
+    code = tuple(entries)
+    total = sum(w for _h, _a, w in code)
+    assert total == pf.source_instrs, (
+        f"specialization changed instruction accounting for {pf.name!r}: "
+        f"{total} != {pf.source_instrs}"
+    )
+    return code
+
+
+def specialize_module(
+    module: Module,
+    mode: Optional[str] = None,
+    report: Optional[SpecializeReport] = None,
+) -> SpecializedModule:
+    """Specialize every defined function of ``module``.
+
+    Returns a digest-cacheable :class:`SpecializedModule`; call
+    ``.attach(module)`` to activate it (mirrors ``PreparedModule``).
+    Already-specialized attachments are unwrapped through ``fallback``
+    first, so re-specializing is idempotent, and any per-function pass
+    failure falls back to the unspecialized prepared code (counted as
+    outcome ``failed``) — specialization can lose performance, never
+    correctness.
+    """
+    mode = specialize_mode() if mode is None else mode
+    if mode not in ("on", "bytecode"):
+        raise ValueError(f"cannot specialize with mode {mode!r}")
+    started = time.perf_counter()
+    if report is None:
+        report = SpecializeReport()
+    fold_map = _foldable_globals(module)
+    mem_min = _memory_min_bytes(module)
+    functions: List[PreparedFunction] = []
+    for func in module.funcs:
+        pf = func.prepared
+        base = getattr(pf, "fallback", None)
+        if base is not None:
+            pf = base
+        if pf is None:
+            pf = prepare_function(module, func)
+            func.prepared = pf
+        try:
+            code = _specialize_code(module, pf, fold_map, mem_min, report)
+            sf = SpecializedFunction(code, pf)
+            if mode == "on":
+                try:
+                    sf.compiled = _ClosureCompiler(module, func, sf).compile()
+                except _Unsupported:
+                    sf.compiled = None
+        except Exception:
+            _FUNCS_TOTAL.labels("failed").inc()
+            functions.append(pf)
+            continue
+        if sf.compiled is not None:
+            report.compiled += 1
+            _FUNCS_TOTAL.labels("compiled").inc()
+        else:
+            report.bytecode += 1
+            _FUNCS_TOTAL.labels("bytecode").inc()
+        functions.append(sf)
+    _PASS_SECONDS.observe(time.perf_counter() - started)
+    return SpecializedModule(functions, mode)
+
+
+def specialize_counts() -> Dict[str, int]:
+    """Functional read of the tier's counters (tests, `repro inspect`)."""
+    return {
+        "functions_compiled": int(_FUNCS_TOTAL.labels("compiled").value),
+        "functions_bytecode": int(_FUNCS_TOTAL.labels("bytecode").value),
+        "functions_failed": int(_FUNCS_TOTAL.labels("failed").value),
+        "deopts_ic_miss": int(_IC_MISS.value),
+        "deopts_metered": int(METERED_DEOPT.value),
+    }

@@ -10,6 +10,7 @@ one pod's execution would let its fault draw answer for every pod.
 
 import pytest
 
+from repro.engines import cache as engine_cache
 from repro.engines.cache import (
     cache_rebuilds,
     cache_stats,
@@ -21,6 +22,7 @@ from repro.engines.cache import (
 from repro.engines import get_engine
 from repro.sim.faults import FaultPlan, FaultPoint, FaultSpec, fault_scope
 from repro.wasm import assemble_wat
+from repro.wasm.runtime import SpecializedFunction
 
 WAT = r"""
 (module
@@ -50,13 +52,14 @@ class TestCorruptRebuild:
             cached, _ = decode_cached(blob)  # rebuild budget spent → hit
         assert rebuilt is not module  # fresh decode, not the poisoned one
         assert cached is rebuilt
-        # decode_cached also services the prepare layer; both entries
-        # took their one rebuild and then went quiet.
+        # decode_cached also services the prepare and specialize layers;
+        # every entry took its one rebuild and then went quiet.
         assert cache_rebuilds() == {
             ("decode", digest): 1,
             ("prepare", digest): 1,
+            ("specialize", digest): 1,
         }
-        assert plan.count(FaultPoint.CACHE_CORRUPT) == 2
+        assert plan.count(FaultPoint.CACHE_CORRUPT) == 3
 
     def test_compile_hit_corrupted_rebuilds_once(self):
         blob = assemble_wat(WAT)
@@ -93,6 +96,51 @@ class TestCorruptRebuild:
         assert cache_rebuilds()
         reset_caches()
         assert cache_rebuilds() == {}
+
+
+class TestSpecializeCorrupt:
+    """``cache.corrupt`` on the specialized-code layer (PR 7)."""
+
+    def test_specialized_hit_corrupted_respecializes_once(self):
+        blob = assemble_wat(WAT)
+        module, digest = decode_cached(blob)
+        assert isinstance(module.funcs[0].prepared, SpecializedFunction)
+        with fault_scope(_always_corrupt(), "pod-1"):
+            rebuilt, _ = decode_cached(blob)  # corrupt → re-specialize
+            decode_cached(blob)  # rebuild budget spent → hit
+        # The rebuilt attachment is specialized again, not left baseline.
+        assert isinstance(rebuilt.funcs[0].prepared, SpecializedFunction)
+        assert cache_rebuilds()[("specialize", digest)] == 1
+
+    def test_pass_failure_falls_back_to_prepared(self, monkeypatch):
+        def boom(module, mode):
+            raise RuntimeError("specialization pass exploded")
+
+        monkeypatch.setattr(engine_cache, "specialize_module", boom)
+        blob = assemble_wat(WAT)
+        module, _ = decode_cached(blob)
+        # Unspecialized prepared code stays attached and nothing cached.
+        pf = module.funcs[0].prepared
+        assert pf is not None
+        assert not isinstance(pf, SpecializedFunction)
+        assert cache_stats()["specialize"]["entries"] == 0
+
+    def test_off_mode_skips_layer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPECIALIZE", "off")
+        blob = assemble_wat(WAT)
+        module, _ = decode_cached(blob)
+        assert not isinstance(module.funcs[0].prepared, SpecializedFunction)
+        assert cache_stats()["specialize"]["entries"] == 0
+
+    def test_mode_change_respecializes(self, monkeypatch):
+        blob = assemble_wat(WAT)
+        module, _ = decode_cached(blob)
+        assert module.funcs[0].prepared.compiled is not None  # default: on
+        monkeypatch.setenv("REPRO_SPECIALIZE", "bytecode")
+        module2, _ = decode_cached(blob)
+        sf = module2.funcs[0].prepared
+        assert isinstance(sf, SpecializedFunction)
+        assert sf.compiled is None
 
 
 class TestRunCacheBypass:

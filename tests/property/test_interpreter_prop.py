@@ -1,6 +1,7 @@
 """Property tests: interpreter numeric semantics vs Python reference,
-plus differential properties (flat interpreter vs reference tree-walker)
-over randomly generated straight-line/loop programs and fuel budgets."""
+plus differential properties (flat interpreter, specialized tiers, and
+reference tree-walker) over randomly generated straight-line/loop
+programs and fuel budgets."""
 
 import math
 
@@ -13,6 +14,8 @@ from repro.wasm.runtime import (
     ReferenceInterpreter,
     Store,
     instantiate,
+    prepare_module,
+    specialize_module,
 )
 from repro.wasm.runtime import values as V
 
@@ -164,8 +167,11 @@ def _gen_module(ops):
     """
 
 
-def _observe(cls, src, args, fuel):
+def _observe(cls, src, args, fuel, specialize=None):
     module = validate_module(parse_wat(src))
+    if specialize is not None:
+        prepare_module(module)
+        specialize_module(module, specialize).attach(module)
     store = Store()
     inst = instantiate(store, module)
     interp = cls(store, fuel=fuel)
@@ -195,3 +201,6 @@ def test_differential_random_programs(ops, n, seed, fuel):
     flat = _observe(Interpreter, src, (n, seed), fuel)
     ref = _observe(ReferenceInterpreter, src, (n, seed), fuel)
     assert flat == ref
+    for mode in ("bytecode", "on"):
+        spec = _observe(Interpreter, src, (n, seed), fuel, specialize=mode)
+        assert spec == ref, f"specialize={mode}: {spec} != {ref}"

@@ -1,9 +1,14 @@
-"""Differential testing: prepared flat interpreter vs reference tree-walker.
+"""Differential testing: prepared and specialized code vs the reference.
 
-Every case executes the same module through both interpreters and asserts
-identical observable behaviour: result values (including float bit
-patterns), trap type and message, fuel accounting, total
-``instructions_executed``, and final linear-memory contents.
+Every case executes the same module through the reference tree-walker,
+the prepared flat interpreter, and the specialization tier in both its
+modes (``bytecode``: folded/elided/IC'd flat code; ``on``: exec'd Python
+closures where compilable) and asserts identical observable behaviour:
+result values (including float bit patterns), trap type and message,
+fuel accounting, total ``instructions_executed``, and final
+linear-memory contents. Metered runs (``fuel`` set) exercise the
+specialized flat bytecode through the metered-deopt path; unmetered runs
+exercise the compiled closures.
 """
 
 import pytest
@@ -16,15 +21,21 @@ from repro.wasm.runtime import (
     ReferenceInterpreter,
     Store,
     instantiate,
+    prepare_module,
+    specialize_module,
 )
 from repro.workloads.microservice import build_microservice_wasm
 
 INTERPS = (Interpreter, ReferenceInterpreter)
+SPECIALIZE_MODES = ("bytecode", "on")
 
 
-def _observe(cls, src, func, args, fuel):
+def _observe(cls, src, func, args, fuel, specialize=None):
     """Run one interpreter; capture (outcome, instr count, fuel left, memory)."""
     module = validate_module(parse_wat(src))
+    if specialize is not None:
+        prepare_module(module)
+        specialize_module(module, specialize).attach(module)
     store = Store()
     inst = instantiate(store, module)
     interp = cls(store, fuel=fuel)
@@ -39,9 +50,12 @@ def _observe(cls, src, func, args, fuel):
 
 
 def check(src, func="run", args=(), fuel=None):
-    flat = _observe(Interpreter, src, func, args, fuel)
     ref = _observe(ReferenceInterpreter, src, func, args, fuel)
+    flat = _observe(Interpreter, src, func, args, fuel)
     assert flat == ref, f"\nflat: {flat}\nref : {ref}"
+    for mode in SPECIALIZE_MODES:
+        spec = _observe(Interpreter, src, func, args, fuel, specialize=mode)
+        assert spec == ref, f"\nspec({mode}): {spec}\nref : {ref}"
     return flat[0]
 
 
@@ -253,18 +267,30 @@ class TestFuelAgrees:
             check(src, args=(50,), fuel=fuel)
 
 
-def test_full_wasi_microservice_agrees():
-    blob = build_microservice_wasm()
-    results = []
-    for cls in INTERPS:
-        r = run_wasi(
-            blob,
-            args=["svc"],
-            env={"REQUESTS": "3"},
-            fuel=5_000_000,
-            interpreter_cls=cls,
-        )
-        results.append(
-            (r.exit_code, r.stdout, r.stderr, r.instructions, r.memory_bytes)
-        )
-    assert results[0] == results[1]
+@pytest.mark.parametrize("fuel", [None, 5_000_000])
+@pytest.mark.parametrize("spec_mode", ["off", "bytecode", "on"])
+def test_full_wasi_microservice_agrees(spec_mode, fuel, monkeypatch):
+    # The reference walks the AST and ignores specialization entirely, so
+    # it is a fixed oracle across all three modes; the flat interpreter
+    # picks up whatever the digest cache attached for the current mode.
+    from repro.engines.cache import reset_caches
+
+    monkeypatch.setenv("REPRO_SPECIALIZE", spec_mode)
+    reset_caches()
+    try:
+        blob = build_microservice_wasm()
+        results = []
+        for cls in INTERPS:
+            r = run_wasi(
+                blob,
+                args=["svc"],
+                env={"REQUESTS": "3"},
+                fuel=fuel,
+                interpreter_cls=cls,
+            )
+            results.append(
+                (r.exit_code, r.stdout, r.stderr, r.instructions, r.memory_bytes)
+            )
+        assert results[0] == results[1]
+    finally:
+        reset_caches()
