@@ -9,6 +9,7 @@ Subcommands mirror the tools a user of the real system would reach for:
 * ``chaos`` — the full-lifecycle chaos campaign with convergence invariants,
 * ``zygote`` — the snapshot-and-clone warm-start comparison,
 * ``figures`` — regenerate the paper's tables/figures,
+* ``series`` — list/validate/run declarative experiment series,
 * ``inspect`` — per-phase/per-layer breakdown of an exported trace file.
 
 The experiment subcommands accept ``--trace-out FILE`` and
@@ -227,22 +228,100 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     else:
         from repro.measure.parallel import DEFAULT_CACHE as cache
 
-    jobs = args.jobs
-    if telemetry and jobs != 1:
-        # Worker processes would keep their telemetry to themselves; run
-        # experiments in-process so the exported trace covers all of them.
-        print("telemetry export: forcing --jobs 1 (in-process experiments)")
-        jobs = 1
     if telemetry and cache is not None:
         # Cache hits skip simulation — and with it the telemetry the
-        # export is supposed to capture.
+        # export is supposed to capture. Worker telemetry itself merges
+        # back deterministically at any --jobs N.
         print("telemetry export: bypassing the measurement cache")
         cache = None
-    result = run_campaign(seed=args.seed, jobs=jobs, cache=cache)
+    result = run_campaign(
+        seed=args.seed, jobs=args.jobs, cache=cache, manifest=args.manifest
+    )
     print(render_campaign(result))
     if telemetry:
         _export_telemetry(args)
     return 0 if result.all_hold() else 1
+
+
+def _series_cache(args: argparse.Namespace):
+    from repro.measure.cache import MeasurementCache
+    from repro.measure.series import DEFAULT_CACHE
+
+    if getattr(args, "no_cache", False):
+        return None
+    if getattr(args, "cache_dir", None):
+        return MeasurementCache(pathlib.Path(args.cache_dir))
+    return DEFAULT_CACHE
+
+
+def _cmd_series(args: argparse.Namespace) -> int:
+    from repro.measure.series import (
+        SHIPPED_SERIES,
+        expand_series,
+        run_series,
+        validate_spec,
+    )
+
+    if args.action == "list":
+        for name in sorted(SHIPPED_SERIES):
+            cells = expand_series(name)
+            spec = validate_spec(name)
+            print(
+                f"{name:14s} {len(cells):3d} cells  kind={spec.get('kind', 'deploy'):8s} "
+                f"{spec.get('description', '')}"
+            )
+        return 0
+
+    if args.action == "validate":
+        names = args.names or sorted(SHIPPED_SERIES)
+        for name in names:
+            cells = expand_series(name)
+            keys = [cell.key for cell in cells]
+            if len(set(keys)) != len(keys):
+                print(f"{name}: duplicate cells after expansion", file=sys.stderr)
+                return 2
+            print(f"{name}: ok ({len(cells)} cells)")
+        return 0
+
+    # run
+    if not args.names:
+        print("series run: name required (see `repro series list`)", file=sys.stderr)
+        return 2
+    telemetry = _enable_telemetry(args)
+    cache = _series_cache(args)
+    if telemetry and cache is not None:
+        print("telemetry export: bypassing the measurement cache")
+        cache = None
+    exit_code = 0
+    for name in args.names:
+        result = run_series(
+            name,
+            seed=args.seed,
+            jobs=args.jobs,
+            cache=cache,
+            manifest=args.manifest,
+            on_cell=lambda cell, _m: print(f"  done {cell.key}"),
+        )
+        fresh = len(result.results) - len(result.resumed)
+        print(
+            f"{name}: {len(result.results)}/{len(result.cells)} cells "
+            f"({len(result.resumed)} from cache, {fresh} simulated)"
+        )
+        for cell in result.cells:
+            m = result.results.get(cell.key)
+            if cell.kind == "deploy" and m is not None:
+                print(
+                    f"  {cell.key:42s} mem={m.metrics_mib:8.2f} MiB  "
+                    f"startup={m.startup_seconds:7.2f} s"
+                )
+        for cell in result.cells:
+            m = result.results.get(cell.key)
+            ok = getattr(m, "converged", None)
+            if ok is False or getattr(m, "all_hold", lambda: True)() is False:
+                exit_code = 1
+    if telemetry:
+        _export_telemetry(args)
+    return exit_code
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
@@ -288,7 +367,11 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         gen_name, render_name = _FIGURES[fig_id]
         generator = getattr(figmod, gen_name)
         renderer = getattr(repmod, render_name)
-        data = generator() if fig_id.startswith("table") else generator(seed=args.seed)
+        data = (
+            generator()
+            if fig_id.startswith("table")
+            else generator(seed=args.seed, jobs=args.jobs)
+        )
         print(renderer(data))
         print()
     return 0
@@ -396,8 +479,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="simulate every experiment even if cached",
     )
+    p.add_argument(
+        "--manifest", default=None, metavar="FILE",
+        help="series manifest: checkpoint per completed cell; an "
+             "interrupted campaign re-run resumes from it",
+    )
     _add_telemetry_flags(p)
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "series",
+        help="declarative experiment series: list, validate, or run them",
+    )
+    p.add_argument(
+        "action", choices=("list", "validate", "run"),
+        help="list shipped series, expand+validate specs, or execute",
+    )
+    p.add_argument("names", nargs="*", metavar="NAME", help="series names")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="experiment worker processes (0 = auto-detect CPU count)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="measurement cache directory",
+    )
+    p.add_argument("--no-cache", action="store_true")
+    p.add_argument(
+        "--manifest", default=None, metavar="FILE",
+        help="checkpoint per completed cell for resumable runs",
+    )
+    _add_telemetry_flags(p)
+    p.set_defaults(func=_cmd_series)
 
     p = sub.add_parser(
         "inspect", help="per-phase/per-layer breakdown of an exported trace"
@@ -422,6 +536,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("figures", help="regenerate paper tables/figures")
     p.add_argument("ids", nargs="*", metavar="FIG", help="e.g. fig3 fig9 (default: all)")
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="fan the figure cells over worker processes "
+             "(0 = auto-detect CPU count)",
+    )
     p.set_defaults(func=_cmd_figures)
 
     return parser

@@ -150,6 +150,17 @@ class AdmissionRejected(ContainerError):
 
 
 # --------------------------------------------------------------------------
+# Measurement / campaign engine
+# --------------------------------------------------------------------------
+
+
+class SeriesError(ReproError):
+    """Invalid experiment-series spec, or a campaign-engine failure
+    (schema violation, inheritance cycle, dead worker pool, manifest
+    mismatch)."""
+
+
+# --------------------------------------------------------------------------
 # Kubernetes
 # --------------------------------------------------------------------------
 

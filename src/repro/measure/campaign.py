@@ -19,7 +19,7 @@ from repro.core.integration import (
     RUNWASI_CONFIGS,
 )
 from repro.measure.experiment import DENSITIES, DeploymentMeasurement
-from repro.measure.parallel import DEFAULT_CACHE, run_matrix
+from repro.measure.series import DEFAULT_CACHE, run_series
 from repro.measure.stats import percent_lower
 
 
@@ -52,20 +52,28 @@ class CampaignResult:
         return all(c.holds for c in self.claims)
 
 
-def run_campaign(seed: int = 1, jobs: int = 1, cache=DEFAULT_CACHE) -> CampaignResult:
+def run_campaign(
+    seed: int = 1, jobs: int = 1, cache=DEFAULT_CACHE, manifest=None
+) -> CampaignResult:
     """Execute the full matrix and evaluate the §IV-F headline claims.
 
-    ``jobs`` > 1 fans the 27 independent experiments out over worker
-    processes (0 = auto-detect); results merge deterministically, so the
-    summary is byte-identical at any worker count. ``cache=None`` bypasses
-    the persistent measurement cache.
+    Runs the shipped declarative ``campaign`` series (every runtime
+    configuration × density) through the campaign engine: ``jobs`` > 1
+    fans the 27 independent experiments out over a persistent warm-worker
+    pool (0 = auto-detect); results and telemetry merge
+    deterministically, so the summary is byte-identical at any worker
+    count. ``cache=None`` bypasses the persistent measurement cache;
+    ``manifest`` (a path) checkpoints per-cell completion so an
+    interrupted campaign resumes where it stopped.
     """
-    measurements = run_matrix(
-        [(config, n) for config in RUNTIME_CONFIGS for n in DENSITIES],
-        seed=seed,
-        jobs=jobs,
-        cache=cache,
+    series = run_series(
+        "campaign", seed=seed, jobs=jobs, cache=cache, manifest=manifest
     )
+    measurements = {
+        (config, n): series.measurements[(config, n)]
+        for config in RUNTIME_CONFIGS
+        for n in DENSITIES
+    }
     result = CampaignResult(measurements=measurements)
     ours = CRUN_WAMR_CONFIG
 

@@ -140,6 +140,8 @@ DENSITIES = (10, 100, 400)
 
 @lru_cache(maxsize=None)
 def _cached_measurement(seed: int, config: str, count: int) -> DeploymentMeasurement:
+    import time
+
     from repro.measure.cache import default_cache  # deferred: avoids cycle
 
     store = default_cache()
@@ -147,9 +149,11 @@ def _cached_measurement(seed: int, config: str, count: int) -> DeploymentMeasure
         hit = store.get(seed, config, count)
         if hit is not None:
             return hit
+    t0 = time.perf_counter()
     m = ExperimentRunner(seed=seed).run(config, count)
+    wall = time.perf_counter() - t0
     if store is not None:
-        store.put(seed, config, count, m)
+        store.put(seed, config, count, m, wall_seconds=wall)
     return m
 
 

@@ -54,6 +54,19 @@ class FigureSeries:
         return best, others[best]
 
 
+def _prefetch(seed: int, jobs: int):
+    """Run the shipped ``figures`` series (all cells behind Figs 3-10)
+    through the campaign engine when ``jobs != 1``; returns the
+    ``(config, count) -> measurement`` map the per-figure slicers read.
+    ``jobs == 1`` returns None and figures fall back to the in-process
+    :func:`measure` memo, exactly as before."""
+    if jobs == 1:
+        return None
+    from repro.measure.series import run_series
+
+    return run_series("figures", seed=seed, jobs=jobs).measurements
+
+
 def _memory_series(
     figure_id: str,
     title: str,
@@ -61,12 +74,16 @@ def _memory_series(
     channel: str,
     densities: Tuple[int, ...] = DENSITIES,
     seed: int = 1,
+    measurements=None,
 ) -> FigureSeries:
     values: Dict[str, Dict[int, float]] = {}
     for config in configs:
         values[config] = {}
         for n in densities:
-            m = measure(config, n, seed=seed)
+            if measurements is not None:
+                m = measurements[(config, n)]
+            else:
+                m = measure(config, n, seed=seed)
             values[config][n] = m.metrics_mib if channel == "metrics" else m.free_mib
     return FigureSeries(
         figure_id=figure_id,
@@ -77,9 +94,17 @@ def _memory_series(
     )
 
 
-def _startup_series(figure_id: str, title: str, density: int, seed: int = 1) -> FigureSeries:
+def _startup_series(
+    figure_id: str, title: str, density: int, seed: int = 1, measurements=None
+) -> FigureSeries:
     values = {
-        config: {density: measure(config, density, seed=seed).startup_seconds}
+        config: {
+            density: (
+                measurements[(config, density)]
+                if measurements is not None
+                else measure(config, density, seed=seed)
+            ).startup_seconds
+        }
         for config in RUNTIME_CONFIGS
     }
     return FigureSeries(
@@ -94,7 +119,7 @@ def _startup_series(figure_id: str, title: str, density: int, seed: int = 1) -> 
 # -- memory figures ------------------------------------------------------------
 
 
-def fig3_crun_memory_metrics(seed: int = 1) -> FigureSeries:
+def fig3_crun_memory_metrics(seed: int = 1, jobs: int = 1) -> FigureSeries:
     """Fig 3: Wasm runtimes in crun, per-container memory (metrics server)."""
     return _memory_series(
         "fig3",
@@ -103,10 +128,11 @@ def fig3_crun_memory_metrics(seed: int = 1) -> FigureSeries:
         CRUN_WASM_CONFIGS,
         channel="metrics",
         seed=seed,
+        measurements=_prefetch(seed, jobs),
     )
 
 
-def fig4_crun_memory_free(seed: int = 1) -> FigureSeries:
+def fig4_crun_memory_free(seed: int = 1, jobs: int = 1) -> FigureSeries:
     """Fig 4: same deployments, measured by the OS (`free`)."""
     return _memory_series(
         "fig4",
@@ -115,10 +141,11 @@ def fig4_crun_memory_free(seed: int = 1) -> FigureSeries:
         CRUN_WASM_CONFIGS,
         channel="free",
         seed=seed,
+        measurements=_prefetch(seed, jobs),
     )
 
 
-def fig5_runwasi_memory_free(seed: int = 1) -> FigureSeries:
+def fig5_runwasi_memory_free(seed: int = 1, jobs: int = 1) -> FigureSeries:
     """Fig 5: ours vs the runwasi shims (`free`)."""
     return _memory_series(
         "fig5",
@@ -127,10 +154,11 @@ def fig5_runwasi_memory_free(seed: int = 1) -> FigureSeries:
         [CRUN_WAMR_CONFIG, *RUNWASI_CONFIGS],
         channel="free",
         seed=seed,
+        measurements=_prefetch(seed, jobs),
     )
 
 
-def fig6_python_memory_metrics(seed: int = 1) -> FigureSeries:
+def fig6_python_memory_metrics(seed: int = 1, jobs: int = 1) -> FigureSeries:
     """Fig 6: ours vs Python containers (metrics server).
 
     Includes shim-wasmtime, which §IV-D singles out as the second-most
@@ -143,10 +171,11 @@ def fig6_python_memory_metrics(seed: int = 1) -> FigureSeries:
         [CRUN_WAMR_CONFIG, "shim-wasmtime", *PYTHON_CONFIGS],
         channel="metrics",
         seed=seed,
+        measurements=_prefetch(seed, jobs),
     )
 
 
-def fig7_python_memory_free(seed: int = 1) -> FigureSeries:
+def fig7_python_memory_free(seed: int = 1, jobs: int = 1) -> FigureSeries:
     """Fig 7: ours vs Python containers (`free`)."""
     return _memory_series(
         "fig7",
@@ -155,30 +184,39 @@ def fig7_python_memory_free(seed: int = 1) -> FigureSeries:
         [CRUN_WAMR_CONFIG, "shim-wasmtime", *PYTHON_CONFIGS],
         channel="free",
         seed=seed,
+        measurements=_prefetch(seed, jobs),
     )
 
 
 # -- startup figures ------------------------------------------------------------------
 
 
-def fig8_startup_10(seed: int = 1) -> FigureSeries:
+def fig8_startup_10(seed: int = 1, jobs: int = 1) -> FigureSeries:
     """Fig 8: time to start 10 concurrent containers' workloads."""
     return _startup_series(
-        "fig8", "Time to start 10 concurrent containers' workload executions", 10, seed
+        "fig8",
+        "Time to start 10 concurrent containers' workload executions",
+        10,
+        seed,
+        measurements=_prefetch(seed, jobs),
     )
 
 
-def fig9_startup_400(seed: int = 1) -> FigureSeries:
+def fig9_startup_400(seed: int = 1, jobs: int = 1) -> FigureSeries:
     """Fig 9: time to start 400 concurrent containers' workloads."""
     return _startup_series(
-        "fig9", "Time to start 400 concurrent containers' workload executions", 400, seed
+        "fig9",
+        "Time to start 400 concurrent containers' workload executions",
+        400,
+        seed,
+        measurements=_prefetch(seed, jobs),
     )
 
 
 # -- overview -----------------------------------------------------------------------------
 
 
-def fig10_overview(seed: int = 1) -> FigureSeries:
+def fig10_overview(seed: int = 1, jobs: int = 1) -> FigureSeries:
     """Fig 10: memory per container, all runtimes, averaged over densities."""
     series = _memory_series(
         "fig10",
@@ -187,6 +225,7 @@ def fig10_overview(seed: int = 1) -> FigureSeries:
         list(RUNTIME_CONFIGS),
         channel="free",
         seed=seed,
+        measurements=_prefetch(seed, jobs),
     )
     return series
 

@@ -3,41 +3,43 @@
 The §IV campaign is 9 configurations × 3 densities = 27 *independent*
 seeded experiments; nothing about them shares state (each builds its own
 cluster), so they parallelize embarrassingly. :func:`run_matrix` runs a
-(config, density) work list across a process pool, merges results
-deterministically by key (workers race, the merge order never does), and
-reads/writes the persistent :mod:`repro.measure.cache` so warm re-runs
-skip simulation entirely.
+(config, density) work list through the campaign engine
+(:mod:`repro.measure.series`): cache hits short-circuit, misses are
+scheduled longest-expected-cost-first over a **persistent warm-worker
+pool** (:mod:`repro.measure.pool`) whose forked workers inherit
+pre-warmed engine caches and keep them hot across cells, and results —
+including per-cell telemetry deltas — merge deterministically in the
+caller's pair order (workers race, the merge order never does).
 
 ``jobs=1`` stays fully in-process and shares the module-level experiment
 memo (`repro.measure.experiment.measure`) with the figure generators —
 the default for library callers and tests. The CLI auto-detects
 ``--jobs`` from the CPU count.
+
+:func:`legacy_run_matrix` preserves the PR 3 runner verbatim — a
+throwaway ``ProcessPoolExecutor`` that cold-starts every worker — as the
+recorded baseline ``benchmarks/test_campaign2.py`` measures the engine
+against.
 """
 
 from __future__ import annotations
 
-import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.measure.cache import MeasurementCache, default_cache
 from repro.measure.experiment import DeploymentMeasurement, ExperimentRunner, measure
+from repro.measure.series import Cell, DEFAULT_CACHE, auto_jobs, execute_cells
 
-#: sentinel: "use the ambient default cache" (an explicit None disables)
-DEFAULT_CACHE = object()
+__all__ = [
+    "DEFAULT_CACHE",
+    "MatrixKey",
+    "auto_jobs",
+    "legacy_run_matrix",
+    "run_matrix",
+]
 
 MatrixKey = Tuple[str, int]
-
-
-def auto_jobs() -> int:
-    """Worker count when the caller asks for auto-detection."""
-    return os.cpu_count() or 1
-
-
-def _run_one(task: Tuple[int, str, int]) -> DeploymentMeasurement:
-    """Pool worker: one full deployment experiment (top-level for pickling)."""
-    seed, config, count = task
-    return ExperimentRunner(seed=seed).run(config, count)
 
 
 def run_matrix(
@@ -50,8 +52,43 @@ def run_matrix(
 
     Results are keyed by pair and merged in the caller's pair order
     regardless of worker completion order. Cache hits (same source tree,
-    seed, config, density) are returned without simulating; misses are
-    simulated and written back.
+    toggles, seed, config, density) are returned without simulating;
+    misses are simulated and written back. With telemetry enabled, the
+    workers' metrics/span deltas merge back deterministically, so
+    ``--trace-out``/``--metrics-out`` work at any ``--jobs N``.
+    """
+    pairs = list(dict.fromkeys(pairs))
+    cells = [
+        Cell(series="matrix", kind="deploy", config=config, count=count, seed=seed)
+        for config, count in pairs
+    ]
+    results, _ = execute_cells(cells, jobs=jobs, cache=cache)
+    return {
+        (cell.config, cell.count): results[cell.key] for cell in cells
+    }
+
+
+# -- PR 3 baseline (kept verbatim for benchmarks) ------------------------------
+
+
+def _run_one(task: Tuple[int, str, int]) -> DeploymentMeasurement:
+    """Pool worker: one full deployment experiment (top-level for pickling)."""
+    seed, config, count = task
+    return ExperimentRunner(seed=seed).run(config, count)
+
+
+def legacy_run_matrix(
+    pairs: Iterable[MatrixKey],
+    seed: int = 1,
+    jobs: int = 1,
+    cache=DEFAULT_CACHE,
+) -> Dict[MatrixKey, DeploymentMeasurement]:
+    """The PR 3 runner: one throwaway ``ProcessPoolExecutor`` per call.
+
+    Every worker cold-starts the engine caches and rebuilds the workload
+    images; telemetry recorded in workers is lost. Retained unchanged as
+    the baseline the campaign-engine benchmark quantifies its speedup
+    against — not for new callers.
     """
     pairs = list(dict.fromkeys(pairs))
     if jobs <= 0:
@@ -63,8 +100,6 @@ def run_matrix(
     results: Dict[MatrixKey, DeploymentMeasurement] = {}
     misses: List[MatrixKey] = []
     if jobs == 1:
-        # In-process path: measure() already layers the lru memo over the
-        # disk cache, so just respect an explicit cache=None override.
         if store is None:
             return {
                 (config, count): ExperimentRunner(seed=seed).run(config, count)

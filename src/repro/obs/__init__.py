@@ -53,6 +53,9 @@ __all__ = [
     "context_labels",
     "span_sink",
     "tagged_spans",
+    "span_watermark",
+    "span_groups_since",
+    "adopt_span_groups",
     "reset",
 ]
 
@@ -150,6 +153,51 @@ def span_sink(cid: Optional[int] = None) -> Callable[[object], None]:
 def tagged_spans() -> List[Tuple[int, "object"]]:
     """Every span mirrored into the global trace, in record order."""
     return list(_spans)
+
+
+# -- cross-process trace merge (campaign-engine worker pools) ------------------
+#
+# A pool worker cannot share the parent's context-id counter, so worker
+# spans travel back *grouped by context label* and the parent re-numbers
+# them with its own :func:`new_context`. Replaying groups in sequential
+# cell order reproduces the exact context ids and span order a
+# ``--jobs 1`` run would have assigned, making trace exports byte-stable
+# across ``--jobs N``.
+
+
+def span_watermark() -> int:
+    """Marker into the global span log (pair with :func:`span_groups_since`)."""
+    return len(_spans)
+
+
+def span_groups_since(mark: int) -> List[Tuple[str, List[object]]]:
+    """Spans recorded after ``mark``, grouped by context label.
+
+    Groups are ordered by first appearance, spans within a group in
+    record order — the shape :func:`adopt_span_groups` replays.
+    """
+    groups: List[Tuple[str, List[object]]] = []
+    index: Dict[int, int] = {}
+    for cid, span in _spans[mark:]:
+        pos = index.get(cid)
+        if pos is None:
+            index[cid] = len(groups)
+            groups.append((_contexts.get(cid, "default"), [span]))
+        else:
+            groups[pos][1].append(span)
+    return groups
+
+
+def adopt_span_groups(groups: Sequence[Tuple[str, Sequence[object]]]) -> None:
+    """Replay another process's span groups into this process's trace.
+
+    Each group opens a fresh context here (parent numbering), then its
+    spans append in order.
+    """
+    for label, spans in groups:
+        cid = new_context(label)
+        for span in spans:
+            _spans.append((cid, span))
 
 
 def reset() -> None:

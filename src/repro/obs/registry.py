@@ -271,3 +271,109 @@ class MetricsRegistry:
         for family in self._families.values():
             family.reset()
         self.events = 0
+
+    # -- mergeable state (campaign-engine worker pools) --------------------
+
+    def state(self) -> dict:
+        """Picklable snapshot of every family's values.
+
+        The shape round-trips through :meth:`delta_since` /
+        :meth:`merge_delta`: a worker snapshots before running a cell,
+        computes the delta after, and ships the delta back; the parent
+        merges deltas in caller cell order, which reproduces the exact
+        totals a sequential (``--jobs 1``) run would have produced.
+        """
+        families = {}
+        for name, family in self._families.items():
+            children = {}
+            for key, child in family._children.items():
+                if family.kind == "histogram":
+                    children[key] = (
+                        tuple(child.bucket_counts),  # type: ignore[union-attr]
+                        child.sum,  # type: ignore[union-attr]
+                        child.count,  # type: ignore[union-attr]
+                    )
+                else:
+                    children[key] = child.value  # type: ignore[union-attr]
+            families[name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "labelnames": family.labelnames,
+                "buckets": family.buckets,
+                "children": children,
+            }
+        return {"events": self.events, "families": families}
+
+    def delta_since(self, base: dict) -> dict:
+        """Difference between the current state and a prior :meth:`state`.
+
+        Counters and histograms subtract (they only grow); gauges carry
+        their final value plus a *touched* marker so a merge applies
+        last-writer-wins set semantics. Families and children that did
+        not change are included anyway when newly registered, so merging
+        a delta also propagates registrations (a family a worker created
+        must exist in the parent's export even if every value is zero).
+        """
+        base_families = base.get("families", {})
+        families = {}
+        for name, family in self._families.items():
+            base_children = base_families.get(name, {}).get("children", {})
+            is_new_family = name not in base_families
+            children = {}
+            for key, child in family._children.items():
+                if family.kind == "histogram":
+                    prev = base_children.get(key, ((0,) * len(family.buckets), 0.0, 0))
+                    dbuckets = tuple(
+                        n - p
+                        for n, p in zip(child.bucket_counts, prev[0])  # type: ignore[union-attr]
+                    )
+                    dsum = child.sum - prev[1]  # type: ignore[union-attr]
+                    dcount = child.count - prev[2]  # type: ignore[union-attr]
+                    if dcount or dsum or key not in base_children:
+                        children[key] = (dbuckets, dsum, dcount)
+                elif family.kind == "counter":
+                    dv = child.value - base_children.get(key, 0.0)  # type: ignore[union-attr]
+                    if dv or key not in base_children:
+                        children[key] = dv
+                else:  # gauge: final value + touched marker
+                    value = child.value  # type: ignore[union-attr]
+                    if key not in base_children or value != base_children[key]:
+                        children[key] = value
+            if children or is_new_family:
+                families[name] = {
+                    "kind": family.kind,
+                    "help": family.help,
+                    "labelnames": family.labelnames,
+                    "buckets": family.buckets,
+                    "children": children,
+                }
+        return {"events": self.events - base.get("events", 0), "families": families}
+
+    def merge_delta(self, delta: dict) -> None:
+        """Fold a :meth:`delta_since` result into this registry.
+
+        Counter/histogram deltas add; gauge entries set. Applying the
+        per-cell deltas of a run in the sequential cell order yields the
+        exact registry a ``--jobs 1`` run would have built.
+        """
+        for name, spec in delta.get("families", {}).items():
+            family = self._get_or_create(
+                name, spec["kind"], spec["help"], spec["labelnames"], spec["buckets"]
+            )
+            if family.buckets != tuple(spec["buckets"]):
+                raise SimulationError(
+                    f"metric {name!r}: bucket mismatch merging worker delta"
+                )
+            for key, payload in spec["children"].items():
+                child = family.labels(*key)
+                if spec["kind"] == "histogram":
+                    dbuckets, dsum, dcount = payload
+                    for i, n in enumerate(dbuckets):
+                        child.bucket_counts[i] += n  # type: ignore[union-attr]
+                    child.sum += dsum  # type: ignore[union-attr]
+                    child.count += dcount  # type: ignore[union-attr]
+                elif spec["kind"] == "counter":
+                    child.value += payload  # type: ignore[union-attr]
+                else:
+                    child.value = payload  # type: ignore[union-attr]
+        self.events += delta.get("events", 0)

@@ -1,6 +1,15 @@
-"""OCI image builders for the benchmark workloads."""
+"""OCI image builders for the benchmark workloads.
+
+Both builders are memoized: images are immutable once built (frozen
+layers, digest-addressed), every cluster pushes the *same* two images,
+and the Python image joins a 7.4 MiB stdlib layer — rebuilding it per
+cluster costs ~17 ms × 27 cells per campaign for identical bytes. A
+warm-worker pool forked after one build inherits the memo for free.
+"""
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 from repro.oci.annotations import WASM_VARIANT_ANNOTATION, WASM_VARIANT_COMPAT
 from repro.oci.image import Image, ImageConfig, Layer
@@ -15,6 +24,7 @@ PYTHON_IMAGE_REF = "registry.local/microservice:python"
 _PYTHON_STDLIB_BYTES = int(7.4 * 1024 * 1024)
 
 
+@lru_cache(maxsize=None)
 def build_wasm_image(reference: str = WASM_IMAGE_REF) -> Image:
     """Single-layer image whose entrypoint is the microservice module."""
     layer = Layer.from_files({"app/main.wasm": build_microservice_wasm()})
@@ -26,6 +36,7 @@ def build_wasm_image(reference: str = WASM_IMAGE_REF) -> Image:
     return Image(reference=reference, config=config, layers=[layer])
 
 
+@lru_cache(maxsize=None)
 def build_python_image(reference: str = PYTHON_IMAGE_REF) -> Image:
     """python:3-slim-alike image carrying the equivalent app."""
     base = Layer.from_files(

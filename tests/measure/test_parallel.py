@@ -9,9 +9,10 @@ from repro.measure.cache import (
     measurement_from_dict,
     measurement_to_dict,
     source_tree_digest,
+    toggle_fingerprint,
 )
 from repro.measure.experiment import ExperimentRunner, measure
-from repro.measure.parallel import auto_jobs, run_matrix
+from repro.measure.parallel import auto_jobs, legacy_run_matrix, run_matrix
 
 PAIRS = [("crun-wamr", 10), ("crun-python", 10)]
 
@@ -44,6 +45,12 @@ class TestRunMatrix:
     def test_auto_jobs_positive(self):
         assert auto_jobs() >= 1
 
+    def test_legacy_runner_matches_engine(self, sequential, tmp_path):
+        legacy = legacy_run_matrix(
+            PAIRS, seed=1, jobs=2, cache=MeasurementCache(tmp_path / "legacy")
+        )
+        assert legacy == sequential
+
 
 class TestMeasurementCache:
     def test_roundtrip_is_exact(self, sequential, tmp_path):
@@ -72,6 +79,41 @@ class TestMeasurementCache:
         payload = json.loads(entry.read_text())
         assert payload["source_digest"] == source_tree_digest()
 
+    def test_toggle_flip_is_a_cache_miss(self, sequential, tmp_path, monkeypatch):
+        """A run cached under one REPRO_* toggle combination must never be
+        served under another: the toggles are part of the cache key."""
+        cache = MeasurementCache(tmp_path / "cache")
+        m = sequential[("crun-wamr", 10)]
+        cache.put(1, "crun-wamr", 10, m)
+        assert cache.get(1, "crun-wamr", 10) == m
+        baseline = toggle_fingerprint()
+        for env, value in (
+            ("REPRO_SPECIALIZE", "off"),
+            ("REPRO_ZYGOTE", "off"),
+            ("REPRO_MEMORY_ACCOUNTING", "reference"),
+        ):
+            monkeypatch.setenv(env, value)
+            assert toggle_fingerprint() != baseline, env
+            assert cache.get(1, "crun-wamr", 10) is None, env
+            monkeypatch.delenv(env)
+        assert cache.get(1, "crun-wamr", 10) == m
+
+    def test_equivalent_toggle_spellings_share_entries(self, sequential, tmp_path, monkeypatch):
+        cache = MeasurementCache(tmp_path / "cache")
+        m = sequential[("crun-wamr", 10)]
+        cache.put(1, "crun-wamr", 10, m)
+        # Explicit defaults fingerprint identically to unset toggles.
+        monkeypatch.setenv("REPRO_SPECIALIZE", "on")
+        monkeypatch.setenv("REPRO_MEMORY_ACCOUNTING", "incremental")
+        assert cache.get(1, "crun-wamr", 10) == m
+
+    def test_wall_seconds_recorded_for_cost_estimates(self, sequential, tmp_path):
+        cache = MeasurementCache(tmp_path / "cache")
+        m = sequential[("crun-wamr", 10)]
+        assert cache.cost_estimate(1, "crun-wamr", 10) is None
+        cache.put(1, "crun-wamr", 10, m, wall_seconds=0.125)
+        assert cache.cost_estimate(1, "crun-wamr", 10) == 0.125
+
     def test_warm_run_skips_simulation(self, sequential, tmp_path, monkeypatch):
         cache = MeasurementCache(tmp_path / "cache")
         for (config, count), m in sequential.items():
@@ -83,6 +125,77 @@ class TestMeasurementCache:
         monkeypatch.setattr(ExperimentRunner, "run", boom)
         warm = run_matrix(PAIRS, seed=1, jobs=2, cache=cache)
         assert warm == sequential
+
+
+class TestTelemetryMerge:
+    """--trace-out/--metrics-out work at any --jobs N (satellite fix).
+
+    Workers ship per-cell registry deltas and span groups; the parent
+    merges them in sequential cell order. Simulation-driven counters and
+    the trace export must be byte-identical to a --jobs 1 run. Families
+    that track *process* state — engine-cache hit/miss stats,
+    specialization/zygote warmth counters — are excluded: they differ
+    even between two successive --jobs 1 runs in one process.
+    """
+
+    WARMTH_PREFIXES = ("repro_engine_cache", "repro_specialize", "repro_zygote")
+
+    @pytest.fixture()
+    def telemetry(self):
+        from repro import obs
+
+        was = obs.enabled()
+        obs.set_enabled(True)
+        obs.reset()
+        yield obs
+        obs.reset()
+        obs.set_enabled(was)
+
+    def _deterministic_counters(self, obs):
+        out = {}
+        for family in obs.default_registry().collect():
+            if family.kind != "counter":
+                continue
+            if family.name.startswith(self.WARMTH_PREFIXES):
+                continue
+            out[family.name] = {
+                labels: child.value for labels, child in family.samples()
+            }
+        return out
+
+    def test_parallel_merge_equals_sequential_totals(self, telemetry):
+        import json
+
+        from repro.obs.export import chrome_trace
+
+        obs = telemetry
+        seq = run_matrix(PAIRS, seed=1, jobs=1, cache=None)
+        seq_counters = self._deterministic_counters(obs)
+        seq_trace = json.dumps(
+            chrome_trace(obs.tagged_spans(), obs.context_labels()), sort_keys=True
+        )
+        seq_contexts = obs.context_labels()
+        assert seq_counters, "sequential run recorded no counters"
+
+        obs.reset()
+        par = run_matrix(PAIRS, seed=1, jobs=2, cache=None)
+        par_counters = self._deterministic_counters(obs)
+        par_trace = json.dumps(
+            chrome_trace(obs.tagged_spans(), obs.context_labels()), sort_keys=True
+        )
+
+        assert par == seq
+        assert obs.context_labels() == seq_contexts
+        assert par_counters == seq_counters
+        assert par_trace == seq_trace
+
+    def test_registry_families_survive_merge(self, telemetry):
+        obs = telemetry
+        run_matrix([("crun-wamr", 10)], seed=1, jobs=2, cache=None)
+        names = {family.name for family in obs.default_registry().collect()}
+        # Worker-side registrations propagate through the merged deltas.
+        assert "repro_scheduler_placements_total" in names
+        assert "repro_kubelet_pod_syncs_total" in names
 
 
 class TestAuditModeExperiments:

@@ -1,0 +1,128 @@
+"""Mergeable registry state: the worker-pool telemetry protocol.
+
+A pool worker snapshots ``state()`` before a cell, computes
+``delta_since()`` after, and ships the (picklable) delta back; the
+parent folds the deltas in sequential cell order with ``merge_delta()``.
+These tests pin the protocol's algebra without running any simulation.
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs.export import prometheus_text
+from repro.obs.registry import MetricsRegistry
+
+
+def _workload_a(reg):
+    reg.counter("tasks_total", "tasks", labelnames=("kind",)).labels("deploy").inc(3)
+    reg.histogram("lat_seconds", "latency", buckets=(0.1, 1.0)).observe(0.5)
+    reg.gauge("inflight", "in flight").set(7)
+
+
+def _workload_b(reg):
+    reg.counter("tasks_total", "tasks", labelnames=("kind",)).labels("deploy").inc(2)
+    reg.counter("tasks_total", "tasks", labelnames=("kind",)).labels("chaos").inc()
+    reg.histogram("lat_seconds", "latency", buckets=(0.1, 1.0)).observe(5.0)
+    reg.gauge("inflight", "in flight").set(2)
+
+
+class TestDeltaAlgebra:
+    def test_delta_of_unchanged_registry_is_empty(self):
+        reg = MetricsRegistry()
+        _workload_a(reg)
+        base = reg.state()
+        delta = reg.delta_since(base)
+        assert delta["events"] == 0
+        assert delta["families"] == {}
+
+    def test_delta_captures_only_new_activity(self):
+        reg = MetricsRegistry()
+        _workload_a(reg)
+        base = reg.state()
+        _workload_b(reg)
+        delta = reg.delta_since(base)
+        children = delta["families"]["tasks_total"]["children"]
+        assert children[("deploy",)] == 2  # 5 total minus 3 at snapshot
+        assert children[("chaos",)] == 1
+        buckets, dsum, dcount = delta["families"]["lat_seconds"]["children"][()]
+        assert dcount == 1 and dsum == 5.0
+        assert buckets == (0, 0)  # 5.0 overflows every finite bucket
+
+    def test_new_family_registration_propagates_even_when_zero(self):
+        reg = MetricsRegistry()
+        base = reg.state()
+        reg.counter("quiet_total", "registered but never incremented")
+        delta = reg.delta_since(base)
+        # The labelless child rides along at zero so the parent's export
+        # shows the family exactly as the worker's would.
+        assert delta["families"]["quiet_total"]["children"] == {(): 0.0}
+        parent = MetricsRegistry()
+        parent.merge_delta(delta)
+        assert parent.get("quiet_total") is not None
+        assert parent.counter("quiet_total").value == 0
+
+    def test_delta_is_picklable(self):
+        reg = MetricsRegistry()
+        base = reg.state()
+        _workload_a(reg)
+        delta = reg.delta_since(base)
+        assert pickle.loads(pickle.dumps(delta)) == delta
+
+
+class TestMergeEquivalence:
+    def test_split_run_merges_to_sequential_registry(self):
+        # Sequential reference: both workloads in one registry.
+        seq = MetricsRegistry()
+        _workload_a(seq)
+        _workload_b(seq)
+
+        # Parallel: each workload in its own "worker" registry, deltas
+        # merged into a fresh parent in sequential order.
+        parent = MetricsRegistry()
+        for workload in (_workload_a, _workload_b):
+            worker = MetricsRegistry()
+            base = worker.state()
+            workload(worker)
+            parent.merge_delta(worker.delta_since(base))
+
+        assert prometheus_text(parent) == prometheus_text(seq)
+        assert parent.events == seq.events
+
+    def test_gauges_apply_last_writer_wins(self):
+        parent = MetricsRegistry()
+        for value in (7, 2):
+            worker = MetricsRegistry()
+            base = worker.state()
+            worker.gauge("inflight").set(value)
+            parent.merge_delta(worker.delta_since(base))
+        assert parent.gauge("inflight").value == 2
+
+    def test_merge_into_warm_parent_adds(self):
+        parent = MetricsRegistry()
+        _workload_a(parent)
+        worker = MetricsRegistry()
+        base = worker.state()
+        _workload_b(worker)
+        parent.merge_delta(worker.delta_since(base))
+        assert parent.counter("tasks_total", labelnames=("kind",)).labels("deploy").value == 5
+        assert parent.histogram("lat_seconds", buckets=(0.1, 1.0)).labels().count == 2
+
+    def test_bucket_mismatch_rejected(self):
+        parent = MetricsRegistry()
+        parent.histogram("lat_seconds", buckets=(0.1, 1.0))
+        worker = MetricsRegistry()
+        base = worker.state()
+        worker.histogram("lat_seconds", buckets=(0.5, 2.0)).observe(0.3)
+        with pytest.raises(SimulationError, match="bucket mismatch"):
+            parent.merge_delta(worker.delta_since(base))
+
+    def test_events_counter_merges_exactly(self):
+        worker = MetricsRegistry()
+        base = worker.state()
+        _workload_a(worker)  # 3 observations: inc, observe, set
+        events = worker.events
+        parent = MetricsRegistry()
+        parent.merge_delta(worker.delta_since(base))
+        assert parent.events == events > 0

@@ -189,3 +189,46 @@ class TestFiguresCommand:
     def test_unknown_figure(self, capsys):
         assert main(["figures", "fig99"]) == 2
         assert "unknown figure" in capsys.readouterr().err
+
+
+class TestSeriesCommand:
+    def test_list_shows_every_shipped_series(self, capsys):
+        assert main(["series", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("campaign", "figures", "zygote", "recovery", "chaos"):
+            assert name in out
+        assert "27 cells" in out
+
+    def test_validate_expands_all_shipped_specs(self, capsys):
+        assert main(["series", "validate"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign: ok (27 cells)" in out
+        assert "zygote: ok (2 cells)" in out
+
+    def test_validate_unknown_series_fails(self, capsys):
+        assert main(["series", "validate", "no-such"]) == 1
+        assert "unknown series" in capsys.readouterr().err
+
+    def test_run_requires_a_name(self, capsys):
+        assert main(["series", "run"]) == 2
+        assert "name required" in capsys.readouterr().err
+
+    def test_run_recovery_series(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(["series", "run", "recovery", "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "done recovery:crun-wamr:n100:s1" in out
+        assert "1/1 cells" in out
+
+    def test_run_journals_to_manifest(self, tmp_path, capsys):
+        import json
+
+        manifest = tmp_path / "series.json"
+        assert main([
+            "series", "run", "recovery",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--manifest", str(manifest),
+        ]) == 0
+        capsys.readouterr()
+        completed = json.loads(manifest.read_text())["completed"]
+        assert list(completed) == ["recovery:crun-wamr:n100:s1"]
