@@ -10,11 +10,15 @@ Subcommands mirror the tools a user of the real system would reach for:
 * ``zygote`` — the snapshot-and-clone warm-start comparison,
 * ``figures`` — regenerate the paper's tables/figures,
 * ``series`` — list/validate/run declarative experiment series,
-* ``inspect`` — per-phase/per-layer breakdown of an exported trace file.
+* ``inspect`` — per-phase/per-layer breakdown of an exported trace file,
+  plus ``--wasi`` for the eWAPA-style hostcall latency table,
+* ``monitor`` — ASCII dashboard over an exported time-series file.
 
 The experiment subcommands accept ``--trace-out FILE`` and
 ``--metrics-out FILE`` to export the run's telemetry (Chrome trace-event
-JSON / JSONL spans, Prometheus text metrics).
+JSON / JSONL spans, Prometheus text metrics), ``--timeseries-out FILE``
+to run the sim-clock sampler and export its TSDB as JSONL, and
+``--profile-out FILE`` for the collapsed-stack interpreter profile.
 
 Usable as ``python -m repro <cmd>`` or the ``repro`` console script.
 """
@@ -103,12 +107,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for item in args.env or []:
         key, _, value = item.partition("=")
         env[key] = value
+    if args.profile_out:
+        from repro.obs import profile
+
+        profile.set_profiling(True)
     result = run_wasi(
         blob,
         args=[args.input, *(args.args or [])],
         env=env,
         fuel=args.fuel,
     )
+    if args.profile_out:
+        from repro.obs import profile
+
+        pathlib.Path(args.profile_out).write_text(profile.collapsed())
+        print(f"wrote {args.profile_out}", file=sys.stderr)
     sys.stdout.write(result.stdout.decode("utf-8", "replace"))
     sys.stderr.write(result.stderr.decode("utf-8", "replace"))
     if args.stats:
@@ -121,27 +134,46 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _wants_telemetry(args: argparse.Namespace) -> bool:
-    return bool(getattr(args, "trace_out", None) or getattr(args, "metrics_out", None))
+    return bool(
+        getattr(args, "trace_out", None)
+        or getattr(args, "metrics_out", None)
+        or getattr(args, "timeseries_out", None)
+        or getattr(args, "profile_out", None)
+    )
 
 
 def _enable_telemetry(args: argparse.Namespace) -> bool:
     """Turn the telemetry subsystem on when an export flag was given.
 
     Must run before any cluster is built: metric handles and tracer sinks
-    bind at component construction.
+    bind at component construction, and the sampler only attaches to
+    clusters built while sampling is on.
     """
     if not _wants_telemetry(args):
         return False
     from repro import obs
 
     obs.set_enabled(True)
+    if getattr(args, "timeseries_out", None):
+        from repro.obs import timeseries
+
+        timeseries.set_sampling(True, timeseries.DEFAULT_PERIOD)
+    if getattr(args, "profile_out", None):
+        from repro.obs import profile
+
+        profile.set_profiling(True)
     return True
 
 
 def _export_telemetry(args: argparse.Namespace) -> None:
     from repro.obs.export import write_outputs
 
-    for path in write_outputs(args.trace_out, args.metrics_out):
+    for path in write_outputs(
+        args.trace_out,
+        args.metrics_out,
+        getattr(args, "timeseries_out", None),
+        getattr(args, "profile_out", None),
+    ):
         print(f"wrote {path}")
 
 
@@ -329,14 +361,44 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         load_trace_events,
         render_breakdown,
         render_metrics,
+        render_wasi,
     )
 
-    records = load_trace_events(pathlib.Path(args.trace))
-    print(render_breakdown(records, category=args.category))
-    if args.metrics:
+    if args.trace is None and not (args.wasi and args.metrics):
+        print(
+            "inspect: a trace file is required unless --wasi is used "
+            "with --metrics",
+            file=sys.stderr,
+        )
+        return 2
+    first = True
+    if args.trace is not None:
+        records = load_trace_events(pathlib.Path(args.trace))
+        print(
+            render_breakdown(
+                records, category=args.category, top=args.top, sort=args.sort
+            )
+        )
+        first = False
+    if args.wasi:
         text = pathlib.Path(args.metrics).read_text()
-        print()
+        if not first:
+            print()
+        print(render_wasi(text, top=args.top, sort=args.sort))
+        first = False
+    if args.metrics and not args.wasi:
+        text = pathlib.Path(args.metrics).read_text()
+        if not first:
+            print()
         print(render_metrics(text, prefix=args.metrics_prefix))
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.obs.export import parse_timeseries_jsonl, render_dashboard
+
+    records = parse_timeseries_jsonl(pathlib.Path(args.timeseries).read_text())
+    print(render_dashboard(records, series=args.series, width=args.width))
     return 0
 
 
@@ -387,6 +449,16 @@ def _add_telemetry_flags(p: argparse.ArgumentParser) -> None:
         "--metrics-out", default=None, metavar="FILE",
         help="export metrics in Prometheus text exposition format",
     )
+    p.add_argument(
+        "--timeseries-out", default=None, metavar="FILE",
+        help="run the sim-clock sampler + SLO/alert engine and export "
+             "the time-series database as JSONL (see `repro monitor`)",
+    )
+    p.add_argument(
+        "--profile-out", default=None, metavar="FILE",
+        help="export the per-function interpreter profile as "
+             "collapsed stacks (flamegraph.pl-compatible)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -422,6 +494,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--env", action="append", metavar="K=V")
     p.add_argument("--fuel", type=int, default=None)
     p.add_argument("--stats", action="store_true")
+    p.add_argument(
+        "--profile-out", default=None, metavar="FILE",
+        help="write the guest's per-function self-time profile as "
+             "collapsed stacks (flamegraph.pl-compatible)",
+    )
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("deploy", help="run a deployment experiment")
@@ -516,7 +593,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "inspect", help="per-phase/per-layer breakdown of an exported trace"
     )
-    p.add_argument("trace", help="trace file from --trace-out (.json or .jsonl)")
+    p.add_argument(
+        "trace", nargs="?", default=None,
+        help="trace file from --trace-out (.json or .jsonl); optional "
+             "with --wasi --metrics",
+    )
     p.add_argument(
         "--category", default=None, metavar="PREFIX",
         help="only spans whose category starts with PREFIX (e.g. 'startup')",
@@ -531,7 +612,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="only metric families starting with PREFIX "
              "(e.g. 'repro_specialize')",
     )
+    p.add_argument(
+        "--wasi", action="store_true",
+        help="render the eWAPA-style per-hostcall latency table from "
+             "the --metrics file instead of the raw metric dump",
+    )
+    p.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="keep only the N heaviest rows (span categories / hostcalls)",
+    )
+    p.add_argument(
+        "--sort", choices=("total", "count", "mean"), default="total",
+        help="row ranking metric (default: total)",
+    )
     p.set_defaults(func=_cmd_inspect)
+
+    p = sub.add_parser(
+        "monitor", help="ASCII dashboard over a --timeseries-out export"
+    )
+    p.add_argument("timeseries", help="JSONL file from --timeseries-out")
+    p.add_argument(
+        "--series", default=None, metavar="PREFIX",
+        help="series name prefix to plot (default: repro_monitor_)",
+    )
+    p.add_argument(
+        "--width", type=int, default=60, metavar="N",
+        help="sparkline width in characters (default: 60)",
+    )
+    p.set_defaults(func=_cmd_monitor)
 
     p = sub.add_parser("figures", help="regenerate paper tables/figures")
     p.add_argument("ids", nargs="*", metavar="FIG", help="e.g. fig3 fig9 (default: all)")

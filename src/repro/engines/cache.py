@@ -401,13 +401,14 @@ def cache_stats() -> Dict[str, Dict[str, int]]:
     return stats
 
 
-def reset_caches() -> None:
-    """Drop all cached state and zero the counters.
+def clear_cache_state() -> None:
+    """Drop all cached state, keeping the hit/miss counters monotonic.
 
-    Also clears the zygote quarantine/verified markers and the
-    corrupt-entry rebuild ledger: a digest poisoned by one experiment's
-    fault plan must restore cleanly in the next (no cross-experiment
-    contamination of the measurement cache).
+    The per-cell determinism primitive: telemetry-enabled experiments
+    clear state at cell start so every cell does the same cold-cache
+    work regardless of process history, while the counters stay
+    cumulative — the delta/merge protocol in :mod:`repro.measure.pool`
+    and the time-series sampler both assume counters never decrease.
     """
     _DECODE_CACHE.clear()
     _COMPILE_CACHE.clear()
@@ -418,6 +419,17 @@ def reset_caches() -> None:
     _ZYGOTE_QUARANTINE.clear()
     _ZYGOTE_VERIFIED.clear()
     _REBUILDS.clear()
+
+
+def reset_caches() -> None:
+    """Drop all cached state and zero the counters.
+
+    Also clears the zygote quarantine/verified markers and the
+    corrupt-entry rebuild ledger: a digest poisoned by one experiment's
+    fault plan must restore cleanly in the next (no cross-experiment
+    contamination of the measurement cache).
+    """
+    clear_cache_state()
     decode_stats.reset()
     compile_stats.reset()
     prepare_stats.reset()

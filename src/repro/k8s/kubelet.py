@@ -51,6 +51,10 @@ from repro.k8s.objects import (
 from repro.sim.faults import FaultPoint
 from repro.sim.kernel import Timeout
 
+#: Buckets for admission-to-ready sync latency, in *simulated* seconds:
+#: sub-second warm starts through multi-minute crash-loop recoveries.
+_SYNC_BUCKETS = (0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0)
+
 
 @dataclass(frozen=True)
 class ProbeConfig:
@@ -94,6 +98,10 @@ class Kubelet:
     #: refuse to admit new pods while the node is past the eviction
     #: threshold (load shedding) instead of evicting running ones
     admission_shedding: bool = False
+    #: time-series sampler ticked from sync/backoff/probe events (the
+    #: kubelet is the cluster's busiest event source, so its activity
+    #: drives the scrape clock); None = sampling off, zero cost
+    sampler: Optional[object] = None
     _backoffs: Dict[str, BackoffTracker] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -125,6 +133,15 @@ class Kubelet:
             "repro_kubelet_admission_rejections_total",
             "pod admissions refused under node memory pressure (shedding)",
         )
+        self._m_sync_seconds = obs.histogram(
+            "repro_kubelet_pod_sync_seconds",
+            "admission-to-ready pod sync latency (simulated seconds)",
+            buckets=_SYNC_BUCKETS,
+        )
+
+    def _tick_sampler(self) -> None:
+        if self.sampler is not None:
+            self.sampler.tick()
 
     # -- pod sync (self-healing activity) -----------------------------------
 
@@ -174,6 +191,8 @@ class Kubelet:
                     attempts=str(pod.restart_count + 1),
                     **extra,
                 )
+                self._m_sync_seconds.observe(self.env.kernel.now - t_admit)
+                self._tick_sampler()
                 return pod
             except (ContainerError, EngineError, OutOfMemory) as exc:
                 self._cleanup_attempt(pod)
@@ -186,6 +205,7 @@ class Kubelet:
                         message=str(exc),
                         reason=self._terminal_reason(exc),
                     )
+                    self._tick_sampler()
                     return pod
                 yield from self._backoff(pod, handler, reason, exc)
 
@@ -200,6 +220,7 @@ class Kubelet:
         self.env.tracer.record(
             "startup.pipeline", pod.uid, t0, self.env.kernel.now, config=handler
         )
+        self._tick_sampler()
 
         if self.admission_shedding and self.under_memory_pressure():
             # Load shedding: refuse this admission rather than evicting
@@ -252,6 +273,7 @@ class Kubelet:
         readiness_fails = 0
         for _ in range(cfg.rounds):
             yield Timeout(cfg.interval_s)
+            self._tick_sampler()
             if pod.uid not in self.api.pods or pod.phase is not PodPhase.RUNNING:
                 return
             fault = (
@@ -384,6 +406,7 @@ class Kubelet:
             reason=reason,
             attempt=str(pod.restart_count),
         )
+        self._tick_sampler()
 
     # -- memory-pressure eviction -------------------------------------------
 
@@ -423,6 +446,7 @@ class Kubelet:
         self.env.tracer.record(
             "recovery.eviction", pod.uid, now, now, reason=REASON_EVICTED
         )
+        self._tick_sampler()
 
     def _relieve_memory_pressure(self, exclude_uid: Optional[str] = None) -> int:
         """Evict newest pods while the node is under pressure; returns count."""

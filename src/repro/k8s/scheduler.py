@@ -26,6 +26,8 @@ class Scheduler:
         self.api = api
         api.watch_pods(self._on_pod_event)
         self.scheduled_count = 0
+        #: time-series sampler ticked on each placement (None = off)
+        self.sampler = None
         self._obs_on = obs.enabled()
         self._m_placements = obs.counter(
             "repro_scheduler_placements_total", "pods bound to nodes", ("node",)
@@ -74,6 +76,8 @@ class Scheduler:
         self._m_placements.labels(best.name).inc()
         if self._obs_on:
             self._m_latency.observe(perf_counter() - t0)
+        if self.sampler is not None:
+            self.sampler.tick()
         return best
 
     def sweep(self) -> int:

@@ -174,7 +174,9 @@ def run_chaos(
     the duration — the counter-balance invariants read the registry
     functionally — and restored afterwards.
     """
-    engine_cache.reset_caches()
+    # State only: the invariants below subtract their own base counter
+    # snapshots, and zeroing would break the worker delta/merge protocol.
+    engine_cache.clear_cache_state()
     was_enabled = obs.enabled()
     obs.set_enabled(True)
     try:
@@ -217,6 +219,11 @@ def run_chaos(
             node.metrics.scrape()
             if status["ready"] >= count:
                 break
+
+        if cluster.monitor is not None:
+            # Scrape the converged state: ready_fraction returns to 1.0
+            # here, which is what lets PodReadyAvailabilityLow resolve.
+            cluster.monitor.sample_now()
 
         deployment = cluster.deployments.deployments[deployment_name]
         replicas = [

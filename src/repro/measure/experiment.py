@@ -75,7 +75,16 @@ class ExperimentRunner:
     ) -> DeploymentMeasurement:
         if obs.enabled():
             # Each experiment gets its own trace context (one Chrome-trace
-            # process row per deployment).
+            # process row per deployment) and starts from cold engine
+            # caches: cells of one config share a run-cache key, so guest
+            # execution counters would otherwise depend on which cell of
+            # the campaign ran first in this process. Chaos cells already
+            # clear for the same reason; measurements themselves are
+            # warmth-independent (test_no_cache_recomputes). State only —
+            # zeroing the counters would break the worker delta protocol.
+            from repro.engines import cache as engine_cache
+
+            engine_cache.clear_cache_state()
             obs.new_context(f"deploy {config} n={count}")
         cluster = build_cluster(seed=self.seed)
         node = cluster.node
@@ -101,6 +110,11 @@ class ExperimentRunner:
             raise KubernetesError(
                 f"{len(failed)} pods failed: {failed[0].status_message}"
             )
+
+        if cluster.monitor is not None:
+            # Close the monitoring window: one final scrape at steady
+            # state so gauges reflect convergence and alerts can resolve.
+            cluster.monitor.sample_now()
 
         # Startup probe (paper §IV-E): measurement starts at deployment and
         # ends when the sample application starts executing in the last pod.

@@ -67,6 +67,52 @@ def prewarm_process_caches() -> None:
         pass  # pre-warming is an optimization, never a hard requirement
 
 
+@dataclass(frozen=True)
+class TelemetrySettings:
+    """Which telemetry layers a worker (or the parent) collects.
+
+    ``capture()`` snapshots the parent's ambient toggles so forked
+    workers reproduce them exactly; a plain bool still works wherever a
+    pool is constructed by legacy callers (metrics+spans only).
+    """
+
+    metrics: bool = False
+    sampling: bool = False
+    sampling_period: float = 1.0  # timeseries.DEFAULT_PERIOD
+    profiling: bool = False
+
+    @property
+    def any(self) -> bool:
+        return self.metrics or self.sampling or self.profiling
+
+    @classmethod
+    def capture(cls) -> "TelemetrySettings":
+        from repro import obs
+        from repro.obs import profile, timeseries
+
+        return cls(
+            metrics=obs.enabled(),
+            sampling=timeseries.sampling_enabled(),
+            sampling_period=timeseries.sampling_period(),
+            profiling=profile.profiling_enabled(),
+        )
+
+    @classmethod
+    def coerce(cls, value) -> "TelemetrySettings":
+        if isinstance(value, cls):
+            return value
+        return cls(metrics=bool(value))
+
+    def apply(self) -> None:
+        from repro import obs
+        from repro.obs import profile, timeseries
+
+        if self.metrics:
+            obs.set_enabled(True)
+        timeseries.set_sampling(self.sampling, self.sampling_period)
+        profile.set_profiling(self.profiling)
+
+
 @dataclass
 class CellOutcome:
     """What one cell execution sends back from a worker."""
@@ -75,17 +121,21 @@ class CellOutcome:
     result: Any
     span_groups: Optional[list]
     registry_delta: Optional[dict]
+    sample_groups: Optional[list]
+    profile_delta: Optional[dict]
     wall_seconds: float
 
 
-def _worker_main(tasks, results, telemetry: bool) -> None:
+def _worker_main(tasks, results, telemetry) -> None:
     """Worker loop: pull the longest remaining task, run it, ship results."""
     from repro import obs
+    from repro.obs import profile, timeseries
 
-    if telemetry:
-        obs.set_enabled(True)
+    settings = TelemetrySettings.coerce(telemetry)
+    settings.apply()
     from repro.measure.series import run_cell  # deferred: cheap under fork
 
+    collect = settings.any
     while True:
         item = tasks.get()
         if item is None:
@@ -93,31 +143,38 @@ def _worker_main(tasks, results, telemetry: bool) -> None:
         index, cell = item
         t0 = time.perf_counter()
         try:
-            if telemetry:
+            if collect:
                 span_mark = obs.span_watermark()
                 registry_base = obs.default_registry().state()
+                ts_mark = timeseries.watermark()
+                prof_base = profile.state()
             result = run_cell(cell)
             wall = time.perf_counter() - t0
-            groups = delta = None
-            if telemetry:
+            groups = delta = ts_groups = prof_delta = None
+            if collect:
                 groups = obs.span_groups_since(span_mark)
                 delta = obs.default_registry().delta_since(registry_base)
-            results.put(("ok", index, result, groups, delta, wall))
+                ts_groups = timeseries.sample_groups_since(ts_mark)
+                prof_delta = profile.delta_since(prof_base)
+            results.put(
+                ("ok", index, result, groups, delta, ts_groups, prof_delta, wall)
+            )
         except BaseException as exc:  # ship the failure, keep the loop alive
             try:
                 pickle.dumps(exc)
                 payload: BaseException = exc
             except Exception:
                 payload = SeriesError(f"{type(exc).__name__}: {exc}")
-            results.put(("err", index, payload, None, None, 0.0))
+            results.put(("err", index, payload, None, None, None, None, 0.0))
 
 
 class WorkerPool:
     """Long-lived worker processes fed through one LPT-ordered queue."""
 
-    def __init__(self, jobs: int, telemetry: bool = False) -> None:
+    def __init__(self, jobs: int, telemetry=False) -> None:
         if jobs < 1:
             raise SeriesError(f"worker pool needs jobs >= 1, got {jobs}")
+        settings = TelemetrySettings.coerce(telemetry)
         prewarm_process_caches()
         ctx = _pool_context()
         self._tasks = ctx.Queue()
@@ -125,7 +182,7 @@ class WorkerPool:
         self._procs = [
             ctx.Process(
                 target=_worker_main,
-                args=(self._tasks, self._results, telemetry),
+                args=(self._tasks, self._results, settings),
                 daemon=True,
             )
             for _ in range(jobs)
@@ -167,7 +224,7 @@ class WorkerPool:
                         "worker pool died before completing the series"
                     )
                 continue
-            kind, index, payload, groups, delta, wall = msg
+            kind, index, payload, groups, delta, ts_groups, prof_delta, wall = msg
             if kind == "err":
                 self.close()
                 raise payload
@@ -176,6 +233,8 @@ class WorkerPool:
                 result=payload,
                 span_groups=groups,
                 registry_delta=delta,
+                sample_groups=ts_groups,
+                profile_delta=prof_delta,
                 wall_seconds=wall,
             )
             outcomes[index] = outcome
@@ -204,4 +263,9 @@ class WorkerPool:
         self.close()
 
 
-__all__ = ["CellOutcome", "WorkerPool", "prewarm_process_caches"]
+__all__ = [
+    "CellOutcome",
+    "TelemetrySettings",
+    "WorkerPool",
+    "prewarm_process_caches",
+]

@@ -86,6 +86,12 @@ def run_recovery(
     """
     plan = plan if plan is not None else transient_plan(seed=seed)
     if obs.enabled():
+        # Cold engine caches per telemetry-enabled cell (see
+        # ExperimentRunner.run): keeps warmth counters — and therefore
+        # the sampled time series — identical at any --jobs N.
+        from repro.engines import cache as engine_cache
+
+        engine_cache.clear_cache_state()
         obs.new_context(f"recover {config} n={count}")
     kwargs = {} if memory_bytes is None else {"memory_bytes": memory_bytes}
     cluster = build_cluster(seed=seed, fault_plan=plan, **kwargs)
@@ -104,6 +110,11 @@ def run_recovery(
         status = cluster.reconcile_and_wait(deployment_name)
         if status["ready"] >= count:
             break
+
+    if cluster.monitor is not None:
+        # Final scrape at convergence so availability gauges read the
+        # recovered state and any firing alerts can resolve.
+        cluster.monitor.sample_now()
 
     deployment = cluster.deployments.deployments[deployment_name]
     replicas = [

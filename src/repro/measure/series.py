@@ -587,9 +587,9 @@ def execute_cells(
                 finish(cell, result, time.perf_counter() - t0, cached=False)
         return results, resumed
 
-    from repro.measure.pool import WorkerPool
+    from repro.measure.pool import TelemetrySettings, WorkerPool
 
-    telemetry = obs.enabled()
+    settings = TelemetrySettings.capture()
     indexed = list(enumerate(pending))
     costs = [_cost_estimate(store, cell) for cell in pending]
     outcomes: Dict[int, Any] = {}
@@ -599,17 +599,22 @@ def execute_cells(
         cell = pending[outcome.index]
         finish(cell, outcome.result, outcome.wall_seconds, cached=False)
 
-    with WorkerPool(effective, telemetry=telemetry) as pool:
+    with WorkerPool(effective, telemetry=settings) as pool:
         stages = sorted({cell.stage for cell in pending})
         for stage in stages:
             batch = [(i, cell) for i, cell in indexed if cell.stage == stage]
             pool.run(batch, costs=[costs[i] for i, _ in batch], on_outcome=on_outcome)
 
-    if telemetry:
+    if settings.any:
         # Merge worker telemetry in sequential cell order: counters and
-        # histograms add, gauges apply last-writer-wins, span groups
-        # replay through fresh parent contexts — reproducing the exact
-        # registry and trace a --jobs 1 run would have built.
+        # histograms add, gauges apply last-writer-wins, span groups and
+        # time-series samples replay through fresh parent contexts (one
+        # shared context per cell label keeps counter tracks aligned with
+        # span tracks), and profiler stacks add — reproducing the exact
+        # registry, trace, TSDB, and collapsed stacks a --jobs 1 run
+        # would have built.
+        from repro.obs import profile
+
         registry = obs.default_registry()
         for i, cell in indexed:
             outcome = outcomes.get(i)
@@ -617,8 +622,12 @@ def execute_cells(
                 continue
             if outcome.registry_delta is not None:
                 registry.merge_delta(outcome.registry_delta)
-            if outcome.span_groups:
-                obs.adopt_span_groups(outcome.span_groups)
+            if outcome.span_groups or outcome.sample_groups:
+                obs.adopt_telemetry_groups(
+                    outcome.span_groups or [], outcome.sample_groups or []
+                )
+            if outcome.profile_delta:
+                profile.merge_delta(outcome.profile_delta)
 
     return results, resumed
 

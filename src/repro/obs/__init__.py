@@ -56,6 +56,7 @@ __all__ = [
     "span_watermark",
     "span_groups_since",
     "adopt_span_groups",
+    "adopt_telemetry_groups",
     "reset",
 ]
 
@@ -200,15 +201,46 @@ def adopt_span_groups(groups: Sequence[Tuple[str, Sequence[object]]]) -> None:
             _spans.append((cid, span))
 
 
+def adopt_telemetry_groups(
+    span_groups: Sequence[Tuple[str, Sequence[object]]],
+    sample_groups: Sequence[Tuple[str, Sequence[object]]] = (),
+) -> None:
+    """Replay a worker cell's spans *and* time-series entries jointly.
+
+    Context ids must line up across both logs (a Chrome counter track's
+    pid is its span process track), so labels open one context each —
+    in first-appearance order across span groups, then sample groups —
+    and both logs adopt under the shared numbering.
+    """
+    from repro.obs import timeseries
+
+    cids: Dict[str, int] = {}
+    for label, _ in list(span_groups) + list(sample_groups):
+        if label not in cids:
+            cids[label] = new_context(label)
+    for label, spans in span_groups:
+        cid = cids[label]
+        for span in spans:
+            _spans.append((cid, span))
+    db = timeseries.default_db()
+    for label, entries in sample_groups:
+        db.adopt(cids[label], entries)
+
+
 def reset() -> None:
     """Zero all metric values and drop the global trace.
 
     Family registrations (and handles components already bound) stay
     valid — only values and spans are cleared, so experiments and the
-    overhead benchmark can isolate runs within one process.
+    overhead benchmark can isolate runs within one process. Time-series
+    samples and profile stacks clear along with the spans they tag.
     """
     global _current_context
+    from repro.obs import profile, timeseries
+
     _registry.reset()
     _contexts.clear()
     _spans.clear()
     _current_context = 0
+    timeseries.clear()
+    profile.reset()

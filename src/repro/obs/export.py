@@ -28,7 +28,13 @@ import re
 from collections import defaultdict
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
-from repro.obs.registry import CounterChild, GaugeChild, HistogramChild, MetricsRegistry
+from repro.obs.registry import (
+    CounterChild,
+    GaugeChild,
+    HistogramChild,
+    MetricsRegistry,
+    _label_sort_key,
+)
 from repro.sim.trace import Span
 
 # -- Prometheus text exposition ------------------------------------------------
@@ -174,7 +180,13 @@ def render_metrics(text: str, prefix: Optional[str] = None) -> str:
     for name in sorted(families):
         fam = families[name]
         lines.append(f"  {name} ({fam['type']}) {fam['help']}")
-        for (sample, labels), value in sorted(fam["samples"].items()):
+        for (sample, labels), value in sorted(
+            fam["samples"].items(),
+            key=lambda item: (
+                item[0][0],
+                tuple(_label_sort_key(v) for _, v in item[0][1]),
+            ),
+        ):
             label_s = ",".join(f"{k}={v}" for k, v in labels)
             rendered = f"{sample}{{{label_s}}}" if label_s else sample
             lines.append(f"    {rendered} = {value:g}")
@@ -192,11 +204,15 @@ def _component(category: str) -> str:
 def chrome_trace(
     tagged_spans: Iterable[Tuple[int, Span]],
     context_labels: Optional[Mapping[int, str]] = None,
+    counter_samples: Optional[Iterable[Tuple[int, str, tuple, float, float]]] = None,
 ) -> dict:
     """Trace-event JSON: pid = trace context, tid = node component.
 
     Simulated seconds land on the trace timeline as microseconds, so a
-    4-second deployment reads as 4 s in Perfetto.
+    4-second deployment reads as 4 s in Perfetto. ``counter_samples``
+    (``(cid, name, labels, ts, value)`` tuples, e.g. from
+    ``timeseries.counter_track_samples()``) render as "C" counter-track
+    events on the owning context's process track.
     """
     context_labels = dict(context_labels or {})
     events: List[dict] = []
@@ -244,6 +260,28 @@ def chrome_trace(
                 "args": {k: v for k, v in span.attrs},
             }
         )
+    for cid, name, labels, ts, value in counter_samples or ():
+        pid = cid or 1
+        if pid not in seen_pids:
+            seen_pids[pid] = True
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "args": {"name": context_labels.get(pid, f"context-{pid}")},
+                }
+            )
+        label_s = ",".join(f"{k}={v}" for k, v in labels)
+        events.append(
+            {
+                "ph": "C",
+                "name": f"{name}{{{label_s}}}" if label_s else name,
+                "ts": round(ts * 1e6, 3),
+                "pid": pid,
+                "args": {"value": value},
+            }
+        )
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
@@ -278,6 +316,20 @@ def validate_chrome_trace(obj: object) -> int:
         elif ph == "M":
             if not isinstance(event.get("args"), dict):
                 raise ValueError(f"traceEvents[{i}]: metadata event without args")
+        elif ph == "C":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or not math.isfinite(ts):
+                raise ValueError(f"traceEvents[{i}]: bad counter ts: {ts!r}")
+            if not isinstance(event.get("pid"), int):
+                raise ValueError(f"traceEvents[{i}]: bad counter pid")
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                raise ValueError(f"traceEvents[{i}]: counter event without args")
+            for key, value in args.items():
+                if not isinstance(value, (int, float)) or not math.isfinite(value):
+                    raise ValueError(
+                        f"traceEvents[{i}]: non-numeric counter value {key}={value!r}"
+                    )
         else:
             raise ValueError(f"traceEvents[{i}]: unexpected phase {ph!r}")
     return complete
@@ -367,12 +419,19 @@ def load_trace_events(path: pathlib.Path) -> List[dict]:
     return records
 
 
-def render_breakdown(records: List[dict], category: Optional[str] = None) -> str:
+def render_breakdown(
+    records: List[dict],
+    category: Optional[str] = None,
+    top: Optional[int] = None,
+    sort: str = "total",
+) -> str:
     """Per-layer/per-phase table over trace records.
 
     One row per span category, grouped under its component (category
     prefix), with span counts and total/mean/max simulated time —
     the causal decomposition the paper's figures assert but never show.
+    ``sort`` picks the row ordering metric (``total``/``count``/``mean``)
+    and ``top`` keeps only the N heaviest categories overall.
     """
     if category is not None:
         records = [r for r in records if r["category"].startswith(category)]
@@ -383,33 +442,264 @@ def render_breakdown(records: List[dict], category: Optional[str] = None) -> str
     for record in records:
         by_cat[record["category"]].append(record)
 
+    def total(cat: str) -> float:
+        return sum(r["dur_s"] for r in by_cat[cat])
+
+    def rank(cat: str) -> float:
+        if sort == "count":
+            return float(len(by_cat[cat]))
+        if sort == "mean":
+            return total(cat) / len(by_cat[cat])
+        return total(cat)
+
+    kept = sorted(by_cat, key=lambda c: (-rank(c), c))
+    if top is not None:
+        kept = kept[:top]
+    dropped = len(by_cat) - len(kept)
+    by_cat = {cat: by_cat[cat] for cat in kept}
+
     layers: Dict[str, List[str]] = defaultdict(list)
     for cat in by_cat:
         layers[_component(cat)].append(cat)
-
-    def total(cat: str) -> float:
-        return sum(r["dur_s"] for r in by_cat[cat])
 
     t_min = min(r["ts_s"] for r in records)
     t_max = max(r["ts_s"] + r["dur_s"] for r in records)
     contexts = sorted({r["ctx"] for r in records})
 
     lines = [
-        f"trace: {len(records)} spans, {len(by_cat)} categories, "
+        f"trace: {len(records)} spans, {len(by_cat) + dropped} categories, "
         f"{len(contexts)} context(s), simulated window "
         f"{t_min:.3f}s .. {t_max:.3f}s",
         "",
         f"{'layer':12s} {'phase':28s} {'spans':>7s} {'total (s)':>11s} "
         f"{'mean (ms)':>11s} {'max (ms)':>11s}",
     ]
-    for layer in sorted(layers, key=lambda l: -sum(total(c) for c in layers[l])):
-        for i, cat in enumerate(sorted(layers[layer], key=lambda c: -total(c))):
+    for layer in sorted(layers, key=lambda l: -sum(rank(c) for c in layers[l])):
+        for i, cat in enumerate(
+            sorted(layers[layer], key=lambda c: (-rank(c), c))
+        ):
             durations = [r["dur_s"] for r in by_cat[cat]]
             lines.append(
                 f"{layer if i == 0 else '':12s} {cat:28s} {len(durations):>7d} "
                 f"{sum(durations):>11.3f} "
                 f"{1000 * sum(durations) / len(durations):>11.3f} "
                 f"{1000 * max(durations):>11.3f}"
+            )
+    if dropped:
+        lines.append(f"... {dropped} more categories (raise --top)")
+    return "\n".join(lines)
+
+
+# -- time-series JSONL ---------------------------------------------------------
+
+
+def timeseries_jsonl(
+    tagged_entries: Iterable[Tuple[int, tuple]],
+    context_labels: Optional[Mapping[int, str]] = None,
+) -> str:
+    """One JSON object per TSDB log entry, in record order.
+
+    Samples: ``{"kind": "sample", "name", "labels", "ts", "value",
+    "ctx"}``; alert transitions: ``{"kind": "alert", "alert", "from",
+    "to", "severity", "ts", "value", "ctx"}``. Record order is per-ctx
+    monotonic in sim time (the sampler appends as it scrapes).
+    """
+    context_labels = dict(context_labels or {})
+    lines = []
+    for cid, (kind, name, labels, ts, value) in tagged_entries:
+        ctx = context_labels.get(cid, f"context-{cid}")
+        if kind == "alert":
+            row = dict(labels)
+            row.update(
+                {"kind": "alert", "alert": name, "ts": ts, "value": value, "ctx": ctx}
+            )
+        else:
+            row = {
+                "kind": "sample",
+                "name": name,
+                "labels": dict(labels),
+                "ts": ts,
+                "value": value,
+                "ctx": ctx,
+            }
+        lines.append(json.dumps(row, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_timeseries_jsonl(text: str) -> List[dict]:
+    """Strict checker for the ``--timeseries-out`` JSONL stream.
+
+    Raises :class:`ValueError` on malformed lines, missing fields,
+    non-finite numbers, unknown kinds, or per-context timestamp
+    regressions (samples must be monotonic within a context).
+    """
+    records: List[dict] = []
+    last_ts: Dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {lineno}: not JSON: {exc}") from None
+        if not isinstance(row, dict):
+            raise ValueError(f"line {lineno}: not an object")
+        kind = row.get("kind")
+        if kind == "sample":
+            required = ("name", "labels", "ts", "value", "ctx")
+        elif kind == "alert":
+            required = ("alert", "from", "to", "severity", "ts", "value", "ctx")
+        else:
+            raise ValueError(f"line {lineno}: unknown kind {kind!r}")
+        for field in required:
+            if field not in row:
+                raise ValueError(f"line {lineno}: missing {field!r}")
+        for field in ("ts", "value"):
+            if not isinstance(row[field], (int, float)) or not math.isfinite(row[field]):
+                raise ValueError(f"line {lineno}: bad {field!r}: {row[field]!r}")
+        if kind == "sample" and not isinstance(row["labels"], dict):
+            raise ValueError(f"line {lineno}: labels must be an object")
+        ctx = row["ctx"]
+        if row["ts"] < last_ts.get(ctx, float("-inf")):
+            raise ValueError(
+                f"line {lineno}: timestamp regression in context {ctx!r}"
+            )
+        last_ts[ctx] = row["ts"]
+        records.append(row)
+    return records
+
+
+# -- eWAPA-style WASI latency report -------------------------------------------
+
+
+def render_wasi(text: str, top: Optional[int] = None, sort: str = "total") -> str:
+    """Per-WASI-call latency table over Prometheus exposition text.
+
+    Counts and bytes are measured (``repro_wasi_calls_total``,
+    ``repro_wasi_bytes_total``); the latency column applies the modeled
+    per-call/per-byte costs in :mod:`repro.obs.profile` — eWAPA-style
+    attribution of where hostcall time goes, minus the eBPF probes.
+    """
+    from repro.obs import profile
+
+    families = parse_prometheus_text(text)
+    calls: Dict[Tuple[str, ...], float] = {}
+    bytes_fam: Dict[Tuple[str, ...], float] = {}
+    for (sample, labels), value in families.get(
+        "repro_wasi_calls_total", {"samples": {}}
+    )["samples"].items():
+        if sample == "repro_wasi_calls_total":
+            calls[tuple(v for _, v in labels)] = value
+    for (sample, labels), value in families.get(
+        "repro_wasi_bytes_total", {"samples": {}}
+    )["samples"].items():
+        if sample == "repro_wasi_bytes_total":
+            bytes_fam[tuple(v for _, v in labels)] = value
+    rows = profile.wasi_report(
+        {"repro_wasi_calls_total": calls, "repro_wasi_bytes_total": bytes_fam}
+    )
+    # The preview1 shim pre-registers every hostcall child; only rows the
+    # guest actually exercised carry information.
+    rows = [r for r in rows if r["calls"] or r["bytes"]]
+    if not rows:
+        return "wasi: no repro_wasi_calls_total samples (telemetry off?)"
+
+    def rank(row: dict) -> float:
+        if sort == "count":
+            return row["calls"]
+        if sort == "mean":
+            return row["mean_ns"]
+        return row["total_ns"]
+
+    rows.sort(key=lambda r: (-rank(r), r["func"]))
+    shown = rows if top is None else rows[:top]
+    lines = [
+        f"wasi: {len(rows)} hostcalls, "
+        f"{sum(r['calls'] for r in rows):.0f} calls, "
+        f"{sum(r['bytes'] for r in rows):.0f} bytes moved (modeled latency)",
+        "",
+        f"{'hostcall':22s} {'calls':>9s} {'bytes':>11s} "
+        f"{'total (us)':>11s} {'mean (ns)':>10s} {'share':>7s}",
+    ]
+    for r in shown:
+        lines.append(
+            f"{r['func']:22s} {r['calls']:>9.0f} {r['bytes']:>11.0f} "
+            f"{r['total_ns'] / 1000:>11.2f} {r['mean_ns']:>10.1f} "
+            f"{100 * r['share']:>6.1f}%"
+        )
+    if len(shown) < len(rows):
+        lines.append(f"... {len(rows) - len(shown)} more hostcalls (raise --top)")
+    return "\n".join(lines)
+
+
+# -- ASCII dashboard (repro monitor) -------------------------------------------
+
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: List[float], width: int) -> str:
+    if not values:
+        return ""
+    if len(values) > width:
+        # Downsample: max of each chunk (spikes must stay visible).
+        chunk = len(values) / width
+        values = [
+            max(values[int(i * chunk): max(int((i + 1) * chunk), int(i * chunk) + 1)])
+            for i in range(width)
+        ]
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    return "".join(_SPARKS[int((v - lo) / span * (len(_SPARKS) - 1))] for v in values)
+
+
+def render_dashboard(
+    records: List[dict], series: Optional[str] = None, width: int = 60
+) -> str:
+    """ASCII dashboard over parsed ``--timeseries-out`` records.
+
+    One sparkline per (context, series) with min/mean/max/last, plus an
+    alert-transition timeline. ``series`` filters by name prefix
+    (default: the ``repro_monitor_`` collector gauges + alert states).
+    """
+    prefix = series if series is not None else "repro_monitor_"
+    grouped: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
+    order: List[Tuple[str, str]] = []
+    alerts: List[dict] = []
+    for row in records:
+        if row["kind"] == "alert":
+            alerts.append(row)
+            continue
+        if not row["name"].startswith(prefix):
+            continue
+        label_s = ",".join(f"{k}={v}" for k, v in sorted(row["labels"].items()))
+        name = f"{row['name']}{{{label_s}}}" if label_s else row["name"]
+        key = (row["ctx"], name)
+        if key not in grouped:
+            grouped[key] = []
+            order.append(key)
+        grouped[key].append((row["ts"], row["value"]))
+    if not grouped and not alerts:
+        return f"monitor: no series matching {prefix!r}"
+    lines: List[str] = []
+    last_ctx = None
+    for ctx, name in order:
+        if ctx != last_ctx:
+            lines.append(f"── {ctx} " + "─" * max(0, width - len(ctx) - 4))
+            last_ctx = ctx
+        points = grouped[(ctx, name)]
+        values = [v for _, v in points]
+        lines.append(f"  {name}")
+        lines.append(
+            f"    {_sparkline(values, width)}  "
+            f"min={min(values):g} mean={sum(values) / len(values):.4g} "
+            f"max={max(values):g} last={values[-1]:g}"
+        )
+    if alerts:
+        lines.append("── alerts " + "─" * max(0, width - 10))
+        for row in alerts:
+            lines.append(
+                f"  [{row['ts']:9.3f}s] {row['alert']:28s} "
+                f"{row['from']} → {row['to']} ({row['severity']})"
             )
     return "\n".join(lines)
 
@@ -418,15 +708,21 @@ def render_breakdown(records: List[dict], category: Optional[str] = None) -> str
 
 
 def write_outputs(
-    trace_out: Optional[str] = None, metrics_out: Optional[str] = None
+    trace_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
+    timeseries_out: Optional[str] = None,
+    profile_out: Optional[str] = None,
 ) -> List[str]:
     """Write the process-wide telemetry to files; returns paths written.
 
     ``trace_out`` ending in ``.jsonl`` selects the JSONL event log,
-    anything else the Chrome trace JSON. ``metrics_out`` gets the default
-    registry in Prometheus text format.
+    anything else the Chrome trace JSON (with counter tracks when
+    sampling ran). ``metrics_out`` gets the default registry in
+    Prometheus text format, ``timeseries_out`` the TSDB log as JSONL,
+    and ``profile_out`` the collapsed-stack interpreter profile.
     """
     from repro import obs
+    from repro.obs import profile, timeseries
 
     written: List[str] = []
     if trace_out:
@@ -436,10 +732,25 @@ def write_outputs(
         if path.suffix == ".jsonl":
             path.write_text(jsonl_events(spans, labels))
         else:
-            path.write_text(json.dumps(chrome_trace(spans, labels)) + "\n")
+            counters = timeseries.counter_track_samples() or None
+            path.write_text(
+                json.dumps(chrome_trace(spans, labels, counters)) + "\n"
+            )
         written.append(str(path))
     if metrics_out:
         path = pathlib.Path(metrics_out)
         path.write_text(prometheus_text(obs.default_registry()))
+        written.append(str(path))
+    if timeseries_out:
+        path = pathlib.Path(timeseries_out)
+        path.write_text(
+            timeseries_jsonl(
+                timeseries.default_db().tagged_entries(), obs.context_labels()
+            )
+        )
+        written.append(str(path))
+    if profile_out:
+        path = pathlib.Path(profile_out)
+        path.write_text(profile.collapsed())
         written.append(str(path))
     return written

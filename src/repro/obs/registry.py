@@ -109,14 +109,23 @@ class GaugeChild(_Child):
         self.value = 0.0
 
 
+#: Fixed-point grid (nano-units) for the histogram's exact shadow sum.
+#: Integer accumulation is associative, so a baseline subtraction over
+#: ``sum_units`` is independent of whatever the child accumulated
+#: before — which the time-series sampler needs for ``--jobs N``
+#: byte-identity (float ``sum`` drifts by ulps per accumulation order).
+SUM_UNITS_PER = 10**9
+
+
 class HistogramChild(_Child):
-    __slots__ = ("bucket_counts", "sum", "count")
+    __slots__ = ("bucket_counts", "sum", "count", "sum_units")
 
     def __init__(self, family: "MetricFamily") -> None:
         super().__init__(family)
         self.bucket_counts = [0] * len(family.buckets)
         self.sum = 0.0
         self.count = 0
+        self.sum_units = 0
 
     def observe(self, value: float) -> None:
         buckets = self._family.buckets
@@ -125,6 +134,7 @@ class HistogramChild(_Child):
                 self.bucket_counts[i] += 1
                 break
         self.sum += value
+        self.sum_units += int(round(value * SUM_UNITS_PER))
         self.count += 1
         self._family.registry.events += 1
 
@@ -140,15 +150,27 @@ class HistogramChild(_Child):
         self.bucket_counts = [0] * len(self._family.buckets)
         self.sum = 0.0
         self.count = 0
+        self.sum_units = 0
 
 
 _CHILD_TYPES = {"counter": CounterChild, "gauge": GaugeChild, "histogram": HistogramChild}
 
 
+def _label_sort_key(value: str) -> Tuple[int, float, str]:
+    """Numbers sort by value before strings sort lexically."""
+    try:
+        return (0, float(value), "")
+    except ValueError:
+        return (1, 0.0, value)
+
+
 class MetricFamily:
     """One named metric family; children keyed by label values."""
 
-    __slots__ = ("registry", "name", "kind", "help", "labelnames", "buckets", "_children")
+    __slots__ = (
+        "registry", "name", "kind", "help", "labelnames", "buckets",
+        "_children", "_sorted",
+    )
 
     def __init__(
         self,
@@ -166,6 +188,7 @@ class MetricFamily:
         self.labelnames = labelnames
         self.buckets = tuple(sorted(buckets))
         self._children: Dict[Tuple[str, ...], _Child] = {}
+        self._sorted: Optional[List[Tuple[Tuple[str, ...], _Child]]] = None
         if not labelnames:
             self.labels()  # materialize the single series at 0
 
@@ -184,6 +207,7 @@ class MetricFamily:
         if child is None:
             child = _CHILD_TYPES[self.kind](self)
             self._children[key] = child
+            self._sorted = None
         return child
 
     # Labelless convenience: family doubles as its single child.
@@ -201,8 +225,25 @@ class MetricFamily:
         return self.labels().value  # type: ignore[union-attr]
 
     def samples(self) -> List[Tuple[Tuple[str, ...], _Child]]:
-        """Children in sorted label order (deterministic export)."""
-        return sorted(self._children.items())
+        """Children in numeric-aware sorted label order.
+
+        Plain string sort puts ``le="10"`` before ``le="2"``; exports
+        must list histogram buckets (and any numeric label) in value
+        order so runs diff cleanly. Non-numeric values keep string
+        order, after all numeric ones; ``+Inf`` parses as a float and
+        lands last among numbers on its own.
+
+        The sorted view is cached (children are append-only, so it only
+        goes stale when a new child materializes) — the time-series
+        sampler calls this for every family on every tick. Callers must
+        not mutate the returned list.
+        """
+        if self._sorted is None:
+            self._sorted = sorted(
+                self._children.items(),
+                key=lambda item: tuple(_label_sort_key(v) for v in item[0]),
+            )
+        return self._sorted
 
     def reset(self) -> None:
         for child in self._children.values():
@@ -292,6 +333,7 @@ class MetricsRegistry:
                         tuple(child.bucket_counts),  # type: ignore[union-attr]
                         child.sum,  # type: ignore[union-attr]
                         child.count,  # type: ignore[union-attr]
+                        child.sum_units,  # type: ignore[union-attr]
                     )
                 else:
                     children[key] = child.value  # type: ignore[union-attr]
@@ -322,15 +364,18 @@ class MetricsRegistry:
             children = {}
             for key, child in family._children.items():
                 if family.kind == "histogram":
-                    prev = base_children.get(key, ((0,) * len(family.buckets), 0.0, 0))
+                    prev = base_children.get(
+                        key, ((0,) * len(family.buckets), 0.0, 0, 0)
+                    )
                     dbuckets = tuple(
                         n - p
                         for n, p in zip(child.bucket_counts, prev[0])  # type: ignore[union-attr]
                     )
                     dsum = child.sum - prev[1]  # type: ignore[union-attr]
                     dcount = child.count - prev[2]  # type: ignore[union-attr]
+                    dunits = child.sum_units - prev[3]  # type: ignore[union-attr]
                     if dcount or dsum or key not in base_children:
-                        children[key] = (dbuckets, dsum, dcount)
+                        children[key] = (dbuckets, dsum, dcount, dunits)
                 elif family.kind == "counter":
                     dv = child.value - base_children.get(key, 0.0)  # type: ignore[union-attr]
                     if dv or key not in base_children:
@@ -355,7 +400,12 @@ class MetricsRegistry:
         Counter/histogram deltas add; gauge entries set. Applying the
         per-cell deltas of a run in the sequential cell order yields the
         exact registry a ``--jobs 1`` run would have built.
+
+        ``None``/empty deltas are no-ops: a pool worker ships ``None``
+        for any telemetry channel that is off.
         """
+        if not delta:
+            return
         for name, spec in delta.get("families", {}).items():
             family = self._get_or_create(
                 name, spec["kind"], spec["help"], spec["labelnames"], spec["buckets"]
@@ -367,11 +417,12 @@ class MetricsRegistry:
             for key, payload in spec["children"].items():
                 child = family.labels(*key)
                 if spec["kind"] == "histogram":
-                    dbuckets, dsum, dcount = payload
+                    dbuckets, dsum, dcount, dunits = payload
                     for i, n in enumerate(dbuckets):
                         child.bucket_counts[i] += n  # type: ignore[union-attr]
                     child.sum += dsum  # type: ignore[union-attr]
                     child.count += dcount  # type: ignore[union-attr]
+                    child.sum_units += dunits  # type: ignore[union-attr]
                 elif spec["kind"] == "counter":
                     child.value += payload  # type: ignore[union-attr]
                 else:

@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import obs
 from repro.errors import ExhaustionError, WasiExit, WasmError
+from repro.obs import profile
 from repro.sim import faults
 from repro.wasm.ast import Module
 from repro.wasm.decoder import decode_module
@@ -246,6 +247,9 @@ def run_wasi(
     )
     host = wasi.register(store)
     interp = interpreter_cls(store, fuel=fuel)
+    prof = profile.active_profiler()
+    if prof is not None:
+        interp.profiler = prof
 
     restored = snapshot is not None
     restore_elapsed = 0.0

@@ -97,7 +97,12 @@ def build_exports(module: Module, instance: ModuleInstance, store: Store) -> Non
         "global": instance.global_addrs,
     }
     for ex in module.exports:
-        instance.exports[ex.name] = (ex.kind, addr_spaces[ex.kind][ex.index])
+        addr = addr_spaces[ex.kind][ex.index]
+        instance.exports[ex.name] = (ex.kind, addr)
+        if ex.kind == "func" and not store.funcs[addr].name:
+            # Modules without a name section still get readable profiler
+            # frames and trap messages for their exported entry points.
+            store.funcs[addr].name = ex.name
     if instance.mem_addrs:
         instance.mem0 = store.mems[instance.mem_addrs[0]]
 

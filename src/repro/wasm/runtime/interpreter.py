@@ -73,6 +73,9 @@ class Interpreter:
         self.max_call_depth = max_call_depth
         self._depth = 0
         self.instructions_executed = 0
+        #: attached FunctionProfiler (obs.profile) or None; the None
+        #: check is the whole disabled-path cost
+        self.profiler = None
 
     # -- public ----------------------------------------------------------------
 
@@ -110,6 +113,7 @@ class Interpreter:
         mem = inst.mem0
         if mem is None and inst.mem_addrs:
             mem = inst.mem0 = self.store.mems[inst.mem_addrs[0]]
+        prof = self.profiler
         compiled = prepared.compiled
         if compiled is not None:
             if self.fuel is None:
@@ -117,20 +121,39 @@ class Interpreter:
                 # retired-instruction count and raises the same traps as
                 # the flat code; results come back as the final list.
                 self._depth += 1
+                if prof is None:
+                    try:
+                        return compiled(self, Frame(args, inst, mem))
+                    finally:
+                        self._depth -= 1
+                # Inner activations flush their counts in their own
+                # finally first, so the delta seen here is inclusive.
+                prof.enter(fi.name or "<anonymous>")
+                base = self.instructions_executed
                 try:
                     return compiled(self, Frame(args, inst, mem))
                 finally:
                     self._depth -= 1
+                    prof.exit(self.instructions_executed - base)
             # Metered activations need the per-entry fuel debit protocol;
             # deopt to the specialized flat bytecode below.
             METERED_DEOPT.inc()
         frame = Frame(args, inst, mem)
         stack: List[object] = []
         self._depth += 1
-        try:
-            self._run(prepared.code, frame, stack)
-        finally:
-            self._depth -= 1
+        if prof is None:
+            try:
+                self._run(prepared.code, frame, stack)
+            finally:
+                self._depth -= 1
+        else:
+            prof.enter(fi.name or "<anonymous>")
+            base = self.instructions_executed
+            try:
+                self._run(prepared.code, frame, stack)
+            finally:
+                self._depth -= 1
+                prof.exit(self.instructions_executed - base)
         n = prepared.n_results
         if n == 0:
             return []

@@ -1114,7 +1114,12 @@ class _ClosureCompiler:
             "            _d[4] = _m",
             "            _d[5] = _mm",
             "            _d[0] = inst",
-            "if _cc is not None:",
+            # The cell fast path skips _call_wasm, which is where the
+            # profiler hangs its enter/exit hooks — so profiled
+            # activations take the generic path to keep frame
+            # attribution complete (profiling is opt-in; the extra
+            # attribute check is the only cost when it is off).
+            "if _cc is not None and interp.profiler is None:",
             "    if interp._depth >= interp.max_call_depth:"
             " raise EE('call stack exhausted')",
             "    interp._depth += 1",

@@ -70,6 +70,20 @@ class WasiEnv:
             2: _FdEntry(kind="stream", write_sink=self.stderr, readable=False),
         }
         self._next_fd = 3
+        # Per-direction byte counters for the eWAPA-style latency model
+        # (``repro inspect --wasi``): data-moving hostcalls charge a
+        # per-byte cost on top of the per-call base.
+        if obs.enabled():
+            bytes_total = obs.counter(
+                "repro_wasi_bytes_total",
+                "bytes moved through WASI data-path host calls",
+                ("func", "direction"),
+            )
+            self._m_write_bytes = bytes_total.labels("fd_write", "out")
+            self._m_read_bytes = bytes_total.labels("fd_read", "in")
+        else:
+            self._m_write_bytes = obs.NULL_METRIC
+            self._m_read_bytes = obs.NULL_METRIC
         # Preopens: guest path -> host fs path, in fd order starting at 3.
         for guest_path, host_path in (preopens or {}).items():
             node = self.fs.mkdir(host_path)
@@ -257,6 +271,8 @@ class WasiEnv:
             else:
                 return [E.EISDIR]
             written += len(chunk)
+        if written:
+            self._m_write_bytes.inc(written)
         mem.write_u32(nwritten_ptr, written)
         return [E.SUCCESS]
 
@@ -283,6 +299,8 @@ class WasiEnv:
             total += len(chunk)
             if len(chunk) < length:
                 break
+        if total:
+            self._m_read_bytes.inc(total)
         mem.write_u32(nread_ptr, total)
         return [E.SUCCESS]
 

@@ -198,6 +198,68 @@ class TestTelemetryMerge:
         assert "repro_kubelet_pod_syncs_total" in names
 
 
+class TestTimeseriesJobsIdentity:
+    """--timeseries-out/--profile-out at any --jobs N (tentpole acceptance).
+
+    Stronger than counter-total equality: the TSDB log (samples + alert
+    transitions), the collapsed guest profile, and the --wasi latency
+    table must be *byte-identical* between --jobs 1 and --jobs 2. The
+    sampler's determinism contract (cold caches per cell, baseline
+    deltas, zero suppression, wall-clock exclusion) is what makes this
+    hold; any leak of process warmth into the sampled stream fails here.
+    """
+
+    @pytest.fixture()
+    def full_telemetry(self):
+        from repro import obs
+        from repro.obs import profile, timeseries
+
+        was = obs.enabled()
+        obs.set_enabled(True)
+        obs.reset()
+        timeseries.set_sampling(True, timeseries.DEFAULT_PERIOD)
+        profile.set_profiling(True)
+        yield obs
+        profile.set_profiling(False)
+        timeseries.set_sampling(False)
+        obs.reset()
+        obs.set_enabled(was)
+
+    def _artifacts(self, obs):
+        from repro.obs import profile, timeseries
+        from repro.obs.export import (
+            prometheus_text,
+            render_wasi,
+            timeseries_jsonl,
+        )
+
+        return {
+            "timeseries": timeseries_jsonl(
+                timeseries.default_db().tagged_entries(), obs.context_labels()
+            ),
+            "profile": profile.collapsed(),
+            "wasi": render_wasi(prometheus_text(obs.default_registry())),
+        }
+
+    def test_artifacts_byte_identical_across_jobs(self, full_telemetry):
+        obs = full_telemetry
+        seq_results = run_matrix(PAIRS, seed=1, jobs=1, cache=None)
+        seq = self._artifacts(obs)
+        assert seq["timeseries"], "sequential run sampled nothing"
+        assert '"kind": "alert"' in seq["timeseries"], (
+            "no alert transition in the sampled stream"
+        )
+        assert "_start" in seq["profile"]
+        assert "hostcalls" in seq["wasi"]
+
+        obs.reset()
+        par_results = run_matrix(PAIRS, seed=1, jobs=2, cache=None)
+        par = self._artifacts(obs)
+
+        assert par_results == seq_results
+        assert par == seq
+
+
 class TestAuditModeExperiments:
     def test_audit_measurement_identical_to_default(self, sequential, monkeypatch):
         monkeypatch.setenv("REPRO_MEMORY_ACCOUNTING", "audit")

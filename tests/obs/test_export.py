@@ -10,8 +10,12 @@ from repro.obs.export import (
     load_trace_events,
     metric_families,
     parse_prometheus_text,
+    parse_timeseries_jsonl,
     prometheus_text,
     render_breakdown,
+    render_dashboard,
+    render_wasi,
+    timeseries_jsonl,
     validate_chrome_trace,
 )
 from repro.obs.registry import MetricsRegistry
@@ -167,3 +171,221 @@ class TestLoadAndInspect:
         filtered = render_breakdown(load_trace_events(path), category="startup")
         assert "recovery.backoff" not in filtered
         assert render_breakdown([], category="nope").startswith("trace: no spans")
+
+    def test_render_breakdown_top_and_sort(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(jsonl_events(_spans()))
+        records = load_trace_events(path)
+        table = render_breakdown(records, top=1)
+        # startup.exec and recovery.backoff tie on total (1.0 s each);
+        # ties break alphabetically, the rest fold into the footer but
+        # stay in the header count.
+        assert "recovery.backoff" in table
+        assert "startup.exec" not in table
+        assert "... 2 more categories (raise --top)" in table
+        assert "3 categories" in table
+        by_mean = render_breakdown(records, top=2, sort="mean")
+        # startup.pull (0.5 s mean) ranks last under mean; top=2 drops it.
+        assert "startup.pull" not in by_mean
+        assert "startup.exec" in by_mean and "recovery.backoff" in by_mean
+
+
+class TestNumericLabelSort:
+    """S1: exports sort label values numerically, not lexically."""
+
+    def test_histogram_le_order_in_exposition(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_h_seconds", "h", buckets=(2.0, 10.0))
+        h.observe(1.0)
+        text = prometheus_text(reg)
+        bucket_lines = [l for l in text.splitlines() if "_bucket" in l]
+        les = [l.split('le="')[1].split('"')[0] for l in bucket_lines]
+        # Lexical sort would put "10" before "2".
+        assert les == ["2", "10", "+Inf"]
+
+    def test_numeric_labelvalues_sort_by_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_pods_total", "by count", ("count",))
+        for n in ("100", "20", "3"):
+            c.labels(n).inc()
+        text = prometheus_text(reg)
+        order = [
+            l.split('count="')[1].split('"')[0]
+            for l in text.splitlines()
+            if l.startswith("repro_pods_total{")
+        ]
+        assert order == ["3", "20", "100"]
+
+    def test_mixed_labels_numbers_before_strings(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_x_total", "x", ("k",))
+        for v in ("b", "10", "a", "2"):
+            c.labels(v).inc()
+        text = prometheus_text(reg)
+        order = [
+            l.split('k="')[1].split('"')[0]
+            for l in text.splitlines()
+            if l.startswith("repro_x_total{")
+        ]
+        assert order == ["2", "10", "a", "b"]
+
+
+class TestCounterTracks:
+    def _samples(self):
+        return [
+            (1, "repro_monitor_pods_ready", (), 0.0, 0.0),
+            (1, "repro_monitor_pods_ready", (), 1.0, 4.0),
+            (2, "repro_alert_state", (("alert", "A"),), 0.5, 2.0),
+        ]
+
+    def test_counter_samples_become_c_events(self):
+        obj = chrome_trace(_spans(), {1: "deploy"}, counter_samples=self._samples())
+        validate_chrome_trace(obj)
+        counters = [e for e in obj["traceEvents"] if e["ph"] == "C"]
+        assert len(counters) == 3
+        ready = [e for e in counters if e["name"] == "repro_monitor_pods_ready"]
+        assert [e["ts"] for e in ready] == [0.0, 1_000_000.0]
+        assert [e["args"]["value"] for e in ready] == [0.0, 4.0]
+        labeled = next(e for e in counters if e["pid"] == 2)
+        assert labeled["name"] == "repro_alert_state{alert=A}"
+
+    def test_counter_only_context_gets_process_name(self):
+        obj = chrome_trace([], {3: "campaign"},
+                           counter_samples=[(3, "repro_monitor_v", (), 0.0, 1.0)])
+        meta = [e for e in obj["traceEvents"] if e["ph"] == "M"]
+        assert any(
+            e["name"] == "process_name" and e["pid"] == 3
+            and e["args"]["name"] == "campaign"
+            for e in meta
+        )
+
+    def test_validator_checks_c_events(self):
+        with pytest.raises(ValueError, match="counter ts"):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "C", "pid": 1, "ts": float("nan"),
+                                  "args": {"value": 1}}]}
+            )
+        with pytest.raises(ValueError, match="without args"):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "C", "pid": 1, "ts": 0.0, "args": {}}]}
+            )
+        with pytest.raises(ValueError, match="non-numeric"):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "C", "pid": 1, "ts": 0.0,
+                                  "args": {"value": "high"}}]}
+            )
+
+
+class TestTimeseriesJsonl:
+    def _entries(self):
+        return [
+            (1, ("sample", "repro_monitor_pods_ready", (), 0.0, 0.0)),
+            (1, ("sample", "repro_monitor_pods_ready", (), 1.0, 4.0)),
+            (1, ("alert", "PodReadyAvailabilityLow",
+                 (("from", "pending"), ("to", "firing"), ("severity", "page")),
+                 1.0, 2.0)),
+        ]
+
+    def test_round_trip(self):
+        text = timeseries_jsonl(self._entries(), {1: "deploy crun-wamr"})
+        records = parse_timeseries_jsonl(text)
+        assert [r["kind"] for r in records] == ["sample", "sample", "alert"]
+        assert records[0]["ctx"] == "deploy crun-wamr"
+        assert records[2]["alert"] == "PodReadyAvailabilityLow"
+        assert records[2]["to"] == "firing"
+        assert timeseries_jsonl([]) == ""
+        assert parse_timeseries_jsonl("") == []
+
+    def test_parser_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown kind"):
+            parse_timeseries_jsonl('{"kind": "gauge", "ts": 0, "value": 1}\n')
+
+    def test_parser_rejects_missing_field(self):
+        with pytest.raises(ValueError, match="missing 'value'"):
+            parse_timeseries_jsonl(
+                '{"kind": "sample", "name": "m", "labels": {}, "ts": 0, "ctx": "c"}\n'
+            )
+
+    def test_parser_rejects_non_finite(self):
+        with pytest.raises(ValueError, match="bad 'value'"):
+            parse_timeseries_jsonl(
+                '{"kind": "sample", "name": "m", "labels": {}, "ts": 0,'
+                ' "value": NaN, "ctx": "c"}\n'
+            )
+
+    def test_parser_rejects_ts_regression_per_context(self):
+        rows = [
+            '{"kind": "sample", "name": "m", "labels": {}, "ts": 2.0, "value": 1, "ctx": "a"}',
+            '{"kind": "sample", "name": "m", "labels": {}, "ts": 0.0, "value": 1, "ctx": "b"}',
+        ]
+        # Different contexts interleave freely...
+        parse_timeseries_jsonl("\n".join(rows) + "\n")
+        rows.append(
+            '{"kind": "sample", "name": "m", "labels": {}, "ts": 1.0, "value": 1, "ctx": "a"}'
+        )
+        # ...but within one context time only moves forward.
+        with pytest.raises(ValueError, match="timestamp regression"):
+            parse_timeseries_jsonl("\n".join(rows) + "\n")
+
+
+class TestRenderWasi:
+    def _text(self):
+        reg = MetricsRegistry()
+        calls = reg.counter("repro_wasi_calls_total", "calls", ("func",))
+        calls.labels("fd_write").inc(4)
+        calls.labels("clock_time_get").inc(2)
+        calls.labels("fd_close")  # registered, never called
+        data = reg.counter("repro_wasi_bytes_total", "bytes", ("func", "direction"))
+        data.labels("fd_write", "out").inc(64)
+        return prometheus_text(reg)
+
+    def test_table_shape_and_zero_row_filter(self):
+        table = render_wasi(self._text())
+        assert "2 hostcalls" in table and "6 calls" in table
+        assert "fd_write" in table and "clock_time_get" in table
+        assert "fd_close" not in table  # zero-activity rows dropped
+
+    def test_top_footer_and_sort(self):
+        table = render_wasi(self._text(), top=1)
+        assert "fd_write" in table
+        assert "... 1 more hostcalls (raise --top)" in table
+        by_count = render_wasi(self._text(), top=1, sort="count")
+        assert "fd_write" in by_count  # 4 calls > 2
+
+    def test_no_samples_message(self):
+        assert render_wasi(prometheus_text(MetricsRegistry())).startswith(
+            "wasi: no repro_wasi_calls_total samples"
+        )
+
+
+class TestRenderDashboard:
+    def test_sparklines_and_alert_timeline(self):
+        text = timeseries_jsonl(
+            [
+                (1, ("sample", "repro_monitor_pods_ready", (), float(i), float(i)))
+                for i in range(4)
+            ]
+            + [
+                (1, ("sample", "repro_kubelet_pod_syncs_total", (), 3.0, 9.0)),
+                (1, ("alert", "PodReadyAvailabilityLow",
+                     (("from", "inactive"), ("to", "pending"), ("severity", "page")),
+                     3.0, 1.0)),
+            ],
+            {1: "deploy"},
+        )
+        out = render_dashboard(parse_timeseries_jsonl(text))
+        assert "deploy" in out
+        assert "repro_monitor_pods_ready" in out
+        # Default series filter keeps the collector gauges only.
+        assert "repro_kubelet_pod_syncs_total" not in out
+        assert "min=0 mean=1.5 max=3 last=3" in out
+        assert "PodReadyAvailabilityLow" in out and "inactive → pending" in out
+        widened = render_dashboard(
+            parse_timeseries_jsonl(text), series="repro_kubelet_"
+        )
+        assert "repro_kubelet_pod_syncs_total" in widened
+
+    def test_no_matching_series(self):
+        assert render_dashboard([], series="nope").startswith(
+            "monitor: no series matching"
+        )

@@ -46,8 +46,8 @@ class TestDeltaAlgebra:
         children = delta["families"]["tasks_total"]["children"]
         assert children[("deploy",)] == 2  # 5 total minus 3 at snapshot
         assert children[("chaos",)] == 1
-        buckets, dsum, dcount = delta["families"]["lat_seconds"]["children"][()]
-        assert dcount == 1 and dsum == 5.0
+        buckets, dsum, dcount, dunits = delta["families"]["lat_seconds"]["children"][()]
+        assert dcount == 1 and dsum == 5.0 and dunits == 5_000_000_000
         assert buckets == (0, 0)  # 5.0 overflows every finite bucket
 
     def test_new_family_registration_propagates_even_when_zero(self):
@@ -126,3 +126,65 @@ class TestMergeEquivalence:
         parent = MetricsRegistry()
         parent.merge_delta(worker.delta_since(base))
         assert parent.events == events > 0
+
+
+class TestMergeEdgeCases:
+    """S3: the algebra's corners — the cases the pool never hits until
+    it does (empty cells, children one side has never seen, repeated
+    application)."""
+
+    def test_empty_delta_is_a_no_op(self):
+        parent = MetricsRegistry()
+        _workload_a(parent)
+        before = prometheus_text(parent)
+        worker = MetricsRegistry()
+        parent.merge_delta(worker.delta_since(worker.state()))
+        assert prometheus_text(parent) == before
+        parent.merge_delta(None)
+        parent.merge_delta({})
+        assert prometheus_text(parent) == before
+
+    def test_one_sided_histogram_child_merges_into_bare_parent(self):
+        # Parent registered the family but never observed the worker's
+        # label set: the merge must materialize the child, buckets and
+        # all, not just add to existing cells.
+        parent = MetricsRegistry()
+        parent.histogram("lat_seconds", "latency", buckets=(0.1, 1.0),
+                         labelnames=("config",))
+        worker = MetricsRegistry()
+        base = worker.state()
+        h = worker.histogram("lat_seconds", "latency", buckets=(0.1, 1.0),
+                             labelnames=("config",))
+        h.labels("crun-wamr").observe(0.05)
+        h.labels("crun-wamr").observe(0.5)
+        parent.merge_delta(worker.delta_since(base))
+        child = parent.get("lat_seconds").samples()
+        ((labels, merged),) = child
+        assert labels == ("crun-wamr",)
+        assert merged.count == 2 and merged.sum == pytest.approx(0.55)
+        assert tuple(merged.cumulative_buckets()) == (1, 2)
+
+    def test_merge_is_additive_not_idempotent(self):
+        # The protocol applies each delta exactly once (sequential cell
+        # order); applying one twice double-counts by design. Pinned so
+        # nobody "fixes" the pool by making merges idempotent and
+        # silently drops legitimate repeat activity across cells.
+        parent = MetricsRegistry()
+        worker = MetricsRegistry()
+        base = worker.state()
+        worker.counter("tasks_total", "t").inc(3)
+        delta = worker.delta_since(base)
+        parent.merge_delta(delta)
+        parent.merge_delta(delta)
+        assert parent.counter("tasks_total").value == 6
+
+    def test_counters_never_regress_under_merge(self):
+        # A worker delta can only add: zero-activity children arrive as
+        # 0.0 and leave the parent's accumulated totals untouched.
+        parent = MetricsRegistry()
+        parent.counter("tasks_total", "t").inc(5)
+        worker = MetricsRegistry()
+        base = worker.state()
+        worker.counter("tasks_total", "t")  # registered, never incremented
+        parent.merge_delta(worker.delta_since(base))
+        assert parent.counter("tasks_total").value == 5
