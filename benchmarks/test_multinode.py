@@ -1,0 +1,160 @@
+"""Multi-node fleet benchmark: cross-node scaling + snapshot locality.
+
+Writes ``benchmarks/output/BENCH_multinode.json`` (uploaded by CI
+alongside the other trajectory artifacts):
+
+* the scaling sweep — one 2000-pod deployment repeated over fleet sizes
+  1/2/4/8, reporting the startup makespan, pods-per-second throughput
+  and the speedup over the single node, asserted against a conservative
+  ≥3× floor at 8 nodes (the serialized sandbox phase is quadratic in
+  per-node container count, so real scaling is superlinear);
+* the headline 10k-pods-on-32-nodes point, asserted to complete with
+  every container ready;
+* the zygote-locality ablation — the same wave scheduled with and
+  without the snapshot-locality bonus, asserting that locality-aware
+  placement wins strictly more warm starts;
+* the scheduler's wall-clock decision latency (mean over all placements
+  of the 8-node sweep point), from the decision-seconds histogram.
+
+All throughput figures are simulated-time ratios of the same seed, so
+the floors are machine-independent; only the decision latency is
+wall-clock (reported, not asserted).
+"""
+
+import json
+
+from conftest import OUTPUT_DIR, SEED, emit
+
+from repro.measure.fleet import render_fleet, run_fleet, run_locality_ablation
+
+#: Acceptance floor: 8 nodes at least this much faster than 1 node.
+SCALING_FLOOR_8 = 3.0
+
+#: The scaling sweep's deployment size (dense enough that the per-node
+#: serialized phase dominates the single-node baseline).
+SWEEP_COUNT = 2000
+
+#: The headline point: the paper's 500-pods-per-node extension, fleet-wide.
+HEADLINE_PODS = 10_000
+HEADLINE_NODES = 32
+
+
+def _decision_latency_stats():
+    """Mean/count of scheduler decisions from the wall-clock histogram."""
+    from repro import obs
+
+    fam = obs.default_registry().get("repro_scheduler_decision_seconds")
+    if fam is None:
+        return None
+    child = fam.labels()
+    if not child.count:
+        return None
+    return {"decisions": child.count, "mean_us": 1e6 * child.sum / child.count}
+
+
+def test_bench_multinode_json():
+    """Emit BENCH_multinode.json and hold the fleet-scaling floor."""
+    from repro import obs
+
+    was_enabled = obs.enabled()
+    obs.set_enabled(True)
+    obs.reset()
+    try:
+        scaling = run_fleet(
+            config="crun-wamr-zygote", count=SWEEP_COUNT, seed=SEED
+        )
+        latency = _decision_latency_stats()
+    finally:
+        obs.reset()
+        obs.set_enabled(was_enabled)
+
+    from repro.measure.experiment import ExperimentRunner
+
+    headline = ExperimentRunner(seed=SEED).run(
+        "crun-wamr-zygote", HEADLINE_PODS, nodes=HEADLINE_NODES
+    )
+    ablation = run_locality_ablation(seed=SEED)
+
+    report = {
+        "seed": SEED,
+        "scaling": {
+            "config": scaling.config,
+            "count": scaling.count,
+            "points": [
+                {
+                    "nodes": p.nodes,
+                    "startup_seconds": round(p.measurement.startup_seconds, 4),
+                    "throughput_pods_per_s": round(p.throughput, 2),
+                    "speedup": round(scaling.speedup(p.nodes), 3),
+                    "warm_fraction": (
+                        round(p.warm_fraction, 4)
+                        if p.warm_fraction is not None
+                        else None
+                    ),
+                }
+                for p in scaling.points
+            ],
+            "floor_8_nodes": SCALING_FLOOR_8,
+        },
+        "headline": {
+            "pods": HEADLINE_PODS,
+            "nodes": HEADLINE_NODES,
+            "startup_seconds": round(headline.startup_seconds, 4),
+            "throughput_pods_per_s": round(headline.throughput, 2),
+            "ready_fraction": headline.ready_fraction,
+            "max_pods_on_a_node": max(u.pods for u in headline.per_node),
+            "min_pods_on_a_node": min(u.pods for u in headline.per_node),
+        },
+        "locality": {
+            "config": ablation.config,
+            "count": ablation.count,
+            "nodes": ablation.nodes,
+            "warm_fraction_with": round(ablation.warm_fraction_with, 4),
+            "warm_fraction_without": round(ablation.warm_fraction_without, 4),
+            "warm_gain": round(ablation.warm_gain, 4),
+        },
+        "scheduler_decision_latency": latency,
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_multinode.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+
+    speedup8 = scaling.speedup(8)
+    lat = (
+        f"{latency['mean_us']:.1f} us over {latency['decisions']} decisions"
+        if latency
+        else "n/a"
+    )
+    emit(
+        "multinode",
+        "\n".join(
+            [
+                render_fleet(scaling),
+                "",
+                f"[fleet] 10k pods on 32 nodes: "
+                f"{headline.startup_seconds:.2f} s "
+                f"({headline.throughput:.0f} pods/s, "
+                f"ready {headline.ready_fraction:.0%})",
+                f"[fleet] locality warm fraction: "
+                f"{ablation.warm_fraction_with:.1%} with vs "
+                f"{ablation.warm_fraction_without:.1%} without "
+                f"({ablation.warm_gain:+.1%})",
+                f"[fleet] scheduler decision latency: {lat}",
+            ]
+        ),
+    )
+
+    # Near-linear (here: superlinear) scaling floor at 8 nodes.
+    assert speedup8 >= SCALING_FLOOR_8, (
+        f"8-node speedup {speedup8:.2f}x below the {SCALING_FLOOR_8}x floor"
+    )
+    # Monotone: adding nodes never slows the sweep down.
+    makespans = [p.measurement.startup_seconds for p in scaling.points]
+    assert makespans == sorted(makespans, reverse=True)
+    # The headline deployment completes fleet-wide, evenly sharded.
+    assert headline.ready_fraction == 1.0
+    assert len(headline.per_node) == HEADLINE_NODES
+    assert max(u.pods for u in headline.per_node) <= 500
+    # Locality-aware placement strictly beats locality-blind warm-wise.
+    assert ablation.warm_fraction_with > ablation.warm_fraction_without

@@ -9,6 +9,10 @@ from repro.errors import KubernetesError
 from repro.k8s.objects import NodeInfo, Pod, PodPhase, PodSpec, RuntimeClass
 
 Watcher = Callable[[Pod], None]
+#: called with (node_name, slot_delta) when a pod is bound (-1) or a
+#: bound pod leaves the API server (+1) — the scheduler's incremental
+#: free-slot bookkeeping hangs off this
+CapacityWatcher = Callable[[str, int], None]
 
 
 class APIServer:
@@ -26,6 +30,10 @@ class APIServer:
         self.nodes: Dict[str, NodeInfo] = {}
         self.runtime_classes: Dict[str, RuntimeClass] = {}
         self._pod_watchers: List[Watcher] = []
+        self._capacity_watchers: List[CapacityWatcher] = []
+        #: bumped whenever the node set changes; cached node orderings
+        #: (the scheduler's) revalidate against it in O(1)
+        self.nodes_version = 0
 
     # -- registration ------------------------------------------------------
 
@@ -33,12 +41,16 @@ class APIServer:
         if node.name in self.nodes:
             raise KubernetesError(f"node {node.name} already registered")
         self.nodes[node.name] = node
+        self.nodes_version += 1
 
     def register_runtime_class(self, rc: RuntimeClass) -> None:
         self.runtime_classes[rc.name] = rc
 
     def watch_pods(self, watcher: Watcher) -> None:
         self._pod_watchers.append(watcher)
+
+    def watch_capacity(self, watcher: CapacityWatcher) -> None:
+        self._capacity_watchers.append(watcher)
 
     # -- pod lifecycle ------------------------------------------------------
 
@@ -72,6 +84,8 @@ class APIServer:
         pod.node_name = node_name
         pod.scheduled_at = self._clock()
         node.pod_uids.append(pod.uid)
+        for watcher in self._capacity_watchers:
+            watcher(node_name, -1)
         self._notify(pod)
 
     def set_phase(
@@ -90,6 +104,8 @@ class APIServer:
             node = self.nodes.get(pod.node_name)
             if node and pod.uid in node.pod_uids:
                 node.pod_uids.remove(pod.uid)
+                for watcher in self._capacity_watchers:
+                    watcher(node.name, +1)
 
     def _notify(self, pod: Pod) -> None:
         for watcher in self._pod_watchers:

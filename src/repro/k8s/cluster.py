@@ -31,8 +31,10 @@ from repro.k8s.objects import (
     RestartPolicy,
     RuntimeClass,
 )
-from repro.k8s.scheduler import Scheduler
-from repro.sim.faults import FaultPlan
+from repro.k8s.objects import REASON_NODE_FAILURE
+from repro.k8s.scheduler import NodeSignals, Scheduler
+from repro.sim.cpu import CpuModel
+from repro.sim.faults import FaultPlan, FaultPoint
 from repro.sim.kernel import Kernel
 from repro.sim.memory import GIB, SystemMemoryModel
 from repro.sim.rng import RngStreams
@@ -42,6 +44,22 @@ from repro.workloads.images import (
     build_python_image,
     build_wasm_image,
 )
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Declarative shape of one fleet node (heterogeneous fleets).
+
+    ``build_cluster(node_specs=[...])`` builds exactly these nodes; the
+    legacy ``node_count``/``max_pods``/``memory_bytes`` parameters expand
+    to a homogeneous spec list (the paper's testbed shape).
+    """
+
+    name: str
+    cores: int = 20
+    memory_bytes: int = 256 * GIB
+    max_pods: int = 500
+    labels: Dict[str, str] = field(default_factory=dict)
 
 
 @dataclass
@@ -176,6 +194,49 @@ class Cluster:
         """
         self.teardown(self.deployments.delete(deployment_name))
 
+    # -- node failure ---------------------------------------------------------
+
+    def fail_node(self, node_name: str) -> List[Pod]:
+        """Simulate a whole-node failure: cordon the node, drain its pods.
+
+        Every Pending/Running pod bound to the node is force-evicted
+        FAILED with ``reason=NodeFailure`` (the pod object stays in the
+        API server, exactly like a pressure eviction), so the next
+        DeploymentController reconcile re-places replacements — which
+        the scheduler now binds to the surviving, schedulable fleet.
+        Returns the drained pods.
+        """
+        worker = self.nodes[node_name]
+        worker.info.unschedulable = True
+        drained = []
+        for pod in self.api.pods_on_node(node_name):
+            if pod.phase in (PodPhase.PENDING, PodPhase.RUNNING):
+                worker.kubelet.evict_pod(
+                    pod,
+                    message=f"node {node_name} failed",
+                    reason=REASON_NODE_FAILURE,
+                )
+                drained.append(pod)
+        return drained
+
+    def inject_node_failures(self) -> List[str]:
+        """Ask the armed fault plan which nodes fail now (``node.fail``).
+
+        One deterministic draw per schedulable node, keyed by node name;
+        firing nodes are cordoned and drained via :meth:`fail_node`.
+        Returns the failed node names (empty with no plan armed).
+        """
+        failed = []
+        for name in sorted(self.nodes):
+            worker = self.nodes[name]
+            plan = worker.env.faults
+            if plan is None or worker.info.unschedulable:
+                continue
+            if plan.check(FaultPoint.NODE_FAIL, name) is not None:
+                self.fail_node(name)
+                failed.append(name)
+        return failed
+
 
 def build_cluster(
     seed: int = 0,
@@ -185,8 +246,19 @@ def build_cluster(
     fault_plan: Optional[FaultPlan] = None,
     probes: Optional[ProbeConfig] = None,
     admission_shedding: bool = False,
+    node_specs: Optional[List[NodeSpec]] = None,
+    balance_weight: float = 1.0,
+    memory_weight: float = 1.0,
+    locality_weight: float = 0.3,
 ) -> Cluster:
     """Build the simulated testbed (defaults = the paper's single node).
+
+    ``node_specs`` builds a heterogeneous fleet (per-node cores, memory,
+    max-pods, labels); without it, ``node_count`` homogeneous nodes of
+    the legacy shape are built. The three weights parameterize the
+    scheduler's scoring terms (balance/memory bin-packing/zygote
+    snapshot locality); they only matter once more than one node is
+    feasible, so the paper's single-node figures are untouched.
 
     ``fault_plan`` arms deterministic fault injection on every node (the
     plan's budgets are shared cluster-wide); None leaves injection off
@@ -196,18 +268,32 @@ def build_cluster(
     """
     kernel = Kernel()
     api = APIServer(clock=lambda: kernel.now)
-    scheduler = Scheduler(api)
+    scheduler = Scheduler(
+        api,
+        balance_weight=balance_weight,
+        memory_weight=memory_weight,
+        locality_weight=locality_weight,
+    )
 
     for config_id in known_configs() + ablation_configs():
         api.register_runtime_class(RuntimeClass(name=config_id, handler=config_id))
 
+    if node_specs is None:
+        node_specs = [
+            NodeSpec(
+                name=f"node-{i}", max_pods=max_pods, memory_bytes=memory_bytes
+            )
+            for i in range(node_count)
+        ]
+
     nodes: Dict[str, WorkerNode] = {}
-    for i in range(node_count):
-        name = f"node-{i}"
-        memory = SystemMemoryModel(total_bytes=memory_bytes)
+    for i, spec in enumerate(node_specs):
+        name = spec.name
+        memory = SystemMemoryModel(total_bytes=spec.memory_bytes)
         env = NodeEnv.create(
             kernel=kernel,
             memory=memory,
+            cpu=CpuModel(cores=spec.cores),
             rng=RngStreams(seed * 1000 + i),
             faults=fault_plan,
         )
@@ -229,11 +315,19 @@ def build_cluster(
         )
         info = NodeInfo(
             name=name,
-            max_pods=max_pods,
-            allocatable_memory=memory_bytes,
+            max_pods=spec.max_pods,
+            allocatable_memory=spec.memory_bytes,
+            labels=dict(spec.labels),
             runtime_handlers=known_configs() + ablation_configs(),
         )
         api.register_node(info)
+        scheduler.attach_node_signals(
+            name,
+            NodeSignals(
+                working_set=memory.node_working_set,
+                zygote_warm=env.zygote_warm,
+            ),
+        )
         nodes[name] = WorkerNode(
             name=name,
             env=env,

@@ -117,7 +117,13 @@ class Kubelet:
         )
         self._m_evictions = obs.counter(
             "repro_kubelet_evictions_total",
-            "pods evicted to relieve node memory pressure",
+            "pods evicted from a node, by node and reason",
+            ("node", "reason"),
+        )
+        self._m_zygote_starts = obs.counter(
+            "repro_kubelet_zygote_starts_total",
+            "zygote-capable container starts, by node and warm/cold mode",
+            ("node", "mode"),
         )
         self._m_probes = obs.counter(
             "repro_kubelet_probe_checks_total",
@@ -182,6 +188,12 @@ class Kubelet:
                 if any("zygote_warm" in c.facts for c in realized):
                     all_warm = all(c.facts.get("zygote_warm") for c in realized)
                     extra["zygote"] = "warm" if all_warm else "cold"
+                    for c in realized:
+                        if "zygote_warm" in c.facts:
+                            mode = "warm" if c.facts["zygote_warm"] else "cold"
+                            self._m_zygote_starts.labels(
+                                self.node_name, mode
+                            ).inc()
                 self.env.tracer.record(
                     "pod.sync",
                     pod.uid,
@@ -427,11 +439,15 @@ class Kubelet:
             return None
         return max(candidates, key=lambda p: (p.created_at, p.uid))
 
-    def evict_pod(self, pod: Pod, message: str = "") -> None:
-        """Node-pressure eviction: free the pod's resources, mark it FAILED.
+    def evict_pod(
+        self, pod: Pod, message: str = "", reason: str = REASON_EVICTED
+    ) -> None:
+        """Eviction: free the pod's resources, mark it FAILED with ``reason``.
 
         The pod object stays in the API server (like a real evicted pod)
-        so controllers observe the failure and reconcile a replacement.
+        so controllers observe the failure and reconcile a replacement —
+        on whichever node the scheduler now prefers. Node-failure
+        drains reuse this path with ``reason=REASON_NODE_FAILURE``.
         """
         self._cleanup_attempt(pod)
         self.api.set_phase(
@@ -439,12 +455,12 @@ class Kubelet:
             PodPhase.FAILED,
             message=message
             or "node memory exhausted: evicted newest pod to relieve pressure",
-            reason=REASON_EVICTED,
+            reason=reason,
         )
-        self._m_evictions.inc()
+        self._m_evictions.labels(self.node_name, reason).inc()
         now = self.env.kernel.now
         self.env.tracer.record(
-            "recovery.eviction", pod.uid, now, now, reason=REASON_EVICTED
+            "recovery.eviction", pod.uid, now, now, reason=reason
         )
         self._tick_sampler()
 

@@ -55,6 +55,11 @@ class MetricsServer:
             "scrape passes lost to injected faults (stale data served)",
             always=True,
         )
+        self._g_node_ws = obs.gauge(
+            "repro_node_working_set_bytes",
+            "full node working set as of the last metrics-server scrape",
+            ("node",),
+        )
 
     def scrape(self) -> List[PodMetrics]:
         """One metrics pass over every pod on the node.
@@ -71,6 +76,9 @@ class MetricsServer:
         pods = sorted(self._containerd.pods.items())
         self._m_scrapes.inc()
         self._m_pods_scraped.inc(len(pods))
+        self._g_node_ws.labels(self._node_name).set(
+            self._memory.node_working_set()
+        )
         working_sets = self._memory.cgroup_working_sets(
             handle.cgroup for _, handle in pods
         )

@@ -37,6 +37,7 @@ REASON_MEMORY_PRESSURE = "MemoryPressure"
 REASON_EVICTED = "Evicted"
 REASON_OOM = "OutOfMemory"
 REASON_ERROR = "Error"
+REASON_NODE_FAILURE = "NodeFailure"
 
 
 @dataclass
@@ -103,6 +104,8 @@ class NodeInfo:
     labels: Dict[str, str] = field(default_factory=dict)
     runtime_handlers: List[str] = field(default_factory=list)
     pod_uids: List[str] = field(default_factory=list)
+    #: cordoned / failed nodes are filtered out of scheduling entirely
+    unschedulable: bool = False
 
     @property
     def pod_count(self) -> int:

@@ -34,7 +34,11 @@ import pathlib
 import tempfile
 from typing import Dict, Optional
 
-from repro.measure.experiment import DeploymentMeasurement, MemorySample
+from repro.measure.experiment import (
+    DeploymentMeasurement,
+    MemorySample,
+    NodeUsage,
+)
 from repro.measure.stats import Summary
 
 _PACKAGE_ROOT = pathlib.Path(__file__).resolve().parents[1]  # src/repro
@@ -101,6 +105,17 @@ def measurement_to_dict(m: DeploymentMeasurement) -> Dict:
         "exit_codes": list(m.exit_codes),
         "ready_fraction": m.ready_fraction,
         "phase_means": m.phase_means,
+        "nodes": m.nodes,
+        "per_node": [
+            {
+                "name": u.name,
+                "pods": u.pods,
+                "working_set_bytes": u.working_set_bytes,
+                "warm_starts": u.warm_starts,
+                "cold_starts": u.cold_starts,
+            }
+            for u in m.per_node
+        ],
     }
 
 
@@ -114,6 +129,9 @@ def measurement_from_dict(data: Dict) -> DeploymentMeasurement:
         exit_codes=tuple(data["exit_codes"]),
         ready_fraction=data["ready_fraction"],
         phase_means=dict(data["phase_means"]),
+        # Entries written before the fleet axis lack these keys.
+        nodes=data.get("nodes", 1),
+        per_node=tuple(NodeUsage(**u) for u in data.get("per_node", ())),
     )
 
 

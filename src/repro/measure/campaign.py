@@ -53,7 +53,7 @@ class CampaignResult:
 
 
 def run_campaign(
-    seed: int = 1, jobs: int = 1, cache=DEFAULT_CACHE, manifest=None
+    seed: int = 1, jobs: int = 1, cache=DEFAULT_CACHE, manifest=None, nodes: int = 1
 ) -> CampaignResult:
     """Execute the full matrix and evaluate the §IV-F headline claims.
 
@@ -65,15 +65,34 @@ def run_campaign(
     count. ``cache=None`` bypasses the persistent measurement cache;
     ``manifest`` (a path) checkpoints per-cell completion so an
     interrupted campaign resumes where it stopped.
+
+    ``nodes`` > 1 fans every cell's deployment out across a simulated
+    N-node fleet (cross-node sharding on top of the worker processes).
+    The paper's claim thresholds are calibrated for the single-node
+    testbed, so fleet campaigns report claims informationally — expect
+    startup claims to over-perform and memory claims to hold unchanged.
     """
-    series = run_series(
-        "campaign", seed=seed, jobs=jobs, cache=cache, manifest=manifest
+    spec = (
+        "campaign"
+        if nodes == 1
+        else {"name": "campaign", "base": "campaign", "matrix": {"nodes": [nodes]}}
     )
-    measurements = {
-        (config, n): series.measurements[(config, n)]
-        for config in RUNTIME_CONFIGS
-        for n in DENSITIES
-    }
+    series = run_series(
+        spec, seed=seed, jobs=jobs, cache=cache, manifest=manifest
+    )
+    if nodes == 1:
+        measurements = {
+            (config, n): series.measurements[(config, n)]
+            for config in RUNTIME_CONFIGS
+            for n in DENSITIES
+        }
+    else:
+        fleet = series.fleet_measurements
+        measurements = {
+            (config, n): fleet[(config, n, nodes)]
+            for config in RUNTIME_CONFIGS
+            for n in DENSITIES
+        }
     result = CampaignResult(measurements=measurements)
     ours = CRUN_WAMR_CONFIG
 

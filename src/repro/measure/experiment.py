@@ -30,6 +30,17 @@ class MemorySample:
 
 
 @dataclass(frozen=True)
+class NodeUsage:
+    """One fleet node's share of a deployment, at steady state."""
+
+    name: str
+    pods: int
+    working_set_bytes: int  # full node working set (Fig 4 channel)
+    warm_starts: int  # zygote-capable containers that cloned a snapshot
+    cold_starts: int  # zygote-capable containers that cold-started
+
+
+@dataclass(frozen=True)
 class DeploymentMeasurement:
     """Everything one deployment experiment yields."""
 
@@ -43,6 +54,10 @@ class DeploymentMeasurement:
     #: mean simulated seconds per startup phase ("startup.pipeline",
     #: "startup.serialized", "startup.parallel", "startup.exec", ...)
     phase_means: Dict[str, float] = field(default_factory=dict)
+    #: fleet size the deployment ran on (1 = the paper's testbed)
+    nodes: int = 1
+    #: per-node breakdown, in node-name order
+    per_node: Tuple[NodeUsage, ...] = ()
 
     @property
     def metrics_mib(self) -> float:
@@ -51,6 +66,18 @@ class DeploymentMeasurement:
     @property
     def free_mib(self) -> float:
         return self.memory.free_per_container / MIB
+
+    @property
+    def throughput(self) -> float:
+        """Pods brought to first guest instruction per simulated second."""
+        return self.count / self.startup_seconds if self.startup_seconds else 0.0
+
+    @property
+    def warm_fraction(self) -> Optional[float]:
+        """Warm share of zygote-capable starts (None for other configs)."""
+        warm = sum(u.warm_starts for u in self.per_node)
+        total = warm + sum(u.cold_starts for u in self.per_node)
+        return warm / total if total else None
 
 
 class ExperimentRunner:
@@ -72,6 +99,9 @@ class ExperimentRunner:
         count: int,
         env: Optional[Dict[str, str]] = None,
         image: Optional[str] = None,
+        nodes: int = 1,
+        max_pods: Optional[int] = None,
+        locality_weight: float = 0.3,
     ) -> DeploymentMeasurement:
         if obs.enabled():
             # Each experiment gets its own trace context (one Chrome-trace
@@ -86,13 +116,20 @@ class ExperimentRunner:
 
             engine_cache.clear_cache_state()
             obs.new_context(f"deploy {config} n={count}")
-        cluster = build_cluster(seed=self.seed)
-        node = cluster.node
+        cluster = build_cluster(
+            seed=self.seed,
+            node_count=nodes,
+            max_pods=max_pods if max_pods is not None else 500,
+            locality_weight=locality_weight,
+        )
+        workers = list(cluster.nodes.values())
         for extra in self.extra_images:
-            node.env.images.push(extra)
-            node.env.images.pull(extra.reference)
-        sampler = FreeSampler(node.env.memory)
-        sampler.mark_baseline()
+            for worker in workers:
+                worker.env.images.push(extra)
+                worker.env.images.pull(extra.reference)
+        samplers = [FreeSampler(w.env.memory) for w in workers]
+        for sampler in samplers:
+            sampler.mark_baseline()
         t0 = cluster.kernel.now
 
         pods = [
@@ -121,28 +158,73 @@ class ExperimentRunner:
         starts = [p.exec_started_at - t0 for p in pods if p.exec_started_at is not None]
         makespan = max(starts)
 
-        # Memory channels at steady state.
-        working_sets = list(node.metrics.pod_working_sets().values())
-        ws_summary = summarize([float(w) for w in working_sets])
-        free_delta = sampler.delta()
+        # Memory channels at steady state: pod working sets concatenate
+        # across the fleet; the free(1) deltas sum (each node has its own
+        # baseline, so daemon/kernel baselines cancel per node).
+        working_sets = [
+            float(w)
+            for worker in workers
+            for w in worker.metrics.pod_working_sets().values()
+        ]
+        ws_summary = summarize(working_sets)
+        free_total = sum(s.delta().footprint_bytes for s in samplers)
 
         containers = [
-            c for p in pods for c in node.kubelet.pod_containers[p.uid]
+            c
+            for p in pods
+            for c in cluster.nodes[p.node_name].kubelet.pod_containers[p.uid]
         ]
         ready = sum(1 for c in containers if b"ready" in c.stdout)
+        if len(workers) == 1:
+            phase_means = workers[0].env.tracer.phase_means(config=config)
+        else:
+            # Exact fleet-wide means: merge per-node (sum, count) pairs.
+            sums: Dict[str, float] = {}
+            counts: Dict[str, int] = {}
+            for worker in workers:
+                for cat, (total, n) in worker.env.tracer.phase_stats(
+                    config=config
+                ).items():
+                    sums[cat] = sums.get(cat, 0.0) + total
+                    counts[cat] = counts.get(cat, 0) + n
+            phase_means = {c: sums[c] / counts[c] for c in sums}
+        per_node = tuple(
+            NodeUsage(
+                name=worker.name,
+                pods=sum(1 for p in pods if p.node_name == worker.name),
+                working_set_bytes=worker.env.memory.node_working_set(),
+                warm_starts=sum(
+                    1
+                    for p in pods
+                    if p.node_name == worker.name
+                    for c in worker.kubelet.pod_containers[p.uid]
+                    if c.facts.get("zygote_warm") is True
+                ),
+                cold_starts=sum(
+                    1
+                    for p in pods
+                    if p.node_name == worker.name
+                    for c in worker.kubelet.pod_containers[p.uid]
+                    if c.facts.get("zygote_warm") is False
+                ),
+            )
+            for worker in workers
+        )
         measurement = DeploymentMeasurement(
             config=config,
             count=count,
             memory=MemorySample(
                 metrics_server_mean=ws_summary.mean,
                 metrics_server_std=ws_summary.std,
-                free_per_container=free_delta.per_container(count),
+                free_per_container=free_total / count,
             ),
             startup_seconds=makespan,
             per_pod_start=summarize(starts),
             exit_codes=tuple(c.exit_code or 0 for c in containers),
             ready_fraction=ready / len(containers),
-            phase_means=node.env.tracer.phase_means(config=config),
+            phase_means=phase_means,
+            nodes=len(workers),
+            per_node=per_node,
         )
         cluster.teardown(pods)
         return measurement

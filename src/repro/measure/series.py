@@ -107,7 +107,13 @@ def auto_jobs() -> int:
 
 @dataclass(frozen=True)
 class Cell:
-    """One experiment in a series: (kind, config, count, seed, params)."""
+    """One experiment in a series: (kind, config, count, seed, params).
+
+    ``nodes`` is the fleet-size shard axis (deploy cells only). It
+    defaults to 1 and is deliberately *absent* from the key, the seed
+    coordinates, and the sort key whenever it is 1, so every pre-fleet
+    series keeps byte-identical manifests, derived seeds, and ordering.
+    """
 
     series: str
     kind: str
@@ -116,21 +122,36 @@ class Cell:
     seed: int
     params: Tuple[Tuple[str, Any], ...] = ()
     stage: int = 0
+    nodes: int = 1
 
     @property
     def key(self) -> str:
         """Stable identity used for manifests, dedup, and result lookup."""
         parts = [self.kind, self.config, f"n{self.count}", f"s{self.seed}"]
+        if self.nodes != 1:
+            parts.append(f"nodes{self.nodes}")
         parts += [f"{k}={v}" for k, v in self.params]
         return ":".join(parts)
 
     @property
     def cacheable(self) -> bool:
-        """Deploy cells map 1:1 onto the measurement-cache key space."""
-        return self.kind == "deploy" and not self.params
+        """Deploy cells map 1:1 onto the measurement-cache key space.
+
+        Fleet cells (nodes > 1) are outside that key space and always
+        re-run (they are deterministic per seed).
+        """
+        return self.kind == "deploy" and not self.params and self.nodes == 1
 
     def sort_key(self) -> Tuple:
-        return (self.stage, self.kind, self.config, self.count, self.params, self.seed)
+        return (
+            self.stage,
+            self.kind,
+            self.config,
+            self.count,
+            self.nodes,
+            self.params,
+            self.seed,
+        )
 
 
 def derive_seed(series_seed: int, coordinates: str) -> int:
@@ -233,13 +254,22 @@ def validate_spec(spec, registry: Optional[Mapping[str, dict]] = None) -> dict:
                 all(isinstance(v, int) and v > 0 for v in values),
                 f"{name}: count values must be positive ints",
             )
+        elif axis == "nodes":
+            _check(
+                kind == "deploy",
+                f"{name}: the 'nodes' axis is only valid for deploy series",
+            )
+            _check(
+                all(isinstance(v, int) and v > 0 for v in values),
+                f"{name}: nodes values must be positive ints",
+            )
         else:
             _check(
                 all(isinstance(v, (str, int, float, bool)) for v in values),
                 f"{name}: axis {axis!r} values must be scalars",
             )
     allowed = _KIND_PARAMS[kind]
-    extra_axes = set(matrix) - {"config", "count"}
+    extra_axes = set(matrix) - {"config", "count", "nodes"}
     param_keys = extra_axes | set(spec.get("params", {}))
     _check(
         param_keys <= allowed,
@@ -279,6 +309,7 @@ def _expand_stage(
             continue
         config = combo.get("config", base_params.get("config"))
         count = combo.get("count")
+        nodes = combo.get("nodes", 1)
         _check(
             isinstance(config, str) and bool(config),
             f"{name}: every cell needs a 'config' (matrix axis or include key)",
@@ -287,13 +318,31 @@ def _expand_stage(
             isinstance(count, int) and count > 0,
             f"{name}: every cell needs a positive 'count'",
         )
+        _check(
+            isinstance(nodes, int) and nodes > 0,
+            f"{name}: 'nodes' must be a positive int",
+        )
+        _check(
+            nodes == 1 or kind == "deploy",
+            f"{name}: 'nodes' != 1 is only valid for deploy cells",
+        )
         params = dict(base_params)
-        params.update({k: v for k, v in combo.items() if k not in ("config", "count")})
+        params.update(
+            {
+                k: v
+                for k, v in combo.items()
+                if k not in ("config", "count", "nodes")
+            }
+        )
         params.pop("config", None)
         param_items = tuple(sorted(params.items()))
         coordinates = f"{kind}:{config}:n{count}:" + ",".join(
             f"{k}={v}" for k, v in param_items
         )
+        if nodes != 1:
+            # Appended (never inline) so every nodes=1 coordinate string —
+            # and therefore every derived seed — predates the fleet axis.
+            coordinates += f":nodes{nodes}"
         cell_seed = derive_seed(seed, coordinates) if derive else seed
         cell = Cell(
             series=name,
@@ -303,6 +352,7 @@ def _expand_stage(
             seed=cell_seed,
             params=param_items,
             stage=stage,
+            nodes=nodes,
         )
         cells[cell.key] = cell  # dedup: identical coordinates collapse
     return sorted(cells.values(), key=Cell.sort_key)
@@ -397,6 +447,17 @@ SHIPPED_SERIES: Dict[str, dict] = {
         "matrix": {"config": ["crun-wamr"], "count": [400]},
         "params": {"rate": 0.25},
     },
+    "fleet": {
+        "name": "fleet",
+        "description": "cross-node fan-out: fixed density swept over fleet sizes",
+        "kind": "deploy",
+        "seed": 1,
+        "matrix": {
+            "config": ["crun-wamr", "crun-wamr-zygote"],
+            "count": [400],
+            "nodes": [1, 4, 8],
+        },
+    },
 }
 
 
@@ -404,6 +465,11 @@ def run_cell(cell: Cell) -> Any:
     """Execute one cell; returns its kind's measurement object."""
     params = dict(cell.params)
     if cell.kind == "deploy":
+        if cell.nodes != 1:
+            return ExperimentRunner(seed=cell.seed).run(
+                cell.config, cell.count, nodes=cell.nodes
+            )
+        # nodes=1 keeps the exact pre-fleet call shape (and stubs of it).
         return ExperimentRunner(seed=cell.seed).run(cell.config, cell.count)
     if cell.kind == "recovery":
         from repro.measure.recovery import run_recovery
@@ -500,9 +566,22 @@ class SeriesResult:
 
     @property
     def measurements(self) -> Dict[Tuple[str, int], Any]:
-        """Deploy results keyed ``(config, count)`` — the figure shape."""
+        """Deploy results keyed ``(config, count)`` — the figure shape.
+
+        Fleet-sharded cells (nodes > 1) are excluded: they would collide
+        on the figure key; read them via :meth:`fleet_measurements`.
+        """
         return {
             (cell.config, cell.count): self.results[cell.key]
+            for cell in self.cells
+            if cell.kind == "deploy" and cell.nodes == 1 and cell.key in self.results
+        }
+
+    @property
+    def fleet_measurements(self) -> Dict[Tuple[str, int, int], Any]:
+        """Deploy results keyed ``(config, count, nodes)`` — all shards."""
+        return {
+            (cell.config, cell.count, cell.nodes): self.results[cell.key]
             for cell in self.cells
             if cell.kind == "deploy" and cell.key in self.results
         }

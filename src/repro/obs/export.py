@@ -193,6 +193,62 @@ def render_metrics(text: str, prefix: Optional[str] = None) -> str:
     return "\n".join(lines)
 
 
+def render_node_breakdown(text: str) -> str:
+    """Per-node fleet table over exposition text.
+
+    ``repro inspect --nodes`` uses this to pivot the per-node label
+    children — scheduler placements, node working set, zygote warm/cold
+    starts, evictions — into one row per node. Works on any metrics dump
+    that carries a ``node`` label; single-node dumps render one row.
+    """
+    families = parse_prometheus_text(text)
+
+    def by_node(family: str, *extra: str) -> Dict[tuple, float]:
+        fam = families.get(family)
+        if fam is None:
+            return {}
+        out: Dict[tuple, float] = {}
+        for (_, labels), value in fam["samples"].items():
+            d = dict(labels)
+            if "node" not in d:
+                continue
+            key = (d["node"],) + tuple(d.get(k, "") for k in extra)
+            out[key] = out.get(key, 0.0) + value
+        return out
+
+    placements = by_node("repro_scheduler_placements_total")
+    working_set = by_node("repro_node_working_set_bytes")
+    zygote = by_node("repro_kubelet_zygote_starts_total", "mode")
+    evictions = by_node("repro_kubelet_evictions_total", "reason")
+
+    nodes = sorted(
+        {key[0] for src in (placements, working_set, zygote, evictions) for key in src}
+    )
+    if not nodes:
+        return "nodes: no per-node samples (was the run multi-node?)"
+
+    lines = [
+        f"nodes: {len(nodes)}",
+        f"{'node':16s}{'placed':>8s}{'ws MiB':>10s}{'warm':>7s}{'cold':>7s}"
+        f"{'evicted':>9s}",
+    ]
+    for node in nodes:
+        warm = zygote.get((node, "warm"), 0.0)
+        cold = zygote.get((node, "cold"), 0.0)
+        evicted = sum(v for k, v in evictions.items() if k[0] == node)
+        lines.append(
+            f"{node:16s}"
+            f"{placements.get((node,), 0.0):>8g}"
+            f"{working_set.get((node,), 0.0) / (1024 * 1024):>10.1f}"
+            f"{warm:>7g}{cold:>7g}{evicted:>9g}"
+        )
+    reasons = sorted({k[1] for k in evictions if evictions[k]})
+    for reason in reasons:
+        total = sum(v for k, v in evictions.items() if k[1] == reason)
+        lines.append(f"  evictions[{reason}] = {total:g}")
+    return "\n".join(lines)
+
+
 # -- Chrome trace-event JSON ---------------------------------------------------
 
 

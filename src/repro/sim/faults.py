@@ -69,6 +69,8 @@ class FaultPoint(enum.Enum):
     METRICS_SCRAPE = "metrics.scrape"
     PROBE_LIVENESS = "probe.liveness"
     PROBE_READINESS = "probe.readiness"
+    # -- fleet path (multi-node clusters) ------------------------------------
+    NODE_FAIL = "node.fail"
 
 
 #: points checked from inside guest execution (``run_wasi`` and below).
@@ -320,6 +322,34 @@ def transient_plan(
                 transient=True,
                 max_occurrences=budget_per_point,
             ),
+        ],
+        seed=seed,
+    )
+
+
+def fleet_plan(
+    seed: int = 0,
+    node_fail_probability: float = 1.0,
+    max_node_failures: int = 1,
+) -> FaultPlan:
+    """The fleet experiment's plan: whole-node failure with a hard budget.
+
+    Checked once per node (key = node name) by
+    :meth:`repro.k8s.cluster.Cluster.inject_node_failures`: a firing node
+    is cordoned (``unschedulable``) and drained, and the
+    DeploymentController re-places its pods on the surviving fleet. The
+    failure is permanent — nodes don't come back — so a finite
+    ``max_node_failures`` budget bounds how much capacity a campaign can
+    lose.
+    """
+    return FaultPlan(
+        [
+            FaultSpec(
+                FaultPoint.NODE_FAIL,
+                probability=node_fail_probability,
+                transient=False,
+                max_occurrences=max_node_failures,
+            )
         ],
         seed=seed,
     )

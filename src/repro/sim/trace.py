@@ -120,6 +120,20 @@ class Tracer:
             counts[span.category] += 1
         return {c: sums[c] / counts[c] for c in sums}
 
+    def phase_stats(self, **attrs: str) -> Dict[str, Tuple[float, int]]:
+        """Per-category ``(total_seconds, span_count)``, optionally filtered.
+
+        The mergeable form of :meth:`phase_means`: summing the pairs
+        across several tracers (one per fleet node) and dividing yields
+        the exact fleet-wide mean per phase.
+        """
+        sums: Dict[str, float] = defaultdict(float)
+        counts: Dict[str, int] = defaultdict(int)
+        for span in self.filtered(**attrs) if attrs else self.spans:
+            sums[span.category] += span.duration
+            counts[span.category] += 1
+        return {c: (sums[c], counts[c]) for c in sums}
+
     def clear(self) -> None:
         self.spans.clear()
         self._by_category.clear()

@@ -118,6 +118,7 @@ class TestExpansion:
             "zygote": 2,
             "recovery": 1,
             "chaos": 1,
+            "fleet": 6,
         }
         for name, spec in SHIPPED_SERIES.items():
             cells = expand_series(spec)
@@ -174,6 +175,74 @@ class TestExpansion:
     def test_seed_override_reaches_cells(self):
         cells = expand_series(SMALL_SPEC, seed=7)
         assert {c.seed for c in cells} == {7}
+
+
+class TestNodesAxis:
+    FLEET_SPEC = {
+        "name": "mini-fleet",
+        "kind": "deploy",
+        "seed": 1,
+        "matrix": {"config": ["crun-wamr"], "count": [10], "nodes": [1, 4]},
+    }
+
+    def test_single_node_cells_keep_prefleet_keys(self):
+        # Byte-compat: a nodes=1 cell's key/identity must be exactly what
+        # pre-fleet expansions produced, so old manifests keep resuming.
+        cells = expand_series(self.FLEET_SPEC)
+        assert [c.key for c in cells] == [
+            "deploy:crun-wamr:n10:s1",
+            "deploy:crun-wamr:n10:s1:nodes4",
+        ]
+        assert cells[0] == Cell(
+            series="mini-fleet",
+            kind="deploy",
+            config="crun-wamr",
+            count=10,
+            seed=1,
+        )
+
+    def test_derived_seeds_ignore_nodes_one(self):
+        spec = dict(self.FLEET_SPEC, derive_seeds=True)
+        baseline = dict(spec, matrix={"config": ["crun-wamr"], "count": [10]})
+        with_axis, without_axis = expand_series(spec), expand_series(baseline)
+        assert with_axis[0].seed == without_axis[0].seed
+        assert with_axis[1].seed != with_axis[0].seed
+
+    def test_only_single_node_cells_are_cacheable(self):
+        cells = expand_series(self.FLEET_SPEC)
+        assert cells[0].cacheable and not cells[1].cacheable
+
+    def test_nodes_axis_requires_deploy_kind(self):
+        bad = {
+            "name": "bad",
+            "kind": "chaos",
+            "matrix": {"config": ["crun-wamr"], "count": [10], "nodes": [2]},
+        }
+        with pytest.raises(SeriesError, match="only valid for deploy"):
+            validate_spec(bad)
+
+    def test_nodes_values_must_be_positive_ints(self):
+        bad = dict(
+            self.FLEET_SPEC,
+            matrix={"config": ["crun-wamr"], "count": [10], "nodes": [0]},
+        )
+        with pytest.raises(SeriesError, match="positive ints"):
+            validate_spec(bad)
+
+    def test_run_series_shards_fleet_cells(self):
+        result = run_series(
+            dict(
+                self.FLEET_SPEC,
+                matrix={"config": ["crun-wamr"], "count": [8], "nodes": [1, 2]},
+            ),
+            cache=None,
+        )
+        fleet = result.fleet_measurements
+        assert fleet[("crun-wamr", 8, 1)].nodes == 1
+        assert fleet[("crun-wamr", 8, 2)].nodes == 2
+        assert len(fleet[("crun-wamr", 8, 2)].per_node) == 2
+        # measurements (the pre-fleet view) only exposes single-node cells.
+        assert set(result.measurements) == {("crun-wamr", 8)}
 
 
 class TestManifestResume:
